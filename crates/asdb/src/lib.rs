@@ -1,0 +1,90 @@
+//! # hoiho-asdb — AS-level databases
+//!
+//! The substrate databases every router-ownership method in the paper
+//! consumes:
+//!
+//! * [`prefix`] — IPv4 prefixes and parsing.
+//! * [`trie`] — a binary trie for longest-prefix-match lookups, the BGP
+//!   `prefix → origin AS` table.
+//! * [`rel`] — AS relationships (provider/customer and peer, CAIDA
+//!   `as-rel` style), with degree and relationship queries used by the
+//!   election heuristics and by the §5 reasonableness test.
+//! * [`org`] — AS-to-organization mapping, giving the *sibling* relation
+//!   (two ASNs run by one organization, e.g. Microsoft's AS8075/AS8069).
+//! * [`ixp`] — IXP directory: peering LAN prefixes and member ASNs.
+//!
+//! All tables parse and render line-based text formats modelled on the
+//! CAIDA datasets the paper uses, so snapshots can be stored alongside
+//! experiments.
+
+pub mod ixp;
+pub mod org;
+pub mod prefix;
+pub mod rel;
+pub mod trie;
+
+pub use ixp::IxpDirectory;
+pub use org::As2Org;
+pub use prefix::Prefix;
+pub use rel::{AsRelationships, Relationship};
+pub use trie::RouteTable;
+
+/// An Autonomous System Number. 32-bit per RFC 6793.
+pub type Asn = u32;
+
+/// An IPv4 address in host byte order.
+pub type Addr = u32;
+
+/// Converts octets to an [`Addr`].
+pub fn addr_from_octets(o: [u8; 4]) -> Addr {
+    u32::from_be_bytes(o)
+}
+
+/// Converts an [`Addr`] to octets.
+pub fn addr_octets(a: Addr) -> [u8; 4] {
+    a.to_be_bytes()
+}
+
+/// Renders an [`Addr`] in dotted-quad form.
+pub fn addr_to_string(a: Addr) -> String {
+    let o = addr_octets(a);
+    format!("{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+}
+
+/// Parses dotted-quad form into an [`Addr`].
+pub fn addr_parse(s: &str) -> Option<Addr> {
+    let mut it = s.split('.');
+    let mut out = [0u8; 4];
+    for slot in out.iter_mut() {
+        let part = it.next()?;
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        *slot = part.parse().ok()?;
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(addr_from_octets(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        for s in ["0.0.0.0", "192.0.2.1", "255.255.255.255", "10.0.0.1"] {
+            assert_eq!(addr_to_string(addr_parse(s).unwrap()), s);
+        }
+        assert_eq!(addr_parse("192.0.2"), None);
+        assert_eq!(addr_parse("192.0.2.256"), None);
+        assert_eq!(addr_parse("1.2.3.4.5"), None);
+    }
+
+    #[test]
+    fn octet_order() {
+        assert_eq!(addr_from_octets([192, 0, 2, 1]), 0xC0000201);
+        assert_eq!(addr_octets(0xC0000201), [192, 0, 2, 1]);
+    }
+}

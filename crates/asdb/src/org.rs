@@ -1,0 +1,191 @@
+//! AS-to-organization mapping and the sibling relation.
+//!
+//! Two ASNs are *siblings* when one organization operates both (CAIDA's
+//! as2org dataset). The paper uses siblings twice: §4 measures how much
+//! PPV improves when sibling matches count as agreement, and §5 accepts
+//! an extracted ASN that is a sibling of a topologically-supported ASN
+//! (e.g. a hostname embedding Microsoft AS8069 while PeeringDB records
+//! AS8075).
+
+use crate::Asn;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An organization identifier (dense index into the org table).
+pub type OrgId = u32;
+
+/// AS → organization mapping.
+#[derive(Debug, Clone, Default)]
+pub struct As2Org {
+    org_of: BTreeMap<Asn, OrgId>,
+    members: BTreeMap<OrgId, Vec<Asn>>,
+    names: BTreeMap<OrgId, String>,
+}
+
+impl As2Org {
+    /// Creates an empty mapping.
+    pub fn new() -> As2Org {
+        As2Org::default()
+    }
+
+    /// Assigns `asn` to organization `org` (with an optional name kept
+    /// for the first assignment).
+    pub fn assign(&mut self, asn: Asn, org: OrgId, name: &str) {
+        if let Some(prev) = self.org_of.insert(asn, org) {
+            if let Some(list) = self.members.get_mut(&prev) {
+                list.retain(|&a| a != asn);
+            }
+        }
+        let list = self.members.entry(org).or_default();
+        if !list.contains(&asn) {
+            list.push(asn);
+            list.sort_unstable();
+        }
+        self.names.entry(org).or_insert_with(|| name.to_string());
+    }
+
+    /// The organization operating `asn`, if known.
+    pub fn org_of(&self, asn: Asn) -> Option<OrgId> {
+        self.org_of.get(&asn).copied()
+    }
+
+    /// The organization's display name.
+    pub fn org_name(&self, org: OrgId) -> Option<&str> {
+        self.names.get(&org).map(|s| s.as_str())
+    }
+
+    /// All ASNs of one organization, sorted.
+    pub fn members(&self, org: OrgId) -> &[Asn] {
+        self.members.get(&org).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True when one organization operates both ASNs. An ASN is its own
+    /// sibling only if it appears in the table; equal unknown ASNs are
+    /// not siblings (no evidence).
+    pub fn siblings(&self, a: Asn, b: Asn) -> bool {
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// The sibling set of `asn` (including itself), or just `asn` when
+    /// unknown.
+    pub fn sibling_set(&self, asn: Asn) -> Vec<Asn> {
+        match self.org_of(asn) {
+            Some(org) => self.members(org).to_vec(),
+            None => vec![asn],
+        }
+    }
+
+    /// Number of ASNs mapped.
+    pub fn len(&self) -> usize {
+        self.org_of.len()
+    }
+
+    /// True when nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.org_of.is_empty()
+    }
+
+    /// Parses the text format `asn|orgid|orgname` (name optional); `#`
+    /// comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<As2Org, String> {
+        let mut out = As2Org::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '|');
+            let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+            let asn: Asn = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad ASN"))?;
+            let org: OrgId = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad org id"))?;
+            let name = parts.next().unwrap_or("");
+            out.assign(asn, org, name);
+        }
+        Ok(out)
+    }
+
+    /// Renders the mapping in the `asn|orgid|orgname` format, sorted by
+    /// ASN.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (&asn, &org) in &self.org_of {
+            let name = self.org_name(org).unwrap_or("");
+            let _ = writeln!(out, "{asn}|{org}|{name}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> As2Org {
+        let mut o = As2Org::new();
+        o.assign(8075, 1, "Microsoft");
+        o.assign(8069, 1, "Microsoft");
+        o.assign(12076, 1, "Microsoft");
+        o.assign(3356, 2, "Lumen");
+        o
+    }
+
+    #[test]
+    fn sibling_queries() {
+        let o = sample();
+        assert!(o.siblings(8075, 8069));
+        assert!(o.siblings(8069, 12076));
+        assert!(!o.siblings(8075, 3356));
+        // Unknown ASNs are never siblings, even of themselves.
+        assert!(!o.siblings(9999, 9999));
+        assert!(o.siblings(8075, 8075));
+    }
+
+    #[test]
+    fn membership() {
+        let o = sample();
+        assert_eq!(o.members(1), &[8069, 8075, 12076]);
+        assert_eq!(o.sibling_set(8075), vec![8069, 8075, 12076]);
+        assert_eq!(o.sibling_set(9999), vec![9999]);
+        assert_eq!(o.org_name(1), Some("Microsoft"));
+        assert_eq!(o.org_of(3356), Some(2));
+        assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    fn reassignment_moves_membership() {
+        let mut o = sample();
+        o.assign(8069, 2, "Lumen");
+        assert!(!o.siblings(8075, 8069));
+        assert!(o.siblings(8069, 3356));
+        assert_eq!(o.members(1), &[8075, 12076]);
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let o = sample();
+        let text = o.to_text();
+        let o2 = As2Org::parse(&text).unwrap();
+        assert_eq!(o2.to_text(), text);
+        assert!(o2.siblings(8075, 12076));
+        assert_eq!(o2.org_name(2), Some("Lumen"));
+    }
+
+    #[test]
+    fn parse_errors_and_comments() {
+        assert!(As2Org::parse("x|1|Org").is_err());
+        assert!(As2Org::parse("1|y|Org").is_err());
+        let o = As2Org::parse("# header\n\n100|5|Name With Spaces\n").unwrap();
+        assert_eq!(o.org_name(5), Some("Name With Spaces"));
+        let o = As2Org::parse("100|5\n").unwrap(); // name optional
+        assert_eq!(o.org_name(5), Some(""));
+    }
+}

@@ -1,0 +1,228 @@
+//! AS relationships: provider/customer and peer links.
+//!
+//! Modelled on CAIDA's `as-rel` dataset, which the paper's heuristics
+//! consume: each line is `provider|customer|-1` or `peer|peer|0`. The
+//! table answers the queries the election heuristic (RouterToAsAssignment
+//! degree tie-break), bdrmapIT's refinement, and the §5 reasonableness
+//! test need: relationship lookup, provider/customer/peer sets, and node
+//! degree.
+
+use crate::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The relationship between two ASes, from the first AS's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relationship {
+    /// The first AS sells transit to the second.
+    ProviderOf,
+    /// The first AS buys transit from the second.
+    CustomerOf,
+    /// Settlement-free peers.
+    Peer,
+}
+
+/// The AS relationship graph.
+#[derive(Debug, Clone, Default)]
+pub struct AsRelationships {
+    /// asn → set of customer ASNs.
+    customers: BTreeMap<Asn, BTreeSet<Asn>>,
+    /// asn → set of provider ASNs.
+    providers: BTreeMap<Asn, BTreeSet<Asn>>,
+    /// asn → set of peer ASNs.
+    peers: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl AsRelationships {
+    /// Creates an empty graph.
+    pub fn new() -> AsRelationships {
+        AsRelationships::default()
+    }
+
+    /// Records a provider → customer link.
+    pub fn add_provider_customer(&mut self, provider: Asn, customer: Asn) {
+        self.customers.entry(provider).or_default().insert(customer);
+        self.providers.entry(customer).or_default().insert(provider);
+    }
+
+    /// Records a peer ↔ peer link.
+    pub fn add_peer(&mut self, a: Asn, b: Asn) {
+        self.peers.entry(a).or_default().insert(b);
+        self.peers.entry(b).or_default().insert(a);
+    }
+
+    /// The relationship from `a` to `b`, if the ASes are adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if self.customers.get(&a).is_some_and(|s| s.contains(&b)) {
+            Some(Relationship::ProviderOf)
+        } else if self.providers.get(&a).is_some_and(|s| s.contains(&b)) {
+            Some(Relationship::CustomerOf)
+        } else if self.peers.get(&a).is_some_and(|s| s.contains(&b)) {
+            Some(Relationship::Peer)
+        } else {
+            None
+        }
+    }
+
+    /// True if `a` provides transit to `b`.
+    pub fn is_provider_of(&self, a: Asn, b: Asn) -> bool {
+        matches!(self.relationship(a, b), Some(Relationship::ProviderOf))
+    }
+
+    /// Providers of `asn`.
+    pub fn providers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.providers.get(&asn).into_iter().flatten().copied()
+    }
+
+    /// Customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.customers.get(&asn).into_iter().flatten().copied()
+    }
+
+    /// Peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.peers.get(&asn).into_iter().flatten().copied()
+    }
+
+    /// All neighbors of `asn` regardless of relationship type.
+    pub fn neighbors(&self, asn: Asn) -> BTreeSet<Asn> {
+        let mut out = BTreeSet::new();
+        out.extend(self.providers(asn));
+        out.extend(self.customers(asn));
+        out.extend(self.peers(asn));
+        out
+    }
+
+    /// Degree of `asn` in the relationship graph — the tie-break key of
+    /// the RouterToAsAssignment election heuristic.
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.neighbors(asn).len()
+    }
+
+    /// All ASNs appearing in the graph.
+    pub fn asns(&self) -> BTreeSet<Asn> {
+        let mut out = BTreeSet::new();
+        out.extend(self.customers.keys().copied());
+        out.extend(self.providers.keys().copied());
+        out.extend(self.peers.keys().copied());
+        out
+    }
+
+    /// True when no relationships are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.customers.is_empty() && self.providers.is_empty() && self.peers.is_empty()
+    }
+
+    /// Parses the CAIDA `as-rel` text format: `a|b|-1` (a provides to b)
+    /// or `a|b|0` (peers); `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<AsRelationships, String> {
+        let mut rel = AsRelationships::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('|');
+            let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+            let a: Asn = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad first ASN"))?;
+            let b: Asn = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad second ASN"))?;
+            let kind = parts.next().ok_or_else(|| err("missing relationship"))?;
+            match kind {
+                "-1" => rel.add_provider_customer(a, b),
+                "0" => rel.add_peer(a, b),
+                _ => return Err(err("unknown relationship code")),
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Renders the graph in the `as-rel` text format, sorted.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (p, custs) in &self.customers {
+            for c in custs {
+                let _ = writeln!(out, "{p}|{c}|-1");
+            }
+        }
+        // Each peer link once, smaller ASN first.
+        for (a, ps) in &self.peers {
+            for b in ps {
+                if a < b {
+                    let _ = writeln!(out, "{a}|{b}|0");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsRelationships {
+        let mut r = AsRelationships::new();
+        r.add_provider_customer(3356, 64500); // 3356 provides to 64500
+        r.add_provider_customer(3356, 64501);
+        r.add_provider_customer(64500, 64510);
+        r.add_peer(64500, 64501);
+        r
+    }
+
+    #[test]
+    fn relationship_queries() {
+        let r = sample();
+        assert_eq!(r.relationship(3356, 64500), Some(Relationship::ProviderOf));
+        assert_eq!(r.relationship(64500, 3356), Some(Relationship::CustomerOf));
+        assert_eq!(r.relationship(64500, 64501), Some(Relationship::Peer));
+        assert_eq!(r.relationship(3356, 64510), None);
+        assert!(r.is_provider_of(64500, 64510));
+        assert!(!r.is_provider_of(64510, 64500));
+    }
+
+    #[test]
+    fn sets_and_degree() {
+        let r = sample();
+        assert_eq!(r.providers(64500).collect::<Vec<_>>(), vec![3356]);
+        assert_eq!(r.customers(3356).collect::<Vec<_>>(), vec![64500, 64501]);
+        assert_eq!(r.peers(64501).collect::<Vec<_>>(), vec![64500]);
+        assert_eq!(r.degree(64500), 3); // 3356, 64510, 64501
+        assert_eq!(r.degree(64510), 1);
+        assert_eq!(r.neighbors(3356), BTreeSet::from([64500, 64501]));
+        assert_eq!(r.asns().len(), 4);
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let text = "# comment\n3356|64500|-1\n3356|64501|-1\n64500|64510|-1\n64500|64501|0\n";
+        let r = AsRelationships::parse(text).unwrap();
+        assert_eq!(r.relationship(3356, 64500), Some(Relationship::ProviderOf));
+        let rendered = r.to_text();
+        let r2 = AsRelationships::parse(&rendered).unwrap();
+        assert_eq!(r2.to_text(), rendered);
+        assert_eq!(r2.degree(64500), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(AsRelationships::parse("x|1|-1").is_err());
+        assert!(AsRelationships::parse("1|y|0").is_err());
+        assert!(AsRelationships::parse("1|2").is_err());
+        assert!(AsRelationships::parse("1|2|7").is_err());
+        assert!(AsRelationships::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn peer_symmetry() {
+        let mut r = AsRelationships::new();
+        r.add_peer(1, 2);
+        assert_eq!(r.relationship(1, 2), Some(Relationship::Peer));
+        assert_eq!(r.relationship(2, 1), Some(Relationship::Peer));
+    }
+}

@@ -1,0 +1,265 @@
+//! Longest-prefix-match routing table.
+//!
+//! A binary trie keyed on prefix bits, generic in the stored value; the
+//! BGP table used throughout this reproduction is `RouteTable<Asn>`.
+//! Nodes are arena-allocated (indices, not boxes) so the structure is
+//! cache-friendly and trivially clonable.
+
+use crate::prefix::Prefix;
+use crate::Addr;
+
+/// Arena index of a trie node; `NONE` marks an absent child.
+type NodeIdx = u32;
+const NONE: NodeIdx = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [NodeIdx; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Node<V> {
+        Node { children: [NONE, NONE], value: None }
+    }
+}
+
+/// A longest-prefix-match table from [`Prefix`] to `V`.
+#[derive(Debug, Clone)]
+pub struct RouteTable<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for RouteTable<V> {
+    fn default() -> Self {
+        RouteTable { nodes: vec![Node::new()], len: 0 }
+    }
+}
+
+impl<V> RouteTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> RouteTable<V> {
+        RouteTable::default()
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `prefix → value`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut idx: usize = 0;
+        for depth in 0..prefix.len() {
+            let bit = bit_at(prefix.addr(), depth);
+            let child = self.nodes[idx].children[bit];
+            idx = if child == NONE {
+                self.nodes.push(Node::new());
+                let new = (self.nodes.len() - 1) as NodeIdx;
+                self.nodes[idx].children[bit] = new;
+                new as usize
+            } else {
+                child as usize
+            };
+        }
+        let prev = self.nodes[idx].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut idx: usize = 0;
+        for depth in 0..prefix.len() {
+            let bit = bit_at(prefix.addr(), depth);
+            let child = self.nodes[idx].children[bit];
+            if child == NONE {
+                return None;
+            }
+            idx = child as usize;
+        }
+        self.nodes[idx].value.as_ref()
+    }
+
+    /// Longest-prefix match for `addr`: the value and matched prefix of
+    /// the most specific covering entry.
+    pub fn lookup(&self, addr: Addr) -> Option<(Prefix, &V)> {
+        let mut idx: usize = 0;
+        let mut best: Option<(u8, &V)> = self.nodes[0].value.as_ref().map(|v| (0u8, v));
+        for depth in 0..32u8 {
+            let bit = bit_at(addr, depth);
+            let child = self.nodes[idx].children[bit];
+            if child == NONE {
+                break;
+            }
+            idx = child as usize;
+            if let Some(v) = self.nodes[idx].value.as_ref() {
+                best = Some((depth + 1, v));
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// The value of the longest matching prefix, if any.
+    pub fn lookup_value(&self, addr: Addr) -> Option<&V> {
+        self.lookup(addr).map(|(_, v)| v)
+    }
+
+    /// Iterates over all `(prefix, value)` entries in lexicographic bit
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut out: Vec<(Prefix, &V)> = Vec::with_capacity(self.len);
+        // Depth-first walk, low child first: (node, addr bits so far, len).
+        let mut stack: Vec<(usize, Addr, u8)> = vec![(0, 0, 0)];
+        while let Some((idx, addr, len)) = stack.pop() {
+            let node = &self.nodes[idx];
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix::new(addr, len), v));
+            }
+            // Push high child first so the low child pops first.
+            if node.children[1] != NONE {
+                let bit = 1u32 << (31 - u32::from(len));
+                stack.push((node.children[1] as usize, addr | bit, len + 1));
+            }
+            if node.children[0] != NONE {
+                stack.push((node.children[0] as usize, addr, len + 1));
+            }
+        }
+        out.into_iter()
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for RouteTable<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut t = RouteTable::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+/// Bit `depth` of `addr`, counting from the most significant bit.
+fn bit_at(addr: Addr, depth: u8) -> usize {
+    ((addr >> (31 - u32::from(depth))) & 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr_parse;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        addr_parse(s).unwrap()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let t: RouteTable<u32> = [
+            (p("10.0.0.0/8"), 100),
+            (p("10.1.0.0/16"), 200),
+            (p("10.1.2.0/24"), 300),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.lookup_value(a("10.1.2.3")), Some(&300));
+        assert_eq!(t.lookup_value(a("10.1.3.1")), Some(&200));
+        assert_eq!(t.lookup_value(a("10.2.0.1")), Some(&100));
+        assert_eq!(t.lookup_value(a("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn matched_prefix_reported() {
+        let mut t = RouteTable::new();
+        t.insert(p("192.0.2.0/24"), 7u32);
+        let (pre, v) = t.lookup(a("192.0.2.9")).unwrap();
+        assert_eq!(pre, p("192.0.2.0/24"));
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = RouteTable::new();
+        t.insert(p("0.0.0.0/0"), 1u32);
+        t.insert(p("10.0.0.0/8"), 2u32);
+        assert_eq!(t.lookup_value(a("8.8.8.8")), Some(&1));
+        assert_eq!(t.lookup_value(a("10.0.0.1")), Some(&2));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = RouteTable::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1u32), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2u32), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = RouteTable::new();
+        t.insert(p("1.2.3.4/32"), 9u32);
+        assert_eq!(t.lookup_value(a("1.2.3.4")), Some(&9));
+        assert_eq!(t.lookup_value(a("1.2.3.5")), None);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let t: RouteTable<u32> = [
+            (p("10.1.0.0/16"), 2),
+            (p("10.0.0.0/8"), 1),
+            (p("192.0.2.0/24"), 3),
+            (p("0.0.0.0/0"), 0),
+        ]
+        .into_iter()
+        .collect();
+        let got: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(got, vec!["0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24"]);
+    }
+
+    #[test]
+    fn lpm_agrees_with_linear_scan() {
+        // Deterministic pseudo-random prefixes; cross-check the trie
+        // against a naive scan.
+        let mut seed = 0x12345678u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let mut t = RouteTable::new();
+        let mut list: Vec<(Prefix, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let len = (rnd() % 25 + 8) as u8;
+            let pre = Prefix::new(rnd(), len);
+            // Keep first value on duplicates to mirror the scan's order.
+            if t.get(&pre).is_none() {
+                t.insert(pre, i);
+                list.push((pre, i));
+            }
+        }
+        for _ in 0..2000 {
+            let addr = rnd();
+            let expect = list
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|&(_, v)| v);
+            assert_eq!(t.lookup_value(addr).copied(), expect);
+        }
+    }
+}

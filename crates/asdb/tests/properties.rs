@@ -1,0 +1,121 @@
+//! Property-based tests for the AS databases: the trie agrees with a
+//! linear scan, prefixes round-trip, and the relationship graph keeps
+//! its invariants under random construction.
+
+use hoiho_asdb::{addr_parse, addr_to_string, As2Org, AsRelationships, Prefix, RouteTable};
+use proptest::prelude::*;
+
+fn prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(a, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Longest-prefix match agrees with a brute-force scan.
+    #[test]
+    fn trie_agrees_with_linear_scan(
+        entries in proptest::collection::vec((prefix(), any::<u32>()), 0..80),
+        queries in proptest::collection::vec(any::<u32>(), 0..60),
+    ) {
+        // First value per distinct prefix wins in both implementations.
+        let mut table: RouteTable<u32> = RouteTable::new();
+        let mut list: Vec<(Prefix, u32)> = Vec::new();
+        for (p, v) in entries {
+            if table.get(&p).is_none() {
+                table.insert(p, v);
+                list.push((p, v));
+            }
+        }
+        prop_assert_eq!(table.len(), list.len());
+        for q in queries {
+            let expect = list
+                .iter()
+                .filter(|(p, _)| p.contains(q))
+                .max_by_key(|(p, _)| p.len())
+                .map(|&(_, v)| v);
+            prop_assert_eq!(table.lookup_value(q).copied(), expect);
+        }
+    }
+
+    /// Prefix parse/display round-trip and containment sanity.
+    #[test]
+    fn prefix_roundtrip(p in prefix()) {
+        let text = p.to_string();
+        let parsed: Prefix = text.parse().unwrap();
+        prop_assert_eq!(parsed, p);
+        prop_assert!(p.contains(p.addr()));
+        if let Some((lo, hi)) = p.halves() {
+            prop_assert!(p.covers(&lo) && p.covers(&hi));
+            prop_assert_eq!(lo.size() + hi.size(), p.size());
+            prop_assert!(!lo.covers(&hi) && !hi.covers(&lo));
+        }
+    }
+
+    /// Address dotted-quad round-trip.
+    #[test]
+    fn addr_roundtrip(a in any::<u32>()) {
+        prop_assert_eq!(addr_parse(&addr_to_string(a)), Some(a));
+    }
+
+    /// Relationship queries stay mutually consistent however the graph
+    /// was built.
+    #[test]
+    fn relationships_consistent(
+        pc in proptest::collection::vec((1u32..200, 1u32..200), 0..60),
+        peers in proptest::collection::vec((1u32..200, 1u32..200), 0..60),
+    ) {
+        let mut rel = AsRelationships::new();
+        for &(p, c) in &pc {
+            rel.add_provider_customer(p, c);
+        }
+        for &(a, b) in &peers {
+            rel.add_peer(a, b);
+        }
+        for asn in rel.asns() {
+            for n in rel.neighbors(asn) {
+                // Every neighbor relationship has a perspective from
+                // both sides (provider/customer flip; peer symmetric).
+                let fwd = rel.relationship(asn, n);
+                let back = rel.relationship(n, asn);
+                prop_assert!(fwd.is_some());
+                prop_assert!(back.is_some());
+            }
+            prop_assert_eq!(rel.degree(asn), rel.neighbors(asn).len());
+        }
+        // Text round-trip preserves every query.
+        let text = rel.to_text();
+        let rel2 = AsRelationships::parse(&text).unwrap();
+        prop_assert_eq!(rel2.to_text(), text);
+    }
+
+    /// Sibling relation is reflexive (for known ASNs), symmetric, and
+    /// transitive — it is org-equality.
+    #[test]
+    fn siblings_are_equivalence(
+        assignments in proptest::collection::vec((1u32..100, 0u32..10), 1..50),
+    ) {
+        let mut org = As2Org::new();
+        for &(asn, o) in &assignments {
+            org.assign(asn, o, "org");
+        }
+        let asns: Vec<u32> = assignments.iter().map(|&(a, _)| a).collect();
+        for &a in &asns {
+            prop_assert!(org.siblings(a, a));
+            for &b in &asns {
+                prop_assert_eq!(org.siblings(a, b), org.siblings(b, a));
+                for &c in &asns {
+                    if org.siblings(a, b) && org.siblings(b, c) {
+                        prop_assert!(org.siblings(a, c));
+                    }
+                }
+            }
+            // sibling_set contains exactly the org's members.
+            let set = org.sibling_set(a);
+            prop_assert!(set.contains(&a));
+            for &s in &set {
+                prop_assert!(org.siblings(a, s));
+            }
+        }
+    }
+}

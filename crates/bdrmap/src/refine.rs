@@ -1,0 +1,245 @@
+//! bdrmapIT-style graph refinement (Marder et al. 2018).
+//!
+//! Starts from the election result and repairs the supplier bias using
+//! the router graph's annotations:
+//!
+//! 1. **Subsequent vote.** A border router of AS *B* answers with an
+//!    address the provider *A* supplied, but the routers *behind* it are
+//!    *B*'s — their interface origins dominate the subsequent set. When
+//!    the subsequent evidence is decisive, it overrides the election.
+//! 2. **Customer correction.** When the election elects origin *o* but
+//!    the subsequent set is led by a *customer* of *o*, the router sits
+//!    on the far side of a provider-supplied link: assign the customer
+//!    (bdrmap's core interdomain heuristic).
+//! 3. **Destination fallback.** Routers with no subsequent evidence
+//!    (trace edges) take the most common destination AS — stub border
+//!    routers appear only on paths towards their own network.
+//!
+//! Refinement iterates to a fixpoint (bounded), mirroring MAP-IT's graph
+//! refinement loop.
+
+use crate::graph::{RouterGraph, RouterIdx};
+use crate::{rtaa, InferenceInput};
+use hoiho_asdb::Asn;
+
+/// Tunables for refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineConfig {
+    /// Maximum refinement sweeps.
+    pub max_rounds: usize,
+    /// Minimum observations before the subsequent vote may override the
+    /// election.
+    pub min_subsequent: u32,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { max_rounds: 4, min_subsequent: 1 }
+    }
+}
+
+/// Runs bdrmapIT-style inference: election start plus refinement.
+pub fn infer(graph: &RouterGraph, input: &InferenceInput, cfg: &RefineConfig) -> Vec<Option<Asn>> {
+    let mut owner = rtaa::infer(graph, input);
+    for _ in 0..cfg.max_rounds {
+        let mut changed = false;
+        for idx in 0..graph.len() {
+            let new = refine_router(graph, input, idx, &owner, cfg);
+            if new.is_some() && new != owner[idx] {
+                owner[idx] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    owner
+}
+
+/// One refinement step for one router; `None` keeps the current value.
+fn refine_router(
+    graph: &RouterGraph,
+    input: &InferenceInput,
+    idx: RouterIdx,
+    owner: &[Option<Asn>],
+    cfg: &RefineConfig,
+) -> Option<Asn> {
+    let node = &graph.routers[idx];
+    let election = owner[idx];
+
+    // Primary signal: origins of next-hop interfaces. A customer border
+    // answering with a provider-supplied address forwards into its own
+    // network, so its subsequent origins name the customer; a provider
+    // border forwards onto addresses it supplied itself, so its
+    // subsequent origins name the provider. Either way the vote is the
+    // operator.
+    if let Some((best, cnt)) = top_vote(&node.subsequent) {
+        if cnt >= cfg.min_subsequent {
+            return Some(decide(input, election, best, &node.subsequent));
+        }
+    }
+
+    // Secondary signal: owners of next-hop routers — needed when the
+    // next-hop interfaces have no BGP origin (IXP LANs).
+    let mut neighbor_votes: std::collections::BTreeMap<Asn, u32> = Default::default();
+    for (&nr, &cnt) in &node.next_routers {
+        if let Some(o) = owner[nr] {
+            *neighbor_votes.entry(o).or_insert(0) += cnt;
+        }
+    }
+    if let Some((best, _)) = top_vote(&neighbor_votes) {
+        return Some(decide(input, election, best, &neighbor_votes));
+    }
+
+    // Destination fallback for evidence-free routers (stub borders,
+    // last hops before silent destinations).
+    if let Some((best, _)) = top_vote(&node.destinations) {
+        return match election {
+            Some(e) if e == best => Some(e),
+            Some(e) if input.rel.is_provider_of(e, best) => Some(best),
+            Some(e) if node.last_hop => Some(if e == best { e } else { best }),
+            Some(e) => Some(e),
+            None => Some(best),
+        };
+    }
+    election
+}
+
+/// Highest-count ASN (smaller ASN on ties).
+fn top_vote(votes: &std::collections::BTreeMap<Asn, u32>) -> Option<(Asn, u32)> {
+    votes
+        .iter()
+        .max_by_key(|&(asn, c)| (*c, std::cmp::Reverse(*asn)))
+        .map(|(&a, &c)| (a, c))
+}
+
+/// Chooses between the election and the evidence-vote winner.
+fn decide(
+    input: &InferenceInput,
+    election: Option<Asn>,
+    best: Asn,
+    votes: &std::collections::BTreeMap<Asn, u32>,
+) -> Asn {
+    let Some(elected) = election else { return best };
+    if best == elected {
+        return elected;
+    }
+    // The elected AS supplied this router's observed addresses; if the
+    // forward evidence names a network it serves (customer, peer, or
+    // sibling), the router sits on the far side of the supplied link.
+    let related = input.rel.relationship(elected, best).is_some()
+        || input.org.siblings(elected, best);
+    let best_cnt = votes.get(&best).copied().unwrap_or(0);
+    let elected_cnt = votes.get(&elected).copied().unwrap_or(0);
+    if related || best_cnt > elected_cnt {
+        best
+    } else {
+        elected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+    use hoiho_asdb::{Addr, As2Org, AsRelationships, IxpDirectory, Prefix, RouteTable};
+
+    fn a(s: &str) -> Addr {
+        hoiho_asdb::addr_parse(s).unwrap()
+    }
+
+    /// Provider AS100 (10/8) supplies the link to customer AS200 (20/8).
+    /// The customer's border router answers with 10.0.9.1 (provider
+    /// space); behind it sits 20.0.0.1 (customer space).
+    fn supplier_bias_input() -> InferenceInput {
+        let mut bgp = RouteTable::new();
+        bgp.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), 100);
+        bgp.insert("20.0.0.0/8".parse::<Prefix>().unwrap(), 200);
+        let mut rel = AsRelationships::new();
+        rel.add_provider_customer(100, 200);
+        InferenceInput {
+            bgp,
+            rel,
+            org: As2Org::new(),
+            ixps: IxpDirectory::new(),
+            // The customer border router owns the supplied address and
+            // an internal customer address.
+            aliases: vec![vec![a("10.0.9.1"), a("20.0.0.254")]],
+            traces: vec![Trace {
+                vp_asn: 64500,
+                dst: a("20.0.0.99"),
+                hops: vec![
+                    Some(a("10.0.0.1")),  // provider border
+                    Some(a("10.0.9.1")),  // customer border (supplied addr)
+                    Some(a("20.0.0.1")),  // customer internal
+                    Some(a("20.0.0.99")), // destination
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn election_shows_supplier_bias_for_singletons() {
+        // A customer border observed only through its supplied address
+        // elects the provider.
+        let mut input = supplier_bias_input();
+        input.aliases = vec![]; // no alias resolution: singleton routers
+        let g = crate::graph::RouterGraph::build(&input);
+        let ridx = g.by_addr[&a("10.0.9.1")];
+        assert_eq!(rtaa::infer_router(&g, &input, ridx), Some(100));
+    }
+
+    #[test]
+    fn refinement_fixes_supplier_bias() {
+        let input = supplier_bias_input();
+        let g = crate::graph::RouterGraph::build(&input);
+        let owners = infer(&g, &input, &RefineConfig::default());
+        let ridx = g.by_addr[&a("10.0.9.1")];
+        assert_eq!(owners[ridx], Some(200), "customer border must go to the customer");
+        // Provider border stays with the provider? Its subsequent set is
+        // {100} (the supplied far-side address it forwards to), so yes.
+        let pidx = g.by_addr[&a("10.0.0.1")];
+        assert_eq!(owners[pidx], Some(100));
+    }
+
+    #[test]
+    fn destination_fallback_for_last_hops() {
+        // Trace that dies at the supplied address: no subsequent
+        // evidence, destination says AS200.
+        let mut input = supplier_bias_input();
+        input.aliases = vec![];
+        input.traces = vec![Trace {
+            vp_asn: 64500,
+            dst: a("20.0.0.99"),
+            hops: vec![Some(a("10.0.0.1")), Some(a("10.0.9.1"))],
+        }];
+        let g = crate::graph::RouterGraph::build(&input);
+        let owners = infer(&g, &input, &RefineConfig::default());
+        let ridx = g.by_addr[&a("10.0.9.1")];
+        assert_eq!(owners[ridx], Some(200));
+    }
+
+    #[test]
+    fn refinement_converges() {
+        let input = supplier_bias_input();
+        let g = crate::graph::RouterGraph::build(&input);
+        let a4 = infer(&g, &input, &RefineConfig { max_rounds: 4, ..Default::default() });
+        let a9 = infer(&g, &input, &RefineConfig { max_rounds: 9, ..Default::default() });
+        assert_eq!(a4, a9);
+    }
+
+    #[test]
+    fn unrelated_strong_subsequent_overrides() {
+        // Even without a relationship edge, a dominant subsequent vote
+        // beats a zero-support election.
+        let mut input = supplier_bias_input();
+        input.rel = AsRelationships::new();
+        let g = crate::graph::RouterGraph::build(&input);
+        let owners = infer(&g, &input, &RefineConfig::default());
+        let ridx = g.by_addr[&a("10.0.9.1")];
+        // Subsequent = {200}; election chose 100 or 200 (count tie on
+        // the alias set). Either way refinement must settle on 200.
+        assert_eq!(owners[ridx], Some(200));
+    }
+}

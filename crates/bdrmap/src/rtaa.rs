@@ -1,0 +1,147 @@
+//! RouterToAsAssignment (Huffaker et al. 2010).
+//!
+//! The best-performing heuristic that work evaluated, used by the twelve
+//! ITDKs between July 2010 and February 2017: assign each router the AS
+//! that announced the longest matching prefix for the most of its
+//! interfaces (*election*), breaking ties by choosing the AS with the
+//! smaller relationship-graph degree (*degree*), then the smaller ASN.
+//!
+//! The method is systematically biased at interdomain boundaries: the
+//! supplier announces the prefix covering a border interface, so border
+//! routers of customer networks elect the provider (the paper's Figure 1
+//! problem, and the reason its validation reported only 71–80% accuracy).
+
+use crate::graph::{RouterGraph, RouterIdx};
+use crate::InferenceInput;
+use hoiho_asdb::Asn;
+use std::collections::BTreeMap;
+
+/// Ownership inferences per router, `None` when no interface had a BGP
+/// origin.
+pub fn infer(graph: &RouterGraph, input: &InferenceInput) -> Vec<Option<Asn>> {
+    (0..graph.len()).map(|i| infer_router(graph, input, i)).collect()
+}
+
+/// The election + degree heuristic for one router.
+pub fn infer_router(
+    graph: &RouterGraph,
+    input: &InferenceInput,
+    idx: RouterIdx,
+) -> Option<Asn> {
+    let mut votes: BTreeMap<Asn, (u32, u8)> = BTreeMap::new(); // asn → (count, max plen)
+    for &addr in &graph.routers[idx].interfaces {
+        if let Some((prefix, &asn)) = input.bgp.lookup(addr) {
+            let e = votes.entry(asn).or_insert((0, 0));
+            e.0 += 1;
+            e.1 = e.1.max(prefix.len());
+        }
+    }
+    // Election: most interfaces; prefer longer matching prefixes on an
+    // equal count; tie-break smaller degree, then smaller ASN.
+    votes
+        .into_iter()
+        .max_by(|a, b| {
+            (a.1 .0)
+                .cmp(&b.1 .0)
+                .then((a.1 .1).cmp(&b.1 .1))
+                .then_with(|| input.rel.degree(b.0).cmp(&input.rel.degree(a.0)))
+                .then(b.0.cmp(&a.0))
+        })
+        .map(|(asn, _)| asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+    use hoiho_asdb::{Addr, As2Org, AsRelationships, IxpDirectory, Prefix, RouteTable};
+
+    fn a(s: &str) -> Addr {
+        hoiho_asdb::addr_parse(s).unwrap()
+    }
+
+    fn base_input(aliases: Vec<Vec<Addr>>) -> InferenceInput {
+        let mut bgp = RouteTable::new();
+        bgp.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), 100);
+        bgp.insert("20.0.0.0/8".parse::<Prefix>().unwrap(), 200);
+        bgp.insert("20.1.0.0/16".parse::<Prefix>().unwrap(), 250);
+        let mut rel = AsRelationships::new();
+        rel.add_provider_customer(100, 200); // degree(100)=1? plus below
+        rel.add_provider_customer(100, 250);
+        rel.add_provider_customer(100, 300);
+        InferenceInput {
+            bgp,
+            rel,
+            org: As2Org::new(),
+            ixps: IxpDirectory::new(),
+            aliases,
+            traces: Vec::<Trace>::new(),
+        }
+    }
+
+    fn graph_of(input: &InferenceInput) -> RouterGraph {
+        RouterGraph::build(input)
+    }
+
+    #[test]
+    fn majority_wins() {
+        let input = base_input(vec![vec![a("10.0.0.1"), a("10.0.0.2"), a("20.0.0.1")]]);
+        let g = graph_of(&input);
+        assert_eq!(infer_router(&g, &input, 0), Some(100));
+    }
+
+    #[test]
+    fn longest_prefix_breaks_count_tie() {
+        // One interface in 10/8 (AS100), one in 20.1/16 (AS250): equal
+        // counts, 250 announced the longer prefix.
+        let input = base_input(vec![vec![a("10.0.0.1"), a("20.1.0.1")]]);
+        let g = graph_of(&input);
+        assert_eq!(infer_router(&g, &input, 0), Some(250));
+    }
+
+    #[test]
+    fn degree_breaks_full_tie() {
+        // Both /8s: AS100 has degree 3, AS200 degree 1 → choose 200.
+        let input = base_input(vec![vec![a("10.0.0.1"), a("20.0.0.1")]]);
+        let mut input = input;
+        // Make prefix lengths equal by removing the /16 influence: the
+        // two addresses match /8s of equal length already.
+        input.bgp = {
+            let mut t = RouteTable::new();
+            t.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), 100);
+            t.insert("20.0.0.0/8".parse::<Prefix>().unwrap(), 200);
+            t
+        };
+        let g = graph_of(&input);
+        assert_eq!(infer_router(&g, &input, 0), Some(200));
+    }
+
+    #[test]
+    fn smaller_asn_breaks_remaining_tie() {
+        let mut input = base_input(vec![vec![a("10.0.0.1"), a("20.0.0.1")]]);
+        input.rel = AsRelationships::new(); // equal (zero) degrees
+        input.bgp = {
+            let mut t = RouteTable::new();
+            t.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), 100);
+            t.insert("20.0.0.0/8".parse::<Prefix>().unwrap(), 200);
+            t
+        };
+        let g = graph_of(&input);
+        assert_eq!(infer_router(&g, &input, 0), Some(100));
+    }
+
+    #[test]
+    fn unrouted_router_uninferred() {
+        let input = base_input(vec![vec![a("99.0.0.1")]]);
+        let g = graph_of(&input);
+        assert_eq!(infer_router(&g, &input, 0), None);
+    }
+
+    #[test]
+    fn infer_covers_all_routers() {
+        let input = base_input(vec![vec![a("10.0.0.1")], vec![a("20.0.0.1")]]);
+        let g = graph_of(&input);
+        let out = infer(&g, &input);
+        assert_eq!(out, vec![Some(100), Some(200)]);
+    }
+}

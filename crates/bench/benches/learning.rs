@@ -1,0 +1,122 @@
+//! Benchmarks for the learning pipeline: base-regex generation, the
+//! merge/class phases, per-suffix learning, and snapshot-scale learning
+//! (one bar per pipeline stage of the paper's §3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hoiho::learner::{learn_all, learn_suffix, LearnConfig};
+use hoiho::phases::base::{self, BaseConfig};
+use hoiho::phases::{classes, merge};
+use hoiho::training::{Observation, SuffixTraining, TrainingSet};
+use hoiho_psl::PublicSuffixList;
+use std::hint::black_box;
+
+/// The Figure 4 Equinix training data.
+fn figure4() -> SuffixTraining {
+    let rows: &[(u32, &str)] = &[
+        (109, "109.sgw.equinix.com"),
+        (714, "714.os.equinix.com"),
+        (714, "714.me1.equinix.com"),
+        (714, "p714.sgw.equinix.com"),
+        (714, "s714.sgw.equinix.com"),
+        (24115, "p24115.mel.equinix.com"),
+        (24115, "s24115.tyo.equinix.com"),
+        (22282, "22822-2.tyo.equinix.com"),
+        (24482, "24482-fr5-ix.equinix.com"),
+        (54827, "54827-dc5-ix2.equinix.com"),
+        (55247, "55247-ch3-ix.equinix.com"),
+        (2906, "netflix.zh2.corp.eu.equinix.com"),
+        (19324, "ipv4.dosarrest.eqix.equinix.com"),
+        (8075, "8069.tyo.equinix.com"),
+        (8075, "8074.hkg.equinix.com"),
+        (55923, "45437-sy1-ix.equinix.com"),
+    ];
+    let obs: Vec<Observation> =
+        rows.iter().map(|&(a, h)| Observation::new(h, [198, 51, 100, 9], a)).collect();
+    SuffixTraining::build("equinix.com", &obs)
+}
+
+/// A larger synthetic suffix: `as<asn>-<iface>.<pop>.bigco.net`.
+fn big_suffix(hostnames: usize) -> SuffixTraining {
+    let pops = ["fra", "lhr", "ams", "nyc", "sin"];
+    let ifaces = ["ae1", "xe-0-0-1", "te0-7", "ge2-0"];
+    let obs: Vec<Observation> = (0..hostnames)
+        .map(|i| {
+            let asn = 60000 + (i as u32 % 700);
+            let h = format!(
+                "as{asn}-{}.{}{}.bigco.net",
+                ifaces[i % ifaces.len()],
+                pops[i % pops.len()],
+                i % 3
+            );
+            Observation::new(&h, [192, 0, 2, (i % 250) as u8], asn)
+        })
+        .collect();
+    SuffixTraining::build("bigco.net", &obs)
+}
+
+fn bench_base_generation(c: &mut Criterion) {
+    let st = figure4();
+    c.bench_function("learn/base_generate_figure4", |b| {
+        b.iter(|| black_box(base::generate(black_box(&st), &BaseConfig::default())))
+    });
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let st = figure4();
+    let pool = base::generate(&st, &BaseConfig::default());
+    c.bench_function("learn/merge_figure4", |b| {
+        b.iter(|| black_box(merge::merge(black_box(&pool))))
+    });
+    c.bench_function("learn/classes_figure4", |b| {
+        b.iter(|| black_box(classes::embed_classes(black_box(&pool), &st.hosts)))
+    });
+}
+
+fn bench_learn_suffix(c: &mut Criterion) {
+    let fig4 = figure4();
+    c.bench_function("learn/suffix_figure4", |b| {
+        b.iter(|| black_box(learn_suffix(black_box(&fig4), &LearnConfig::default())))
+    });
+    for n in [100usize, 400] {
+        let st = big_suffix(n);
+        let mut g = c.benchmark_group("learn/suffix_scale");
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("{n}_hostnames"), |b| {
+            b.iter(|| black_box(learn_suffix(black_box(&st), &LearnConfig::default())))
+        });
+        g.finish();
+    }
+}
+
+fn bench_learn_snapshot(c: &mut Criterion) {
+    // Whole-snapshot learning across suffixes (threaded).
+    let psl = PublicSuffixList::builtin();
+    let mut ts = TrainingSet::new();
+    for d in 0..40u32 {
+        for i in 0..25u32 {
+            let asn = 40000 + d * 100 + i;
+            ts.push(Observation::new(
+                &format!("as{asn}.pop{}.domain{d}-example.net", i % 6),
+                [192, 0, 2, (i % 250) as u8],
+                asn,
+            ));
+        }
+    }
+    let groups = ts.by_suffix(&psl);
+    let mut g = c.benchmark_group("learn/snapshot");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ts.len() as u64));
+    g.bench_function("40_suffixes_1000_hostnames", |b| {
+        b.iter(|| black_box(learn_all(black_box(&groups), &LearnConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_base_generation,
+    bench_phases,
+    bench_learn_suffix,
+    bench_learn_snapshot
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Microbenchmarks for the regex dialect engine: parsing, matching, and
+//! extraction over a hostname corpus shaped like the paper's data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hoiho::Regex;
+use std::hint::black_box;
+
+/// The paper's own regexes (Figures 2 and 4 plus Table 1 shapes).
+const REGEXES: &[&str] = &[
+    r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$",
+    r"^(\d+)-.+\.equinix\.com$",
+    r"as(\d+)\.nts\.ch$",
+    r"^as(\d+)\.example\.com$",
+    r"[a-z\d]+\.as(\d+)\.example\.com$",
+    r"^(\d+)\.[a-z]+\d+\.example\.com$",
+    r"^(\d+)-[^-]+-[^-]+\.equinix\.com$",
+];
+
+/// A corpus mixing matching and non-matching hostnames.
+fn corpus() -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..200u32 {
+        out.push(format!("p{}.sg{}.equinix.com", 64500 + i, i % 9));
+        out.push(format!("{}-fr{}-ix.equinix.com", 20000 + i, i % 7));
+        out.push(format!("ge0-{}.01.p.ost.ch.as15576.nts.ch", i % 4));
+        out.push(format!("as{}.example.com", 3000 + i));
+        out.push(format!("te0-{}.cr2.fra.tele-nova.net", i % 5));
+        out.push(format!("netflix.zh{}.corp.eu.equinix.com", i % 3));
+    }
+    out
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("regex/parse_paper_set", |b| {
+        b.iter(|| {
+            for s in REGEXES {
+                black_box(Regex::parse(black_box(s)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let regexes: Vec<Regex> = REGEXES.iter().map(|s| Regex::parse(s).unwrap()).collect();
+    let hosts = corpus();
+    let mut g = c.benchmark_group("regex/match");
+    g.throughput(Throughput::Elements((regexes.len() * hosts.len()) as u64));
+    g.bench_function("find_all_pairs", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for r in &regexes {
+                for h in &hosts {
+                    if r.find(black_box(h)).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let r = Regex::parse(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$").unwrap();
+    let hosts = corpus();
+    let mut g = c.benchmark_group("regex/extract");
+    g.throughput(Throughput::Elements(hosts.len() as u64));
+    g.bench_function("single_regex_corpus", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for h in &hosts {
+                if let Some(d) = r.extract(black_box(h)) {
+                    sum += d.len() as u64;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    // find_trace powers the char-class phase; measure its overhead.
+    let r = Regex::parse(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$").unwrap();
+    let hosts = corpus();
+    c.bench_function("regex/find_trace_corpus", |b| {
+        b.iter_batched(
+            || hosts.clone(),
+            |hosts| {
+                let mut n = 0usize;
+                for h in &hosts {
+                    if r.find_trace(h).is_some() {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_match, bench_extract, bench_trace);
+criterion_main!(benches);

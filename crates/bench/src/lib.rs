@@ -1,0 +1,56 @@
+//! # hoiho-bench — experiment harness
+//!
+//! Regenerates every table and figure in the paper's evaluation on the
+//! synthetic Internet. The modules mirror the per-experiment index in
+//! `DESIGN.md`:
+//!
+//! * [`pipeline`] — per-snapshot statistics feeding Figure 5 (NC
+//!   classification over the 19 training sets) and Figure 6 (PPV of
+//!   usable NCs per training method, with and without siblings).
+//! * [`taxonomy`] — Table 1 (how and where operators embed ASNs).
+//! * [`validation`] — §5 and Table 2: integrating extracted ASNs into
+//!   bdrmapIT, scoring decisions against operator ground truth and
+//!   PeeringDB cross-validation.
+//! * [`overlap`] — the §4 ITDK/PeeringDB suffix-overlap analysis.
+//! * [`futurework`] — the §7 future directions made concrete (PTR sweep,
+//!   AS-name census) plus phase ablations.
+//!
+//! The `experiments` binary prints each experiment in the paper's
+//! row/series format; `cargo bench` drives the microbenchmarks.
+
+pub mod futurework;
+pub mod overlap;
+pub mod pipeline;
+pub mod taxonomy;
+pub mod validation;
+
+/// Formats a ratio as the paper writes error rates: `1/x`.
+pub fn error_rate(wrong: usize, total: usize) -> String {
+    if wrong == 0 {
+        "0".to_string()
+    } else {
+        format!("1/{:.1}", total as f64 / wrong as f64)
+    }
+}
+
+/// Percentage with one decimal.
+pub fn pct(num: usize, denom: usize) -> String {
+    if denom == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / denom as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(error_rate(0, 100), "0");
+        assert_eq!(error_rate(10, 79), "1/7.9");
+        assert_eq!(pct(925, 1000), "92.5%");
+        assert_eq!(pct(1, 0), "-");
+    }
+}

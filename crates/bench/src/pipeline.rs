@@ -1,0 +1,149 @@
+//! Per-snapshot pipeline statistics (Figures 5 and 6).
+//!
+//! For each training-set snapshot: build the Internet and measurement,
+//! derive training data, learn conventions, and classify them. Figure 5
+//! plots the good/promising/poor counts per snapshot; Figure 6 plots the
+//! PPV of the usable NCs, with a variant counting sibling matches as
+//! agreement (the paper reports a ≈1% RTAA / ≈2% bdrmapIT sibling
+//! bonus).
+
+use hoiho::classify::NcClass;
+use hoiho::eval::{classify_host, Outcome};
+use hoiho::learner::{learn_all, LearnConfig, LearnedConvention};
+use hoiho::training::SuffixTraining;
+use hoiho_itdk::{BuiltSnapshot, SnapshotSpec};
+use hoiho_psl::PublicSuffixList;
+
+/// Everything the figure experiments need from one snapshot.
+pub struct SnapshotStats {
+    /// The spec the snapshot was built from.
+    pub spec: SnapshotSpec,
+    /// Training observations (hostnames with training ASNs).
+    pub observations: usize,
+    /// Suffix groups the observations split into.
+    pub suffixes: usize,
+    /// Learned conventions (one per suffix that yielded one).
+    pub learned: Vec<LearnedConvention>,
+    /// Training-ASN accuracy against simulator ground truth.
+    pub training_accuracy: f64,
+    /// PPV over usable NCs.
+    pub ppv_usable: f64,
+    /// PPV over usable NCs counting sibling matches as true positives.
+    pub ppv_usable_siblings: f64,
+    /// The built snapshot (kept for downstream experiments).
+    pub snapshot: BuiltSnapshot,
+    /// The per-suffix training groups.
+    pub groups: Vec<SuffixTraining>,
+}
+
+impl SnapshotStats {
+    /// Count of NCs in a class.
+    pub fn count(&self, class: NcClass) -> usize {
+        self.learned.iter().filter(|l| l.class == class).count()
+    }
+
+    /// Count of single-ASN NCs (Figure 2 style).
+    pub fn singles(&self) -> usize {
+        self.learned.iter().filter(|l| l.single).count()
+    }
+
+    /// Usable (good + promising) NCs.
+    pub fn usable(&self) -> impl Iterator<Item = &LearnedConvention> {
+        self.learned.iter().filter(|l| l.class.usable())
+    }
+}
+
+/// Builds a snapshot and computes its statistics.
+pub fn snapshot_stats(spec: &SnapshotSpec, learn_cfg: &LearnConfig) -> SnapshotStats {
+    let psl = PublicSuffixList::builtin();
+    let snapshot = BuiltSnapshot::build(spec);
+    let training = snapshot.training_set();
+    let groups = training.by_suffix(&psl);
+    let learned = learn_all(&groups, learn_cfg);
+    let training_accuracy = snapshot.training_accuracy();
+
+    // PPV over usable NCs, re-evaluated per hostname so sibling matches
+    // can be detected (the Counts TP rule is sibling-blind by design).
+    let org = &snapshot.input.org;
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fp_sibling = 0usize;
+    for lc in learned.iter().filter(|l| l.class.usable()) {
+        let Some(group) = groups.iter().find(|g| g.suffix == lc.convention.suffix) else {
+            continue;
+        };
+        for host in &group.hosts {
+            match classify_host(&lc.convention.regexes, host) {
+                Outcome::TruePositive(_) => tp += 1,
+                Outcome::FalsePositive(v) => {
+                    if org.siblings(v, host.training_asn) {
+                        fp_sibling += 1;
+                    } else {
+                        fp += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let ppv = |t: usize, f: usize| {
+        if t + f == 0 {
+            0.0
+        } else {
+            t as f64 / (t + f) as f64
+        }
+    };
+    SnapshotStats {
+        spec: spec.clone(),
+        observations: training.len(),
+        suffixes: groups.len(),
+        ppv_usable: ppv(tp, fp + fp_sibling),
+        ppv_usable_siblings: ppv(tp + fp_sibling, fp),
+        training_accuracy,
+        learned,
+        snapshot,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho_itdk::Method;
+    use hoiho_netsim::SimConfig;
+
+    fn tiny(method: Method, seed: u64) -> SnapshotStats {
+        let spec = SnapshotSpec {
+            label: "test".into(),
+            method,
+            cfg: SimConfig::tiny(seed),
+            alias_split: 0.3,
+        };
+        snapshot_stats(&spec, &LearnConfig::default())
+    }
+
+    #[test]
+    fn stats_populate() {
+        let s = tiny(Method::BdrmapIt, 81);
+        assert!(s.observations > 0);
+        assert!(s.suffixes > 0);
+        assert!(!s.learned.is_empty());
+        assert!(s.training_accuracy > 0.5);
+        assert!(s.ppv_usable > 0.0 && s.ppv_usable <= 1.0);
+        assert!(s.ppv_usable_siblings >= s.ppv_usable);
+        let total = s.count(NcClass::Good) + s.count(NcClass::Promising) + s.count(NcClass::Poor);
+        assert_eq!(total, s.learned.len());
+    }
+
+    #[test]
+    fn peeringdb_ppv_highest() {
+        let b = tiny(Method::BdrmapIt, 82);
+        let p = tiny(Method::PeeringDb, 82);
+        assert!(
+            p.ppv_usable >= b.ppv_usable - 0.05,
+            "PeeringDB PPV {} unexpectedly below bdrmapIT {}",
+            p.ppv_usable,
+            b.ppv_usable
+        );
+    }
+}

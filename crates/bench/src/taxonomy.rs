@@ -1,0 +1,94 @@
+//! Table 1: taxonomy of how and where operators embed ASNs.
+//!
+//! The paper characterises the 130 usable NCs (ITDK January 2020 ∪
+//! PeeringDB February 2020) and, separately, the single-ASN NCs, over
+//! five shapes: simple, start, end, bare, complex. Most
+//! neighbor-annotating operators put the ASN at the start; operators
+//! embedding their own ASN favour the end.
+
+use crate::pipeline::SnapshotStats;
+use hoiho::taxonomy::Taxonomy;
+
+/// Counts per taxonomy bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaxonomyCounts {
+    /// `^as(\d+)\.suffix$` only.
+    pub simple: usize,
+    /// `as`-annotated ASN at the hostname start.
+    pub start: usize,
+    /// `as`-annotated ASN at the hostname end.
+    pub end: usize,
+    /// No alphabetic annotation.
+    pub bare: usize,
+    /// Everything else.
+    pub complex: usize,
+}
+
+impl TaxonomyCounts {
+    /// Total NCs counted.
+    pub fn total(&self) -> usize {
+        self.simple + self.start + self.end + self.bare + self.complex
+    }
+
+    fn bump(&mut self, t: Taxonomy) {
+        match t {
+            Taxonomy::Simple => self.simple += 1,
+            Taxonomy::Start => self.start += 1,
+            Taxonomy::End => self.end += 1,
+            Taxonomy::Bare => self.bare += 1,
+            Taxonomy::Complex => self.complex += 1,
+        }
+    }
+
+    /// Percentage for one bucket.
+    pub fn share(&self, n: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The two Table 1 columns: usable (multi-ASN) and single NCs. An NC
+/// appearing in several snapshots counts once per distinct suffix.
+pub fn table1<'a>(
+    stats: impl IntoIterator<Item = &'a SnapshotStats>,
+) -> (TaxonomyCounts, TaxonomyCounts) {
+    let mut usable = TaxonomyCounts::default();
+    let mut single = TaxonomyCounts::default();
+    let mut seen_usable = std::collections::BTreeSet::new();
+    let mut seen_single = std::collections::BTreeSet::new();
+    for s in stats {
+        for lc in &s.learned {
+            if lc.class.usable() && !lc.single {
+                if seen_usable.insert(lc.convention.suffix.clone()) {
+                    usable.bump(lc.taxonomy);
+                }
+            } else if lc.single
+                && seen_single.insert(lc.convention.suffix.clone()) {
+                    single.bump(lc.taxonomy);
+                }
+        }
+    }
+    (usable, single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho::taxonomy::Taxonomy;
+
+    #[test]
+    fn counts_and_shares() {
+        let mut c = TaxonomyCounts::default();
+        c.bump(Taxonomy::Start);
+        c.bump(Taxonomy::Start);
+        c.bump(Taxonomy::End);
+        c.bump(Taxonomy::Simple);
+        assert_eq!(c.total(), 4);
+        assert!((c.share(c.start) - 50.0).abs() < 1e-9);
+        assert!((c.share(c.end) - 25.0).abs() < 1e-9);
+        assert_eq!(TaxonomyCounts::default().share(0), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Apparent-ASN detection and the §3.1 congruence rules.
+//!
+//! A hostname contains an *apparent ASN* when some digit run in it is
+//! congruent with the router's training ASN. Congruence is exact numeric
+//! equality, or the paper's typo tolerance: a Damerau-Levenshtein distance
+//! of one where both numbers are at least three digits long and agree on
+//! their first and last characters — a rule tuned to accept genuine typos
+//! (`as202073.swissix.ch` for AS205073) while rejecting numbers that are
+//! one edit away by coincidence (`605` vs AS6057 fails the last-digit
+//! test; see Figure 3a).
+
+use crate::editdist::is_distance_one;
+use crate::iputil::overlaps_any;
+
+/// How an extracted number relates to the training ASN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Congruence {
+    /// Numerically equal to the training ASN.
+    Exact,
+    /// Accepted as a single-character typo of the training ASN.
+    Typo,
+    /// Not congruent.
+    No,
+}
+
+impl Congruence {
+    /// True for `Exact` or `Typo`.
+    pub fn is_congruent(self) -> bool {
+        !matches!(self, Congruence::No)
+    }
+}
+
+/// Classifies an extracted digit string against the training ASN.
+pub fn congruence(extracted: &str, training: u32) -> Congruence {
+    if extracted.is_empty() || extracted.len() > 10 || !extracted.bytes().all(|b| b.is_ascii_digit())
+    {
+        return Congruence::No;
+    }
+    if let Ok(v) = extracted.parse::<u64>() {
+        if v == u64::from(training) {
+            return Congruence::Exact;
+        }
+    }
+    let t = training.to_string();
+    let e = extracted;
+    if e.len() >= 3
+        && t.len() >= 3
+        && e.as_bytes()[0] == t.as_bytes()[0]
+        && e.as_bytes()[e.len() - 1] == t.as_bytes()[t.len() - 1]
+        && is_distance_one(e, &t)
+    {
+        return Congruence::Typo;
+    }
+    Congruence::No
+}
+
+/// Maximal digit runs in `hostname`, as byte spans.
+pub fn digit_runs(hostname: &str) -> Vec<(usize, usize)> {
+    let h = hostname.as_bytes();
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < h.len() {
+        if h[i].is_ascii_digit() {
+            let start = i;
+            while i < h.len() && h[i].is_ascii_digit() {
+                i += 1;
+            }
+            runs.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    runs
+}
+
+/// Finds an apparent ASN: a maximal digit run congruent with `training`
+/// that is not part of an embedded IP address (`ip_spans` from
+/// [`crate::iputil::embedded_ip_spans`]). Returns the first such span.
+///
+/// Digit runs inside an embedded IP are excluded here because they are
+/// not ASN annotations — a regex that fails to match them is not missing
+/// anything (no false negative), while a regex that extracts them is
+/// flagged as a false positive by [`crate::eval`].
+pub fn apparent_asn(
+    hostname: &str,
+    training: u32,
+    ip_spans: &[(usize, usize)],
+) -> Option<(usize, usize)> {
+    for (s, e) in digit_runs(hostname) {
+        if overlaps_any(ip_spans, s, e) {
+            continue;
+        }
+        if congruence(&hostname[s..e], training).is_congruent() {
+            return Some((s, e));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iputil::embedded_ip_spans;
+
+    #[test]
+    fn exact_congruence() {
+        assert_eq!(congruence("15576", 15576), Congruence::Exact);
+        assert_eq!(congruence("015576", 15576), Congruence::Exact);
+        assert_eq!(congruence("701", 701), Congruence::Exact);
+        assert_eq!(congruence("1", 1), Congruence::Exact);
+    }
+
+    #[test]
+    fn typo_rule_accepts_paper_examples() {
+        // Figure 3a rows that the paper counts as TPs under the rule.
+        assert_eq!(congruence("24940", 20940), Congruence::Typo);
+        assert_eq!(congruence("202073", 205073), Congruence::Typo);
+        assert_eq!(congruence("20732", 207032), Congruence::Typo);
+        // Figure 4 hostname h: transposition 22822 vs 22282.
+        assert_eq!(congruence("22822", 22282), Congruence::Typo);
+    }
+
+    #[test]
+    fn typo_rule_rejects_coincidences() {
+        // 605 vs 6057: distance one, but last digits differ.
+        assert_eq!(congruence("605", 6057), Congruence::No);
+        // Short numbers (< 3 digits) never get typo tolerance.
+        assert_eq!(congruence("12", 13), Congruence::No);
+        assert_eq!(congruence("21", 12), Congruence::No);
+        // First digit differs.
+        assert_eq!(congruence("34940", 20940), Congruence::No);
+        // Distance two.
+        assert_eq!(congruence("24945", 20940), Congruence::No);
+    }
+
+    #[test]
+    fn non_numeric_and_oversized_rejected() {
+        assert_eq!(congruence("", 100), Congruence::No);
+        assert_eq!(congruence("12a4", 124), Congruence::No);
+        assert_eq!(congruence("12345678901", 123), Congruence::No);
+    }
+
+    #[test]
+    fn digit_runs_found() {
+        assert_eq!(
+            digit_runs("te0-0-24.01.p.bre.ch.as15576.nts.ch"),
+            vec![(2, 3), (4, 5), (6, 8), (9, 11), (23, 28)]
+        );
+        assert_eq!(digit_runs("no-digits.example.com"), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn apparent_asn_simple() {
+        let h = "as24940.akl-ix.nz";
+        assert_eq!(apparent_asn(h, 24940, &[]), Some((2, 7)));
+        // Typo congruence also counts as apparent.
+        assert_eq!(apparent_asn(h, 20940, &[]), Some((2, 7)));
+        assert_eq!(apparent_asn(h, 3356, &[]), None);
+    }
+
+    #[test]
+    fn apparent_asn_skips_embedded_ip() {
+        let h = "209-201-58-109.dia.stat.centurylink.net";
+        let spans = embedded_ip_spans(h, [209, 201, 58, 109]);
+        // Without IP knowledge the leading 209 looks like AS209...
+        assert_eq!(apparent_asn(h, 209, &[]), Some((0, 3)));
+        // ...but the IP spans exclude it.
+        assert_eq!(apparent_asn(h, 209, &spans), None);
+    }
+
+    #[test]
+    fn apparent_asn_prefers_first_span() {
+        let h = "100.100.example.com";
+        assert_eq!(apparent_asn(h, 100, &[]), Some((0, 3)));
+    }
+}

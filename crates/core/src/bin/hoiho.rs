@@ -1,0 +1,171 @@
+//! `hoiho` — command-line interface to the learner, in the spirit of
+//! scamper's `sc_hoiho`.
+//!
+//! ```text
+//! hoiho learn <training-file>              learn conventions, print them
+//! hoiho apply <conventions-file> [file]    extract ASNs from hostnames
+//! ```
+//!
+//! The training file has one observation per line:
+//!
+//! ```text
+//! # asn  interface-address  hostname
+//! 64500  192.0.2.1          as64500-ae1.fra.example.net
+//! ```
+//!
+//! `learn` prints conventions in the same text format
+//! [`hoiho::convention::parse_conventions`] reads (suffix line, indented
+//! regexes), with per-convention statistics as `#` comments — ready to
+//! feed back into `apply`. `apply` reads hostnames (one per line, from a
+//! file or stdin) and prints `hostname<TAB>ASN` for every extraction.
+
+use hoiho::convention::parse_conventions;
+use hoiho::learner::{learn_all, LearnConfig};
+use hoiho::training::{Observation, TrainingSet};
+use hoiho_psl::PublicSuffixList;
+use std::io::{BufRead, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("learn") if args.len() == 2 => learn(&args[1]),
+        Some("apply") if args.len() == 2 || args.len() == 3 => {
+            apply(&args[1], args.get(2).map(|s| s.as_str()))
+        }
+        _ => {
+            eprintln!("usage: hoiho learn <training-file>");
+            eprintln!("       hoiho apply <conventions-file> [hostnames-file]");
+            eprintln!("(see crate docs for the file formats)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hoiho: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn learn(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let training = parse_training(&text)?;
+    let psl = PublicSuffixList::builtin();
+    let groups = training.by_suffix(&psl);
+    let learned = learn_all(&groups, &LearnConfig::default());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# hoiho: {} observations, {} suffixes, {} conventions",
+        training.len(),
+        groups.len(),
+        learned.len()
+    )
+    .ok();
+    for lc in &learned {
+        writeln!(
+            out,
+            "# {}: {} TP={} FP={} FN={} ATP={} PPV={:.1}%{}",
+            lc.convention.suffix,
+            lc.class.label(),
+            lc.counts.tp,
+            lc.counts.fp,
+            lc.counts.fnn,
+            lc.counts.atp(),
+            lc.counts.ppv() * 100.0,
+            if lc.single { " single" } else { "" },
+        )
+        .ok();
+        write!(out, "{}", lc.convention).ok();
+    }
+    Ok(())
+}
+
+fn apply(conv_path: &str, hosts_path: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(conv_path)
+        .map_err(|e| format!("cannot read {conv_path}: {e}"))?;
+    let conventions = parse_conventions(&text)?;
+    let input: Box<dyn Read> = match hosts_path {
+        Some(p) => Box::new(
+            std::fs::File::open(p).map_err(|e| format!("cannot open {p}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdin()),
+    };
+    let reader = std::io::BufReader::new(input);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let hostname = line.trim();
+        if hostname.is_empty() || hostname.starts_with('#') {
+            continue;
+        }
+        let hit = conventions.iter().find_map(|nc| {
+            hostname
+                .to_ascii_lowercase()
+                .ends_with(&format!(".{}", nc.suffix))
+                .then(|| nc.extract(hostname))
+                .flatten()
+        });
+        match hit {
+            Some(asn) => writeln!(out, "{hostname}\t{asn}").ok(),
+            None => writeln!(out, "{hostname}\t-").ok(),
+        };
+    }
+    Ok(())
+}
+
+/// Parses the training file format: `asn addr hostname` per line.
+fn parse_training(text: &str) -> Result<TrainingSet, String> {
+    let mut ts = TrainingSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let mut it = line.split_whitespace();
+        let asn: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad ASN"))?;
+        let addr = it
+            .next()
+            .and_then(hoiho::iputil::parse_ipv4)
+            .ok_or_else(|| err("bad address"))?;
+        let hostname = it.next().ok_or_else(|| err("missing hostname"))?;
+        if it.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        ts.push(Observation::new(hostname, addr, asn));
+    }
+    Ok(ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_parser_accepts_valid_lines() {
+        let ts = parse_training(
+            "# comment\n64500 192.0.2.1 as64500.x.example.net\n\n64501 192.0.2.2 as64501.y.example.net\n",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.observations()[0].training_asn, 64500);
+        assert_eq!(ts.observations()[0].hostname, "as64500.x.example.net");
+    }
+
+    #[test]
+    fn training_parser_rejects_malformed() {
+        assert!(parse_training("x 192.0.2.1 host").is_err());
+        assert!(parse_training("1 not-an-ip host").is_err());
+        assert!(parse_training("1 192.0.2.1").is_err());
+        assert!(parse_training("1 192.0.2.1 host extra").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! §4 classification of naming conventions.
+//!
+//! * **Good** — extracted at least three unique ASNs congruent with
+//!   training ASNs, with PPV ≥ 80%.
+//! * **Promising** — at least two unique congruent ASNs, PPV ≥ 50%.
+//! * **Poor** — everything else.
+//!
+//! Good and promising NCs are *usable*. Orthogonally, an NC is *single*
+//! when it extracts one unique ASN across the whole suffix — the
+//! operator labels their own ASN in every hostname (Figure 2's
+//! `nts.ch`), rather than annotating neighbors. The paper analyses
+//! single NCs separately (108 in the January 2020 ITDK), so the flag is
+//! carried alongside the class rather than folded into it.
+
+use crate::eval::Counts;
+
+/// Quality class of a learned convention (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NcClass {
+    /// ≥3 unique congruent ASNs, PPV ≥ 80%.
+    Good,
+    /// ≥2 unique congruent ASNs, PPV ≥ 50%.
+    Promising,
+    /// The rest.
+    Poor,
+}
+
+impl NcClass {
+    /// Good and promising conventions are usable for inference.
+    pub fn usable(self) -> bool {
+        matches!(self, NcClass::Good | NcClass::Promising)
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            NcClass::Good => "good",
+            NcClass::Promising => "promising",
+            NcClass::Poor => "poor",
+        }
+    }
+}
+
+/// Classifies an NC from its evaluation counts (§4).
+pub fn classify(counts: &Counts) -> NcClass {
+    let uniq = counts.unique_tp_asns.len();
+    let ppv = counts.ppv();
+    if uniq >= 3 && ppv >= 0.8 {
+        NcClass::Good
+    } else if uniq >= 2 && ppv >= 0.5 {
+        NcClass::Promising
+    } else {
+        NcClass::Poor
+    }
+}
+
+/// True when the NC extracts a single unique value across the suffix —
+/// the operator embeds their own ASN (Figure 2), not their neighbors'.
+pub fn is_single(counts: &Counts) -> bool {
+    counts.unique_extracted.len() == 1 && counts.tp > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn counts(tp: u32, fp: u32, uniq_tp: &[u32], uniq_ex: &[u32]) -> Counts {
+        Counts {
+            tp,
+            fp,
+            fnn: 0,
+            tn: 0,
+            unique_tp_asns: BTreeSet::from_iter(uniq_tp.iter().copied()),
+            unique_extracted: BTreeSet::from_iter(uniq_ex.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn good_requires_three_unique_and_high_ppv() {
+        let c = counts(10, 2, &[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(classify(&c), NcClass::Good);
+        assert!(classify(&c).usable());
+    }
+
+    #[test]
+    fn ppv_boundary_80() {
+        // 8/10 = exactly 0.8 → good.
+        assert_eq!(classify(&counts(8, 2, &[1, 2, 3], &[1, 2, 3])), NcClass::Good);
+        // 7/10 < 0.8 but ≥ 0.5 with ≥2 unique → promising.
+        assert_eq!(classify(&counts(7, 3, &[1, 2, 3], &[1, 2, 3])), NcClass::Promising);
+    }
+
+    #[test]
+    fn promising_requires_two_unique_and_half_ppv() {
+        assert_eq!(classify(&counts(5, 5, &[1, 2], &[1, 2])), NcClass::Promising);
+        assert_eq!(classify(&counts(4, 6, &[1, 2], &[1, 2])), NcClass::Poor);
+        assert!(!NcClass::Poor.usable());
+    }
+
+    #[test]
+    fn single_unique_asn_cannot_be_usable() {
+        let c = counts(50, 0, &[15576], &[15576]);
+        assert_eq!(classify(&c), NcClass::Poor);
+        assert!(is_single(&c));
+    }
+
+    #[test]
+    fn single_flag_requires_one_extracted_value() {
+        // Figure 2: three TPs (AS15576's own routers) plus three FPs, all
+        // extracting 15576.
+        let c = counts(3, 3, &[15576], &[15576]);
+        assert!(is_single(&c));
+        // Two distinct extracted values → not single.
+        let c = counts(3, 3, &[15576], &[15576, 3356]);
+        assert!(!is_single(&c));
+        // No TPs at all → not single (nothing congruent).
+        let c = counts(0, 3, &[], &[15576]);
+        assert!(!is_single(&c));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NcClass::Good.label(), "good");
+        assert_eq!(NcClass::Promising.label(), "promising");
+        assert_eq!(NcClass::Poor.label(), "poor");
+    }
+}

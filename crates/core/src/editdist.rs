@@ -1,0 +1,126 @@
+//! Damerau-Levenshtein edit distance (optimal string alignment variant).
+//!
+//! The paper (§3.1) treats an extracted number as a possible typo of the
+//! training ASN when the Damerau-Levenshtein distance between the two
+//! digit strings is one — i.e. one insertion, deletion, substitution, or
+//! transposition of adjacent characters (Damerau 1964; Levenshtein 1966).
+//! The optimal string alignment variant (no substring may be edited twice)
+//! is sufficient here because only distance one matters.
+
+/// Computes the optimal-string-alignment Damerau-Levenshtein distance
+/// between `a` and `b` over bytes.
+///
+/// Runs in `O(|a|·|b|)` time and `O(|b|)` space (three rolling rows).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+
+    let w = b.len() + 1;
+    // prev2 = row i-2, prev = row i-1, cur = row i.
+    let mut prev2: Vec<usize> = vec![0; w];
+    let mut prev: Vec<usize> = (0..w).collect();
+    let mut cur: Vec<usize> = vec![0; w];
+
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (prev[j] + 1) // deletion
+                .min(cur[j - 1] + 1) // insertion
+                .min(prev[j - 1] + cost); // substitution
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(prev2[j - 2] + 1); // transposition
+            }
+            cur[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// True when the distance between `a` and `b` is exactly one. Short
+/// circuits on length difference greater than one.
+pub fn is_distance_one(a: &str, b: &str) -> bool {
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > 1 {
+        return false;
+    }
+    damerau_levenshtein(a, b) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(damerau_levenshtein("15576", "15576"), 0);
+        assert!(!is_distance_one("15576", "15576"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("", "123"), 3);
+        assert_eq!(damerau_levenshtein("123", ""), 3);
+        assert!(is_distance_one("", "1"));
+    }
+
+    #[test]
+    fn substitution() {
+        // Paper figure 3a: training 20940 vs extracted 24940.
+        assert_eq!(damerau_levenshtein("20940", "24940"), 1);
+        // Training 205073 vs extracted 202073.
+        assert_eq!(damerau_levenshtein("205073", "202073"), 1);
+    }
+
+    #[test]
+    fn deletion_and_insertion() {
+        // Paper figure 3a: training 207032 vs extracted 20732.
+        assert_eq!(damerau_levenshtein("207032", "20732"), 1);
+        assert_eq!(damerau_levenshtein("20732", "207032"), 1);
+        // Training 6057 vs extracted 605.
+        assert_eq!(damerau_levenshtein("6057", "605"), 1);
+    }
+
+    #[test]
+    fn transposition() {
+        // Paper figure 4, hostname h: training 22282 vs extracted 22822.
+        assert_eq!(damerau_levenshtein("22282", "22822"), 1);
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+    }
+
+    #[test]
+    fn transposition_not_double_counted() {
+        // OSA: "ca" -> "abc" is 3 (cannot edit the transposed pair again);
+        // plain DL would give 2. Distance-one behaviour is unaffected.
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn distance_two() {
+        assert_eq!(damerau_levenshtein("701", "855"), 3);
+        assert_eq!(damerau_levenshtein("1234", "1543"), 2);
+        assert!(!is_distance_one("1234", "1543"));
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("20940", "24940"), ("6057", "605"), ("701", "855"), ("", "x")] {
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn length_shortcut_consistent() {
+        assert!(!is_distance_one("1", "12345"));
+        assert_eq!(damerau_levenshtein("1", "12345"), 4);
+    }
+}

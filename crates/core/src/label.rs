@@ -1,0 +1,173 @@
+//! Hostname structure: portions and subportions.
+//!
+//! Base-regex generation (§3.2) reasons about the *structure* a hostname
+//! encodes with punctuation: the local part (everything left of the
+//! domain suffix) splits on `.` into **portions**, and each portion splits
+//! on `-` into **subportions**. For `te-4-0-0-85.53w.ba07.mctn.nb` the
+//! portions are `te-4-0-0-85`, `53w`, `ba07`, `mctn`, `nb`, and the first
+//! portion has subportions `te`, `4`, `0`, `0`, `85`.
+//!
+//! Spans are byte offsets into the local part so the generator can slice
+//! literal context without copying.
+
+/// One dot-delimited portion of a hostname's local part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Portion {
+    /// Byte span of the portion within the local part.
+    pub span: (usize, usize),
+    /// Byte spans of the hyphen-delimited subportions, in order. A portion
+    /// without hyphens has exactly one subportion equal to its own span.
+    pub subs: Vec<(usize, usize)>,
+}
+
+/// The parsed structure of a local part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Structure {
+    /// Dot-delimited portions in order of appearance.
+    pub portions: Vec<Portion>,
+}
+
+/// Location of a byte span within a [`Structure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanLocation {
+    /// Index into [`Structure::portions`].
+    pub portion: usize,
+    /// Index into that portion's `subs`.
+    pub sub: usize,
+}
+
+/// Strips `.suffix` from the end of `hostname`, returning the local part.
+///
+/// Returns `None` when the hostname *is* the suffix (no local part) or
+/// does not end with the suffix at a label boundary.
+pub fn local_part<'a>(hostname: &'a str, suffix: &str) -> Option<&'a str> {
+    if hostname.len() <= suffix.len() + 1 {
+        return None;
+    }
+    let cut = hostname.len() - suffix.len();
+    if !hostname[cut..].eq_ignore_ascii_case(suffix) {
+        return None;
+    }
+    if hostname.as_bytes()[cut - 1] != b'.' {
+        return None;
+    }
+    Some(&hostname[..cut - 1])
+}
+
+/// Parses the portion/subportion structure of a local part.
+///
+/// Empty portions and subportions (consecutive punctuation, leading or
+/// trailing punctuation) produce empty spans; the generator treats those
+/// hostnames as irregular and skips them via [`Structure::is_regular`].
+pub fn structure_of(local: &str) -> Structure {
+    let mut portions = Vec::new();
+    let mut pstart = 0usize;
+    let bytes = local.as_bytes();
+    for i in 0..=bytes.len() {
+        if i == bytes.len() || bytes[i] == b'.' {
+            portions.push(parse_portion(local, pstart, i));
+            pstart = i + 1;
+        }
+    }
+    Structure { portions }
+}
+
+#[allow(clippy::needless_range_loop)] // the index marks split points, not items
+fn parse_portion(local: &str, start: usize, end: usize) -> Portion {
+    let bytes = local.as_bytes();
+    let mut subs = Vec::new();
+    let mut sstart = start;
+    for i in start..=end {
+        if i == end || bytes[i] == b'-' {
+            subs.push((sstart, i));
+            sstart = i + 1;
+        }
+    }
+    Portion { span: (start, end), subs }
+}
+
+impl Structure {
+    /// True when every portion and subportion is non-empty — i.e. no
+    /// leading/trailing/doubled punctuation anywhere.
+    pub fn is_regular(&self) -> bool {
+        self.portions
+            .iter()
+            .all(|p| p.span.0 < p.span.1 && p.subs.iter().all(|&(s, e)| s < e))
+    }
+
+    /// Finds the portion and subportion containing the byte span
+    /// `[start, end)`, which must fall entirely within one subportion.
+    pub fn locate(&self, start: usize, end: usize) -> Option<SpanLocation> {
+        for (pi, p) in self.portions.iter().enumerate() {
+            if start >= p.span.0 && end <= p.span.1 {
+                for (si, &(s, e)) in p.subs.iter().enumerate() {
+                    if start >= s && end <= e {
+                        return Some(SpanLocation { portion: pi, sub: si });
+                    }
+                }
+                return None; // spans a hyphen inside the portion
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_part_strips_suffix() {
+        assert_eq!(local_part("p714.sgw.equinix.com", "equinix.com"), Some("p714.sgw"));
+        assert_eq!(local_part("equinix.com", "equinix.com"), None);
+        assert_eq!(local_part("x.other.com", "equinix.com"), None);
+        // Suffix must align on a label boundary.
+        assert_eq!(local_part("xequinix.com", "equinix.com"), None);
+        assert_eq!(local_part("a.xequinix.com", "equinix.com"), None);
+    }
+
+    #[test]
+    fn structure_portions_and_subs() {
+        let s = structure_of("te-4-0-0-85.53w.ba07");
+        assert_eq!(s.portions.len(), 3);
+        assert_eq!(s.portions[0].span, (0, 11));
+        assert_eq!(
+            s.portions[0].subs,
+            vec![(0, 2), (3, 4), (5, 6), (7, 8), (9, 11)]
+        );
+        assert_eq!(s.portions[1].span, (12, 15));
+        assert_eq!(s.portions[1].subs, vec![(12, 15)]);
+        assert!(s.is_regular());
+    }
+
+    #[test]
+    fn irregular_structures_detected() {
+        assert!(!structure_of("a..b").is_regular());
+        assert!(!structure_of("a.-b").is_regular());
+        assert!(!structure_of("-a.b").is_regular());
+        assert!(!structure_of("a.b-").is_regular());
+        assert!(!structure_of("").is_regular());
+        assert!(structure_of("a").is_regular());
+    }
+
+    #[test]
+    fn locate_finds_subportion() {
+        let local = "mlg4bras1-be127-605";
+        let s = structure_of(local);
+        // The "605" span.
+        let loc = s.locate(16, 19).unwrap();
+        assert_eq!(loc, SpanLocation { portion: 0, sub: 2 });
+        assert_eq!(&local[s.portions[0].subs[2].0..s.portions[0].subs[2].1], "605");
+        // A span crossing a hyphen cannot be located.
+        assert_eq!(s.locate(8, 12), None);
+        // Out of range.
+        assert_eq!(s.locate(19, 25), None);
+    }
+
+    #[test]
+    fn single_portion_no_hyphen() {
+        let s = structure_of("as15576");
+        assert_eq!(s.portions.len(), 1);
+        assert_eq!(s.portions[0].subs, vec![(0, 7)]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Phase 3 (§3.4): embed character classes.
+//!
+//! For every regex that matches training hostnames, inspect what each
+//! punctuation-exclusion component (`[^\.]+`, `[^-]+`) or wildcard (`.+`)
+//! actually matched, and specialise it:
+//!
+//! * when every matched substring decomposes into the *same sequence* of
+//!   character-type runs (letters, digits, hyphens), the component becomes
+//!   that sequence — `[^\.]+` matching `pop7`, `lns3` becomes
+//!   `[a-z]+\d+` (the paper's "bare" example shows this shape);
+//! * otherwise the component becomes the smallest single class covering
+//!   every character seen — `[^\.]+` matching `sgw`, `me1`, `tyo`
+//!   becomes `[a-z\d]+` (Figure 4, regex #5 → #6);
+//! * if the matches contain characters outside the class alphabet (a `.`
+//!   under `.+`), the component is left alone.
+//!
+//! The specialised regex is added to the pool; the original stays.
+
+use crate::regex::{CharClass, Elem, Regex};
+use crate::training::HostObs;
+
+/// Maximum run-sequence length worth emitting; longer sequences are
+/// almost certainly over-fitted to a handful of hostnames.
+const MAX_SEQUENCE: usize = 4;
+
+/// Specialises each regex in `pool` against the matched hostnames.
+/// Returns only the newly created regexes.
+pub fn embed_classes(pool: &[Regex], hosts: &[HostObs]) -> Vec<Regex> {
+    let mut out = Vec::new();
+    for r in pool {
+        if let Some(s) = specialise(r, hosts) {
+            if &s != r {
+                out.push(s);
+            }
+        }
+    }
+    out.sort_by_key(|r| r.to_string());
+    out.dedup();
+    out
+}
+
+/// Builds the specialised variant of one regex, or `None` when the regex
+/// matched nothing or nothing could be specialised.
+pub fn specialise(regex: &Regex, hosts: &[HostObs]) -> Option<Regex> {
+    let elems = regex.elems();
+    // Collected matched substrings per element index.
+    let mut matched: Vec<Vec<String>> = vec![Vec::new(); elems.len()];
+    let mut any = false;
+    for h in hosts {
+        let Some((_, trace)) = regex.find_trace(&h.hostname) else { continue };
+        any = true;
+        for (i, e) in elems.iter().enumerate() {
+            if matches!(e, Elem::NotIn(_) | Elem::Any) {
+                let (s, eo) = trace[i];
+                matched[i].push(h.hostname[s..eo].to_string());
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut changed = false;
+    let mut new_elems: Vec<Elem> = Vec::new();
+    for (i, e) in elems.iter().enumerate() {
+        match e {
+            Elem::NotIn(_) | Elem::Any if !matched[i].is_empty() => {
+                match replacement(&matched[i]) {
+                    Some(repl) => {
+                        changed = true;
+                        new_elems.extend(repl);
+                    }
+                    None => new_elems.push(e.clone()),
+                }
+            }
+            _ => new_elems.push(e.clone()),
+        }
+    }
+    if changed {
+        Some(Regex::new(new_elems))
+    } else {
+        None
+    }
+}
+
+/// A run of characters of one type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunType {
+    Lower,
+    Digit,
+    Hyphen,
+}
+
+fn run_types(s: &str) -> Option<Vec<(RunType, usize)>> {
+    let mut runs: Vec<(RunType, usize)> = Vec::new();
+    for ch in s.chars() {
+        let t = match ch {
+            'a'..='z' => RunType::Lower,
+            '0'..='9' => RunType::Digit,
+            '-' => RunType::Hyphen,
+            _ => return None,
+        };
+        match runs.last_mut() {
+            Some((lt, n)) if *lt == t => *n += 1,
+            _ => runs.push((t, 1)),
+        }
+    }
+    Some(runs)
+}
+
+/// Decides the replacement elements for a component that matched
+/// `samples`. `None` when no specialisation is possible.
+fn replacement(samples: &[String]) -> Option<Vec<Elem>> {
+    // Try the common run-type sequence first.
+    if let Some(seq) = common_sequence(samples) {
+        if seq.len() > 1 && seq.len() <= MAX_SEQUENCE {
+            return Some(sequence_elems(&seq, samples));
+        }
+    }
+    // Fall back to a single covering class.
+    let mut class = CharClass::EMPTY;
+    for s in samples {
+        class = class.union(CharClass::covering(s)?);
+    }
+    if class.is_empty() {
+        return None;
+    }
+    if class.digit && !class.lower && !class.hyphen {
+        Some(vec![Elem::Digits])
+    } else {
+        Some(vec![Elem::Class(class)])
+    }
+}
+
+/// The shared run-type sequence across all samples, if identical.
+fn common_sequence(samples: &[String]) -> Option<Vec<RunType>> {
+    let mut iter = samples.iter();
+    let first = run_types(iter.next()?)?;
+    let types: Vec<RunType> = first.iter().map(|&(t, _)| t).collect();
+    for s in iter {
+        let rt = run_types(s)?;
+        if rt.len() != types.len() || rt.iter().map(|&(t, _)| t).ne(types.iter().copied()) {
+            return None;
+        }
+    }
+    Some(types)
+}
+
+/// Renders a run-type sequence as elements. Hyphen runs become a literal
+/// `-` when every sample has a single hyphen there, else a hyphen class.
+fn sequence_elems(seq: &[RunType], samples: &[String]) -> Vec<Elem> {
+    // Compute, per position, whether all samples have run length 1.
+    let mut all_len1: Vec<bool> = vec![true; seq.len()];
+    for s in samples {
+        if let Some(rt) = run_types(s) {
+            for (i, &(_, n)) in rt.iter().enumerate() {
+                if n != 1 {
+                    all_len1[i] = false;
+                }
+            }
+        }
+    }
+    seq.iter()
+        .zip(all_len1)
+        .map(|(&t, len1)| match t {
+            RunType::Lower => Elem::Class(CharClass { lower: true, digit: false, hyphen: false }),
+            RunType::Digit => Elem::Digits,
+            RunType::Hyphen if len1 => Elem::Lit("-".to_string()),
+            RunType::Hyphen => Elem::Class(CharClass { lower: false, digit: false, hyphen: true }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Observation;
+
+    fn hosts(rows: &[(&str, u32)], suffix: &str) -> Vec<HostObs> {
+        rows.iter()
+            .map(|&(h, a)| HostObs::build(&Observation::new(h, [192, 0, 2, 9], a), suffix))
+            .collect()
+    }
+
+    fn rx(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn figure4_regex5_becomes_regex6() {
+        let hs = hosts(
+            &[
+                ("109.sgw.equinix.com", 109),
+                ("714.os.equinix.com", 714),
+                ("714.me1.equinix.com", 714),
+                ("p714.sgw.equinix.com", 714),
+                ("s714.sgw.equinix.com", 714),
+                ("p24115.mel.equinix.com", 24115),
+                ("s24115.tyo.equinix.com", 24115),
+            ],
+            "equinix.com",
+        );
+        let pool = vec![rx(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn sequence_inference_letters_then_digits() {
+        let hs = hosts(
+            &[("605.pop7.example.com", 605), ("923.lns3.example.com", 923)],
+            "example.com",
+        );
+        let pool = vec![rx(r"^(\d+)\.[^\.]+\.example\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^(\d+)\.[a-z]+\d+\.example\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn dot_under_any_blocks_specialisation() {
+        let hs = hosts(&[("100-a.b.example.com", 100)], "example.com");
+        let pool = vec![rx(r"^(\d+)-.+\.example\.com$")];
+        // `.+` matched "a.b": contains a dot, cannot become a class.
+        assert!(embed_classes(&pool, &hs).is_empty());
+    }
+
+    #[test]
+    fn any_specialises_when_dot_free() {
+        let hs = hosts(
+            &[("100-ae1.example.com", 100), ("200-xe2.example.com", 200)],
+            "example.com",
+        );
+        let pool = vec![rx(r"^(\d+)-.+\.example\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(strings.iter().any(|s| s == r"^(\d+)-[a-z]+\d+\.example\.com$"), "{strings:?}");
+    }
+
+    #[test]
+    fn unmatched_regex_yields_nothing() {
+        let hs = hosts(&[("as100.x.example.com", 100)], "example.com");
+        let pool = vec![rx(r"^zz(\d+)\.example\.com$")];
+        assert!(embed_classes(&pool, &hs).is_empty());
+    }
+
+    #[test]
+    fn digit_only_component_becomes_digits() {
+        let hs = hosts(
+            &[("a.7.as100.example.com", 100), ("b.31.as200.example.com", 200)],
+            "example.com",
+        );
+        let pool = vec![rx(r"^[^\.]+\.[^\.]+\.as(\d+)\.example\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^[a-z]+\.\d+\.as(\d+)\.example\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn hyphen_sequence_with_constant_hyphen() {
+        // [^\.]+ matching "fr5-ix" and "dc2-ix": sequence letters, digits,
+        // literal hyphen, letters.
+        let hs = hosts(
+            &[("100.fr5-ix.example.com", 100), ("200.dc2-ix.example.com", 200)],
+            "example.com",
+        );
+        let pool = vec![rx(r"^(\d+)\.[^\.]+\.example\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^(\d+)\.[a-z]+\d+-[a-z]+\.example\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_structures_fall_back_to_covering_class() {
+        let hs = hosts(
+            &[("100.fr5-ix.example.com", 100), ("200.tyo.example.com", 200)],
+            "example.com",
+        );
+        let pool = vec![rx(r"^(\d+)\.[^\.]+\.example\.com$")];
+        let new = embed_classes(&pool, &hs);
+        let strings: Vec<String> = new.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^(\d+)\.[a-z\d-]+\.example\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn already_specialised_unchanged() {
+        let hs = hosts(&[("100.abc.example.com", 100)], "example.com");
+        let pool = vec![rx(r"^(\d+)\.[a-z]+\.example\.com$")];
+        assert!(embed_classes(&pool, &hs).is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Phase 2 (§3.3): merge regexes that differ by a single simple string.
+//!
+//! Regexes `^p(\d+)…`, `^s(\d+)…` and `^(\d+)…` share everything but one
+//! literal; merging produces `^(?:p|s)?(\d+)…` — the `?` because one
+//! variant lacks the string entirely. The implementation abstracts each
+//! regex into *keys*: for every literal element, the element list with
+//! that literal replaced by a hole; and for every inter-element gap, the
+//! list with a hole inserted (representing the empty variant). Regexes
+//! sharing a key merge their hole-fillers into one alternation.
+//!
+//! When every filler shares a common prefix or suffix, the common part is
+//! factored back into a literal so `(?:as|gw-as)` becomes `(?:gw-)?as` —
+//! the paper's preference for regexes "a human might have built".
+
+use crate::regex::{AltGroup, Elem, Regex};
+use std::collections::BTreeMap;
+
+/// Merges near-identical regexes; returns only the newly created merged
+/// regexes (callers keep the originals in the pool).
+pub fn merge(pool: &[Regex]) -> Vec<Regex> {
+    // Key: rendered skeleton with a hole marker. Value: set of fillers.
+    let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    for r in pool {
+        let elems = r.elems();
+        for (i, e) in elems.iter().enumerate() {
+            if let Elem::Lit(l) = e {
+                let key = skeleton_key(elems, i, true);
+                groups.entry(key).or_default().push(l.clone());
+            }
+        }
+        // Gap keys: the regex as the "empty string" variant at gap g.
+        // Only gaps adjacent to a literal in some other regex can merge;
+        // emitting all gaps is cheap and the dedup below drops dead keys.
+        for g in 0..=elems.len() {
+            // Skip gaps that would place the hole before `^` or after `$`.
+            if g == 0 && matches!(elems.first(), Some(Elem::StartAnchor)) {
+                continue;
+            }
+            if g == elems.len() && matches!(elems.last(), Some(Elem::EndAnchor)) {
+                continue;
+            }
+            let key = skeleton_key_gap(elems, g);
+            groups.entry(key).or_default().push(String::new());
+        }
+    }
+
+    /// Over-merging guard: alternations beyond this many options are
+    /// memorised training text, not a convention.
+    const MAX_OPTIONS: usize = 8;
+
+    let mut out = Vec::new();
+    for (key, mut fillers) in groups {
+        fillers.sort();
+        fillers.dedup();
+        // A merge needs at least two distinct non-empty-or-not variants,
+        // including at least one non-empty literal.
+        if fillers.len() < 2
+            || fillers.len() > MAX_OPTIONS
+            || fillers.iter().all(|f| f.is_empty())
+        {
+            continue;
+        }
+        if let Some(r) = build_merged(&key, &fillers) {
+            out.push(r);
+        }
+    }
+    out.sort_by_key(|r| r.to_string());
+    out.dedup();
+    out
+}
+
+/// Marker that cannot appear in a rendered regex (uppercase is never
+/// emitted by the dialect).
+const HOLE: &str = "\u{1}HOLE\u{1}";
+
+/// Renders `elems` with element `i` replaced by the hole.
+fn skeleton_key(elems: &[Elem], i: usize, _is_lit: bool) -> String {
+    let mut parts: Vec<Elem> = Vec::with_capacity(elems.len());
+    for (j, e) in elems.iter().enumerate() {
+        if j == i {
+            parts.push(Elem::Lit(HOLE.to_string()));
+        } else {
+            parts.push(e.clone());
+        }
+    }
+    Regex::new(parts).to_string()
+}
+
+/// Renders `elems` with the hole inserted at gap `g`.
+fn skeleton_key_gap(elems: &[Elem], g: usize) -> String {
+    let mut parts: Vec<Elem> = Vec::with_capacity(elems.len() + 1);
+    parts.extend(elems[..g].iter().cloned());
+    parts.push(Elem::Lit(HOLE.to_string()));
+    parts.extend(elems[g..].iter().cloned());
+    Regex::new(parts).to_string()
+}
+
+/// Rebuilds a merged regex from a skeleton key and its fillers.
+fn build_merged(key: &str, fillers: &[String]) -> Option<Regex> {
+    // Factor common prefix/suffix out of the non-empty fillers so the
+    // alternation stays minimal.
+    let nonempty: Vec<&str> = fillers.iter().filter(|f| !f.is_empty()).map(|s| s.as_str()).collect();
+    let has_empty = fillers.iter().any(|f| f.is_empty());
+    let prefix = common_prefix(&nonempty);
+    let suffix = common_suffix(&nonempty, prefix.len());
+    let variants: Vec<String> = fillers
+        .iter()
+        .map(|f| {
+            if f.is_empty() {
+                String::new()
+            } else {
+                f[prefix.len()..f.len() - suffix.len()].to_string()
+            }
+        })
+        .collect();
+
+    // "Simple strings" (§3.3) never span a label boundary: if what is
+    // left after factoring the common affixes still contains a dot, the
+    // regexes differ in structure, not in one string — do not merge.
+    // (With an empty variant no affixes can be factored, so the raw
+    // fillers must be dot-free.)
+    let structural = if has_empty {
+        fillers.iter().any(|f| f.contains('.'))
+    } else {
+        variants.iter().any(|v| v.contains('.'))
+    };
+    if structural {
+        return None;
+    }
+
+    // If factoring collapses everything into the affixes (e.g. fillers
+    // {"as"} plus empty), variants are {"", "as"}…; AltGroup handles it.
+    let alt = AltGroup::from_variants(variants)?;
+    let hole_replacement: Vec<Elem> = {
+        let mut v = Vec::new();
+        if !prefix.is_empty() && !has_empty {
+            v.push(Elem::Lit(prefix.clone()));
+        }
+        if has_empty && !prefix.is_empty() {
+            // Cannot factor affixes when an empty variant exists — the
+            // empty variant must skip the affixes too. Re-expand.
+            let alt = AltGroup::from_variants(
+                fillers.to_vec(),
+            )?;
+            let mut w = vec![Elem::Alt(alt)];
+            return splice(key, &mut w);
+        }
+        v.push(Elem::Alt(alt));
+        if !suffix.is_empty() && !has_empty {
+            v.push(Elem::Lit(suffix.clone()));
+        }
+        v
+    };
+    let mut repl = hole_replacement;
+    splice(key, &mut repl)
+}
+
+/// Parses the skeleton key back and replaces the hole literal with
+/// `replacement`.
+fn splice(key: &str, replacement: &mut Vec<Elem>) -> Option<Regex> {
+    // The key is a rendered regex whose hole lives inside a literal.
+    // Rather than re-parse (the hole bytes are not in the dialect), split
+    // the key string on the hole and parse the two halves.
+    let pos = key.find(HOLE)?;
+    let (left, right) = (&key[..pos], &key[pos + HOLE.len()..]);
+    let mut elems: Vec<Elem> = Vec::new();
+    if !left.is_empty() {
+        elems.extend(Regex::parse(left).ok()?.elems().iter().cloned());
+    }
+    elems.append(replacement);
+    if !right.is_empty() {
+        // The right half may start mid-pattern with `$`/literals; the
+        // parser accepts `$` only at the end, which holds here because the
+        // hole never splits an element.
+        elems.extend(Regex::parse(right).ok()?.elems().iter().cloned());
+    }
+    Some(Regex::new(elems))
+}
+
+fn common_prefix(strings: &[&str]) -> String {
+    let Some(first) = strings.first() else { return String::new() };
+    let mut len = first.len();
+    for s in &strings[1..] {
+        len = len.min(s.len());
+        while len > 0 && s.as_bytes()[..len] != first.as_bytes()[..len] {
+            len -= 1;
+        }
+    }
+    first[..len].to_string()
+}
+
+fn common_suffix(strings: &[&str], reserved_prefix: usize) -> String {
+    let Some(first) = strings.first() else { return String::new() };
+    let mut len = first.len() - reserved_prefix;
+    for s in &strings[1..] {
+        let avail = s.len() - reserved_prefix;
+        len = len.min(avail);
+        while len > 0 && s.as_bytes()[s.len() - len..] != first.as_bytes()[first.len() - len..] {
+            len -= 1;
+        }
+    }
+    first[first.len() - len..].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn figure4_merge_p_s_and_bare() {
+        // Regexes #1, #2, #3 merge into #5.
+        let pool = vec![
+            rx(r"^(\d+)\.[^\.]+\.equinix\.com$"),
+            rx(r"^p(\d+)\.[^\.]+\.equinix\.com$"),
+            rx(r"^s(\d+)\.[^\.]+\.equinix\.com$"),
+        ];
+        let merged = merge(&pool);
+        let strings: Vec<String> = merged.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn two_mandatory_variants() {
+        let pool = vec![rx(r"^p(\d+)\.x\.com$"), rx(r"^s(\d+)\.x\.com$")];
+        let merged = merge(&pool);
+        let strings: Vec<String> = merged.iter().map(|r| r.to_string()).collect();
+        assert!(strings.iter().any(|s| s == r"^(?:p|s)(\d+)\.x\.com$"), "{strings:?}");
+        // And the merged regex matches both shapes but not bare digits.
+        let m = merged
+            .iter()
+            .find(|r| r.to_string() == r"^(?:p|s)(\d+)\.x\.com$")
+            .unwrap();
+        assert!(m.is_match("p1.x.com") && m.is_match("s2.x.com"));
+        assert!(!m.is_match("1.x.com"));
+    }
+
+    #[test]
+    fn common_affix_factored() {
+        let pool = vec![rx(r"^as(\d+)\.x\.com$"), rx(r"^gw-as(\d+)\.x\.com$")];
+        let merged = merge(&pool);
+        let strings: Vec<String> = merged.iter().map(|r| r.to_string()).collect();
+        assert!(strings.iter().any(|s| s == r"^(?:gw-)?as(\d+)\.x\.com$"), "{strings:?}");
+    }
+
+    #[test]
+    fn unrelated_regexes_do_not_merge() {
+        let pool = vec![rx(r"^as(\d+)\.x\.com$"), rx(r"^(\d+)-[^-]+\.y\.com$")];
+        assert!(merge(&pool).is_empty());
+    }
+
+    #[test]
+    fn differing_in_two_places_do_not_merge() {
+        let pool = vec![rx(r"^a(\d+)\.x\.com$"), rx(r"^b(\d+)\.y\.com$")];
+        assert!(merge(&pool).is_empty());
+    }
+
+    #[test]
+    fn suffix_literal_difference_merges_too() {
+        // Differences in a trailing literal are still single-string diffs.
+        let pool = vec![rx(r"^as(\d+)\.cust\.x\.com$"), rx(r"^as(\d+)\.peer\.x\.com$")];
+        let merged = merge(&pool);
+        let strings: Vec<String> = merged.iter().map(|r| r.to_string()).collect();
+        assert!(
+            strings.iter().any(|s| s == r"^as(\d+)\.(?:cust|peer)\.x\.com$"),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn three_way_merge_with_empty() {
+        let pool = vec![
+            rx(r"^(\d+)\.x\.com$"),
+            rx(r"^p(\d+)\.x\.com$"),
+            rx(r"^ps(\d+)\.x\.com$"),
+        ];
+        let merged = merge(&pool);
+        let strings: Vec<String> = merged.iter().map(|r| r.to_string()).collect();
+        // No affix factoring because of the empty variant.
+        assert!(strings.iter().any(|s| s == r"^(?:p|ps)?(\d+)\.x\.com$"), "{strings:?}");
+    }
+
+    #[test]
+    fn idempotent_on_merged_output() {
+        let pool = vec![rx(r"^(?:p|s)?(\d+)\.x\.com$")];
+        assert!(merge(&pool).is_empty());
+    }
+
+    #[test]
+    fn common_prefix_and_suffix_helpers() {
+        assert_eq!(common_prefix(&["abc", "abd"]), "ab");
+        assert_eq!(common_prefix(&["abc"]), "abc");
+        assert_eq!(common_prefix(&[]), "");
+        assert_eq!(common_suffix(&["xas", "yas"], 0), "as");
+        assert_eq!(common_suffix(&["as", "as"], 2), "");
+    }
+}

@@ -1,0 +1,232 @@
+//! Phase 4 (§3.5): build regex sets.
+//!
+//! Operators often use several hostname formats at once (Figure 4's
+//! Equinix data mixes `p714.sgw…` with `24482-fr5-ix…`). A single regex
+//! cannot cover both, so Hoiho combines regexes into a *set* forming one
+//! naming convention: regexes are ranked by ATP and greedily extended
+//! with lower-ranked regexes whenever the combination's ATP strictly
+//! improves. Unlike the 2019 router-name work, a combination is kept even
+//! if it lowers PPV — discrepancies between training and embedded ASNs
+//! are the signal §5 consumes, so coverage wins (§3.5).
+
+use crate::eval::{evaluate, evaluate_one, Counts};
+use crate::regex::Regex;
+use crate::training::HostObs;
+
+/// A candidate naming convention: an ordered regex list with its
+/// evaluation over the suffix's hostnames.
+#[derive(Debug, Clone)]
+pub struct CandidateNc {
+    /// Regexes in rank order (first match wins).
+    pub regexes: Vec<Regex>,
+    /// Evaluation of the ordered set over the training hostnames.
+    pub counts: Counts,
+}
+
+/// Tunables for set construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SetsConfig {
+    /// How many top-ranked regexes seed greedy set construction.
+    pub max_starts: usize,
+    /// Maximum number of regexes in one convention.
+    pub max_set_size: usize,
+    /// Cap on ranked regexes considered for extension.
+    pub max_pool: usize,
+}
+
+impl Default for SetsConfig {
+    fn default() -> Self {
+        SetsConfig { max_starts: 12, max_set_size: 6, max_pool: 200 }
+    }
+}
+
+/// Ranks `pool` by ATP and returns candidate conventions: every ranked
+/// single regex plus the greedy combinations seeded from the top ranks.
+///
+/// Regexes that never achieve a true positive are dropped before
+/// ranking — they cannot contribute to any convention.
+pub fn build_sets(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
+    // Evaluate and rank individual regexes.
+    let mut ranked: Vec<(Regex, Counts)> = pool
+        .iter()
+        .map(|r| (r.clone(), evaluate_one(r, hosts)))
+        .filter(|(_, c)| c.tp > 0)
+        .collect();
+    ranked.sort_by(|a, b| {
+        rank_order(&a.1, &b.1)
+            // Anti-over-fitting tie-breaks: less memorised text, then
+            // stronger components, then the textual form.
+            .then_with(|| a.0.memorised_chars().cmp(&b.0.memorised_chars()))
+            .then_with(|| b.0.component_strength().cmp(&a.0.component_strength()))
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
+    ranked.truncate(cfg.max_pool);
+    ranked.dedup_by(|a, b| a.0 == b.0);
+
+    let mut out: Vec<CandidateNc> = ranked
+        .iter()
+        .map(|(r, c)| CandidateNc { regexes: vec![r.clone()], counts: c.clone() })
+        .collect();
+
+    // Greedy combination from each of the top `max_starts` seeds.
+    for i in 0..ranked.len().min(cfg.max_starts) {
+        let mut cur: Vec<Regex> = vec![ranked[i].0.clone()];
+        let mut cur_counts = ranked[i].1.clone();
+        for (r, _) in ranked.iter().skip(i + 1) {
+            if cur.len() >= cfg.max_set_size {
+                break;
+            }
+            let mut trial = cur.clone();
+            trial.push(r.clone());
+            let c = evaluate(&trial, hosts);
+            if c.atp() > cur_counts.atp() {
+                cur = trial;
+                cur_counts = c;
+            }
+        }
+        if cur.len() > 1 {
+            out.push(CandidateNc { regexes: cur, counts: cur_counts });
+        }
+    }
+
+    // Dedup identical conventions (two seeds can converge).
+    out.sort_by(|a, b| {
+        rank_order(&a.counts, &b.counts)
+            .then_with(|| a.regexes.len().cmp(&b.regexes.len()))
+            .then_with(|| memorised(&a.regexes).cmp(&memorised(&b.regexes)))
+            .then_with(|| strength(&b.regexes).cmp(&strength(&a.regexes)))
+            .then_with(|| key(&a.regexes).cmp(&key(&b.regexes)))
+    });
+    out.dedup_by(|a, b| a.regexes == b.regexes);
+    out
+}
+
+fn memorised(regexes: &[Regex]) -> usize {
+    regexes.iter().map(|r| r.memorised_chars()).sum()
+}
+
+fn strength(regexes: &[Regex]) -> usize {
+    regexes.iter().map(|r| r.component_strength()).sum()
+}
+
+/// Rank comparator: ATP descending, then TPs descending, then FPs
+/// ascending.
+fn rank_order(a: &Counts, b: &Counts) -> std::cmp::Ordering {
+    b.atp()
+        .cmp(&a.atp())
+        .then_with(|| b.tp.cmp(&a.tp))
+        .then_with(|| a.fp.cmp(&b.fp))
+}
+
+fn key(regexes: &[Regex]) -> String {
+    let mut s = String::new();
+    for r in regexes {
+        s.push_str(&r.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Observation;
+
+    fn hosts(rows: &[(&str, u32)], suffix: &str) -> Vec<HostObs> {
+        rows.iter()
+            .map(|&(h, a)| HostObs::build(&Observation::new(h, [192, 0, 2, 7], a), suffix))
+            .collect()
+    }
+
+    fn rx(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    /// The Figure 4 training data (hostnames a–p with their ASNs).
+    fn figure4_hosts() -> Vec<HostObs> {
+        hosts(
+            &[
+                ("109.sgw.equinix.com", 109),
+                ("714.os.equinix.com", 714),
+                ("714.me1.equinix.com", 714),
+                ("p714.sgw.equinix.com", 714),
+                ("s714.sgw.equinix.com", 714),
+                ("p24115.mel.equinix.com", 24115),
+                ("s24115.tyo.equinix.com", 24115),
+                ("22822-2.tyo.equinix.com", 22282),
+                ("24482-fr5-ix.equinix.com", 24482),
+                ("54827-dc5-ix2.equinix.com", 54827),
+                ("55247-ch3-ix.equinix.com", 55247),
+                ("netflix.zh2.corp.eu.equinix.com", 2906),
+                ("ipv4.dosarrest.eqix.equinix.com", 19324),
+                ("8069.tyo.equinix.com", 8075),
+                ("8074.hkg.equinix.com", 8075),
+                ("45437-sy1-ix.equinix.com", 55923),
+            ],
+            "equinix.com",
+        )
+    }
+
+    #[test]
+    fn figure4_combination_reaches_atp_8() {
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"), // #6, ATP 1
+            rx(r"^(\d+)-.+\.equinix\.com$"),                // #4, ATP -4
+        ];
+        let hs = figure4_hosts();
+        let cands = build_sets(&pool, &hs, &SetsConfig::default());
+        let best = &cands[0];
+        assert_eq!(best.regexes.len(), 2, "expected the combined set first");
+        assert_eq!(best.counts.atp(), 8);
+        assert_eq!(best.counts.tp, 11);
+        assert_eq!(best.counts.fp, 3);
+        assert_eq!(best.counts.fnn, 0);
+    }
+
+    #[test]
+    fn single_regexes_also_candidates() {
+        let pool = vec![rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$")];
+        let hs = figure4_hosts();
+        let cands = build_sets(&pool, &hs, &SetsConfig::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].counts.atp(), 1);
+        assert_eq!((cands[0].counts.tp, cands[0].counts.fp, cands[0].counts.fnn), (7, 2, 4));
+    }
+
+    #[test]
+    fn zero_tp_regexes_dropped() {
+        let pool = vec![rx(r"^zz(\d+)\.equinix\.com$")];
+        let hs = figure4_hosts();
+        assert!(build_sets(&pool, &hs, &SetsConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn combination_requires_strict_improvement() {
+        // A redundant regex (subset of the first) must not be added.
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"^p(\d+)\.[a-z\d]+\.equinix\.com$"),
+        ];
+        let hs = figure4_hosts();
+        let cands = build_sets(&pool, &hs, &SetsConfig::default());
+        assert!(cands.iter().all(|c| c.regexes.len() == 1));
+    }
+
+    #[test]
+    fn set_size_capped() {
+        let pool = vec![
+            rx(r"^(\d+)\.sgw\.equinix\.com$"),
+            rx(r"^(\d+)\.os\.equinix\.com$"),
+            rx(r"^(\d+)\.me1\.equinix\.com$"),
+            rx(r"^p(\d+)\.sgw\.equinix\.com$"),
+            rx(r"^s(\d+)\.sgw\.equinix\.com$"),
+            rx(r"^p(\d+)\.mel\.equinix\.com$"),
+            rx(r"^s(\d+)\.tyo\.equinix\.com$"),
+        ];
+        let hs = figure4_hosts();
+        let cfg = SetsConfig { max_set_size: 3, ..SetsConfig::default() };
+        let cands = build_sets(&pool, &hs, &cfg);
+        assert!(cands.iter().all(|c| c.regexes.len() <= 3));
+        assert!(cands.iter().any(|c| c.regexes.len() == 3));
+    }
+}

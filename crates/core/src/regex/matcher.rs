@@ -1,0 +1,219 @@
+//! Backtracking matcher with capture extraction.
+//!
+//! The dialect has no nested repetition, so a match is a walk over the
+//! element list with greedy one-or-more components and backtracking on
+//! failure. Hostnames are short ASCII strings; the matcher works on bytes.
+
+use super::ast::{Elem, Regex};
+
+/// A successful match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Byte range of the whole match within the hostname.
+    pub span: (usize, usize),
+    /// Byte ranges of each `(\d+)` capture, in element order.
+    pub captures: Vec<(usize, usize)>,
+}
+
+impl MatchResult {
+    /// The text of capture group `i` within `hostname`.
+    pub fn capture<'h>(&self, hostname: &'h str, i: usize) -> Option<&'h str> {
+        self.captures.get(i).map(|&(s, e)| &hostname[s..e])
+    }
+}
+
+impl Regex {
+    /// Matches `hostname` (which should already be lowercase) and returns
+    /// the first match found, preferring the leftmost start offset.
+    ///
+    /// Anchoring follows the element list: with `^` only offset 0 is
+    /// tried; with `$` the match must consume through the end.
+    pub fn find(&self, hostname: &str) -> Option<MatchResult> {
+        self.find_impl(hostname, None)
+    }
+
+    /// Like [`Regex::find`], but also reports the byte span each element
+    /// consumed, aligned with [`Regex::elems`] (anchors get zero-width
+    /// spans; an unmatched optional alternation gets a zero-width span at
+    /// its position). The char-class phase (§3.4) uses this to see which
+    /// substrings a `[^\.]+` component actually matched.
+    pub fn find_trace(&self, hostname: &str) -> Option<(MatchResult, Vec<(usize, usize)>)> {
+        let mut trace = vec![(0usize, 0usize); self.elems().len()];
+        let m = self.find_impl(hostname, Some(&mut trace))?;
+        Some((m, trace))
+    }
+
+    fn find_impl(
+        &self,
+        hostname: &str,
+        mut trace: Option<&mut [(usize, usize)]>,
+    ) -> Option<MatchResult> {
+        let h = hostname.as_bytes();
+        let elems = self.elems();
+        let (body, base, must_start) = match elems.first() {
+            Some(Elem::StartAnchor) => (&elems[1..], 1usize, true),
+            _ => (elems, 0usize, false),
+        };
+        let starts: Box<dyn Iterator<Item = usize>> = if must_start {
+            Box::new(std::iter::once(0))
+        } else {
+            Box::new(0..=h.len())
+        };
+        let mut caps: Vec<(usize, usize)> = Vec::new();
+        for start in starts {
+            caps.clear();
+            let tr = trace.as_deref_mut();
+            if let Some(end) = match_seq(body, base, h, start, &mut caps, tr) {
+                if must_start {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t[0] = (0, 0);
+                    }
+                }
+                return Some(MatchResult { span: (start, end), captures: caps });
+            }
+        }
+        None
+    }
+
+    /// True if the regex matches `hostname` at all.
+    pub fn is_match(&self, hostname: &str) -> bool {
+        self.find(hostname).is_some()
+    }
+
+    /// Convenience: the text of the first capture of the first match.
+    pub fn extract<'h>(&self, hostname: &'h str) -> Option<&'h str> {
+        let m = self.find(hostname)?;
+        m.captures.first().map(|&(s, e)| &hostname[s..e])
+    }
+}
+
+/// Matches `elems` against `h[pos..]`, returning the end offset of the
+/// match. `caps` accumulates capture ranges; on failure its length is
+/// restored by the caller's recursion structure. `idx` is the index of
+/// `elems[0]` in the full element list, used to address `trace`; trace
+/// entries are written on the successful unwind, so stale writes from
+/// failed branches are always overwritten.
+fn match_seq(
+    elems: &[Elem],
+    idx: usize,
+    h: &[u8],
+    pos: usize,
+    caps: &mut Vec<(usize, usize)>,
+    mut trace: Option<&mut [(usize, usize)]>,
+) -> Option<usize> {
+    let Some((first, rest)) = elems.split_first() else {
+        return Some(pos);
+    };
+    // Records this element's span on success and propagates the end.
+    macro_rules! ok {
+        ($consumed_end:expr, $end:expr) => {{
+            if let Some(t) = trace.as_deref_mut() {
+                t[idx] = (pos, $consumed_end);
+            }
+            return Some($end);
+        }};
+    }
+    match first {
+        Elem::StartAnchor => {
+            // `^` other than at index 0 never matches mid-string.
+            if pos == 0 {
+                if let Some(end) = match_seq(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        Elem::EndAnchor => {
+            if pos == h.len() {
+                if let Some(end) = match_seq(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        Elem::Lit(l) => {
+            let lb = l.as_bytes();
+            if h.len() - pos >= lb.len() && &h[pos..pos + lb.len()] == lb {
+                let np = pos + lb.len();
+                if let Some(end) = match_seq(rest, idx + 1, h, np, caps, trace.as_deref_mut()) {
+                    ok!(np, end);
+                }
+            }
+            None
+        }
+        Elem::Alt(a) => {
+            for opt in &a.opts {
+                let ob = opt.as_bytes();
+                if h.len() - pos >= ob.len() && &h[pos..pos + ob.len()] == ob {
+                    let np = pos + ob.len();
+                    if let Some(end) = match_seq(rest, idx + 1, h, np, caps, trace.as_deref_mut())
+                    {
+                        ok!(np, end);
+                    }
+                }
+            }
+            if a.optional {
+                if let Some(end) = match_seq(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        Elem::CaptureDigits => {
+            let max = run_len(h, pos, |c| c.is_ascii_digit());
+            // Greedy with backtracking; at least one digit.
+            for take in (1..=max).rev() {
+                caps.push((pos, pos + take));
+                if let Some(end) =
+                    match_seq(rest, idx + 1, h, pos + take, caps, trace.as_deref_mut())
+                {
+                    ok!(pos + take, end);
+                }
+                caps.pop();
+            }
+            None
+        }
+        Elem::Digits => {
+            backtrack_component(rest, idx, h, pos, caps, trace, |c| c.is_ascii_digit())
+        }
+        Elem::NotIn(set) => {
+            let set = set.as_bytes().to_vec();
+            backtrack_component(rest, idx, h, pos, caps, trace, move |c| !set.contains(&c))
+        }
+        Elem::Class(cls) => {
+            let cls = *cls;
+            backtrack_component(rest, idx, h, pos, caps, trace, move |c| cls.contains(c))
+        }
+        Elem::Any => backtrack_component(rest, idx, h, pos, caps, trace, |_| true),
+    }
+}
+
+/// Length of the run of bytes satisfying `pred` starting at `pos`.
+fn run_len(h: &[u8], pos: usize, pred: impl Fn(u8) -> bool) -> usize {
+    h[pos..].iter().take_while(|&&c| pred(c)).count()
+}
+
+/// Greedy one-or-more component: consume the longest run, backtracking one
+/// byte at a time. `idx` addresses the component itself within the trace.
+fn backtrack_component(
+    rest: &[Elem],
+    idx: usize,
+    h: &[u8],
+    pos: usize,
+    caps: &mut Vec<(usize, usize)>,
+    mut trace: Option<&mut [(usize, usize)]>,
+    pred: impl Fn(u8) -> bool,
+) -> Option<usize> {
+    let max = run_len(h, pos, &pred);
+    for take in (1..=max).rev() {
+        let mark = caps.len();
+        if let Some(end) = match_seq(rest, idx + 1, h, pos + take, caps, trace.as_deref_mut()) {
+            if let Some(t) = trace.as_deref_mut() {
+                t[idx] = (pos, pos + take);
+            }
+            return Some(end);
+        }
+        caps.truncate(mark);
+    }
+    None
+}

@@ -1,0 +1,251 @@
+//! Parser for the textual form of the dialect.
+//!
+//! The grammar is exactly what [`super::ast`] renders; parsing exists so
+//! learned conventions can be stored and reloaded as plain text (the paper
+//! publishes its regexes this way), and so tests can state expectations in
+//! the familiar syntax.
+
+use super::ast::{AltGroup, CharClass, Elem, Regex};
+use std::fmt;
+
+/// A parse failure with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(at: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { at, msg: msg.into() })
+}
+
+impl Regex {
+    /// Parses the textual dialect form.
+    pub fn parse(src: &str) -> Result<Regex, ParseError> {
+        let b = src.as_bytes();
+        let mut elems: Vec<Elem> = Vec::new();
+        let mut lit = String::new();
+        let mut i = 0usize;
+
+        // Flushes the pending literal into the element list.
+        fn flush(lit: &mut String, elems: &mut Vec<Elem>) {
+            if !lit.is_empty() {
+                elems.push(Elem::Lit(std::mem::take(lit)));
+            }
+        }
+
+        while i < b.len() {
+            match b[i] {
+                b'^' => {
+                    if i != 0 {
+                        return err(i, "`^` only allowed at the start");
+                    }
+                    elems.push(Elem::StartAnchor);
+                    i += 1;
+                }
+                b'$' => {
+                    if i != b.len() - 1 {
+                        return err(i, "`$` only allowed at the end");
+                    }
+                    flush(&mut lit, &mut elems);
+                    elems.push(Elem::EndAnchor);
+                    i += 1;
+                }
+                b'\\' => {
+                    if i + 1 >= b.len() {
+                        return err(i, "dangling escape");
+                    }
+                    match b[i + 1] {
+                        b'd' => {
+                            // `\d+` — require the `+`.
+                            if i + 2 >= b.len() || b[i + 2] != b'+' {
+                                return err(i, "`\\d` must be followed by `+`");
+                            }
+                            flush(&mut lit, &mut elems);
+                            elems.push(Elem::Digits);
+                            i += 3;
+                        }
+                        c => {
+                            lit.push(c as char);
+                            i += 2;
+                        }
+                    }
+                }
+                b'(' => {
+                    flush(&mut lit, &mut elems);
+                    if b[i..].starts_with(b"(\\d+)") {
+                        elems.push(Elem::CaptureDigits);
+                        i += 5;
+                    } else if b[i..].starts_with(b"(?:") {
+                        let (alt, next) = parse_alt(b, i)?;
+                        elems.push(Elem::Alt(alt));
+                        i = next;
+                    } else {
+                        return err(i, "expected `(\\d+)` or `(?:...)`");
+                    }
+                }
+                b'[' => {
+                    flush(&mut lit, &mut elems);
+                    let (e, next) = parse_class(b, i)?;
+                    elems.push(e);
+                    i = next;
+                }
+                b'.' => {
+                    if i + 1 < b.len() && b[i + 1] == b'+' {
+                        flush(&mut lit, &mut elems);
+                        elems.push(Elem::Any);
+                        i += 2;
+                    } else {
+                        return err(i, "bare `.` (use `\\.` for a literal dot, `.+` for any)");
+                    }
+                }
+                b'+' | b'*' | b'?' | b')' | b']' | b'|' => {
+                    return err(i, format!("unexpected `{}`", b[i] as char));
+                }
+                c => {
+                    lit.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        flush(&mut lit, &mut elems);
+        Ok(Regex::new(elems))
+    }
+}
+
+/// Parses `(?:a|b|c)` with optional trailing `?`, starting at `i` (which
+/// points at `(`). Returns the group and the index after it.
+fn parse_alt(b: &[u8], i: usize) -> Result<(AltGroup, usize), ParseError> {
+    let mut j = i + 3; // skip `(?:`
+    let mut opts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    loop {
+        if j >= b.len() {
+            return err(i, "unterminated `(?:`");
+        }
+        match b[j] {
+            b')' => {
+                opts.push(std::mem::take(&mut cur));
+                j += 1;
+                break;
+            }
+            b'|' => {
+                opts.push(std::mem::take(&mut cur));
+                j += 1;
+            }
+            b'\\' => {
+                if j + 1 >= b.len() {
+                    return err(j, "dangling escape in alternation");
+                }
+                cur.push(b[j + 1] as char);
+                j += 2;
+            }
+            b'(' | b'[' | b'+' | b'*' | b'^' | b'$' => {
+                return err(j, "alternations may contain only literal strings");
+            }
+            c => {
+                cur.push(c as char);
+                j += 1;
+            }
+        }
+    }
+    let optional = j < b.len() && b[j] == b'?';
+    if optional {
+        j += 1;
+    }
+    let had_empty = opts.iter().any(|o| o.is_empty());
+    match AltGroup::from_variants(opts) {
+        Some(mut a) => {
+            a.optional = a.optional || optional || had_empty;
+            Ok((a, j))
+        }
+        None => err(i, "alternation with no non-empty options"),
+    }
+}
+
+/// Parses `[^...]+` or `[...]+` starting at `i` (pointing at `[`).
+///
+/// Positive classes must be built from the dialect populations (`a-z`,
+/// `\d`/`0-9`, `-`); negated classes store the excluded characters
+/// verbatim (`\d` is not part of the dialect inside a negated set).
+fn parse_class(b: &[u8], i: usize) -> Result<(Elem, usize), ParseError> {
+    let mut j = i + 1;
+    let negated = j < b.len() && b[j] == b'^';
+    if negated {
+        j += 1;
+    }
+    let mut excluded = String::new();
+    let mut class = CharClass::EMPTY;
+    let mut class_ok = true;
+    while j < b.len() && b[j] != b']' {
+        match b[j] {
+            b'\\' => {
+                if j + 1 >= b.len() {
+                    return err(j, "dangling escape in class");
+                }
+                match b[j + 1] {
+                    b'd' => {
+                        if negated {
+                            return err(j, "`\\d` not supported inside a negated class");
+                        }
+                        class.digit = true;
+                        j += 2;
+                    }
+                    c => {
+                        excluded.push(c as char);
+                        class_ok = false;
+                        j += 2;
+                    }
+                }
+            }
+            b'a' if !negated && b[j..].starts_with(b"a-z") => {
+                class.lower = true;
+                j += 3;
+            }
+            b'0' if !negated && b[j..].starts_with(b"0-9") => {
+                class.digit = true;
+                j += 3;
+            }
+            b'-' => {
+                class.hyphen = true;
+                excluded.push('-');
+                j += 1;
+            }
+            c => {
+                excluded.push(c as char);
+                class_ok = false;
+                j += 1;
+            }
+        }
+    }
+    if j >= b.len() {
+        return err(i, "unterminated class");
+    }
+    j += 1; // skip `]`
+    if j >= b.len() || b[j] != b'+' {
+        return err(j, "class must be followed by `+`");
+    }
+    j += 1;
+    if negated {
+        Ok((Elem::NotIn(excluded), j))
+    } else {
+        if !class_ok || class.is_empty() {
+            return err(i, "unsupported character class");
+        }
+        if class.digit && !class.lower && !class.hyphen {
+            Ok((Elem::Digits, j))
+        } else {
+            Ok((Elem::Class(class), j))
+        }
+    }
+}

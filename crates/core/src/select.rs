@@ -1,0 +1,104 @@
+//! Phase 5 (§3.6): select the best naming convention.
+//!
+//! Candidates are ranked by ATP; the top candidate is the provisional
+//! best, even if a lower-ranked regex had better PPV. Then lower-ranked
+//! candidates expressed in *fewer* regexes are preferred when they match
+//! at least as many hostnames, have at least as many TPs, and at most one
+//! additional FP — fewer regexes mean less opportunity for the set to be
+//! over-fitted to the training data.
+
+use crate::phases::sets::CandidateNc;
+
+/// Picks the best convention from ranked candidates (as produced by
+/// [`crate::phases::sets::build_sets`]). Returns `None` on an empty
+/// candidate list.
+pub fn select_best(candidates: &[CandidateNc]) -> Option<&CandidateNc> {
+    let mut iter = candidates.iter();
+    let mut best = iter.next()?;
+    for c in iter {
+        if c.regexes.len() < best.regexes.len()
+            && c.counts.matched() >= best.counts.matched()
+            && c.counts.tp >= best.counts.tp
+            && c.counts.fp <= best.counts.fp + 1
+        {
+            best = c;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Counts;
+    use crate::regex::Regex;
+
+    fn cand(regexes: &[&str], tp: u32, fp: u32, fnn: u32) -> CandidateNc {
+        CandidateNc {
+            regexes: regexes.iter().map(|s| Regex::parse(s).unwrap()).collect(),
+            counts: Counts { tp, fp, fnn, ..Counts::default() },
+        }
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert!(select_best(&[]).is_none());
+    }
+
+    #[test]
+    fn top_atp_wins_by_default() {
+        let cands = vec![
+            cand(&[r"^a(\d+)\.x\.com$", r"^b(\d+)\.x\.com$"], 10, 0, 0),
+            cand(&[r"^c(\d+)\.x\.com$"], 5, 0, 5),
+        ];
+        let best = select_best(&cands).unwrap();
+        assert_eq!(best.regexes.len(), 2);
+    }
+
+    #[test]
+    fn smaller_nc_preferred_when_close() {
+        // Two-regex NC: 10 TP, 1 FP (ATP 9). One-regex NC: 10 TP, 2 FP
+        // (ATP 8) — matches as many hostnames (12 ≥ 11), same TPs, one
+        // extra FP: preferred for its simplicity.
+        let cands = vec![
+            cand(&[r"^a(\d+)\.x\.com$", r"^b(\d+)\.x\.com$"], 10, 1, 0),
+            cand(&[r"^c(\d+)\.x\.com$"], 10, 2, 0),
+        ];
+        let best = select_best(&cands).unwrap();
+        assert_eq!(best.regexes.len(), 1);
+    }
+
+    #[test]
+    fn smaller_nc_rejected_when_fp_gap_large() {
+        let cands = vec![
+            cand(&[r"^a(\d+)\.x\.com$", r"^b(\d+)\.x\.com$"], 10, 0, 0),
+            cand(&[r"^c(\d+)\.x\.com$"], 10, 2, 0),
+        ];
+        let best = select_best(&cands).unwrap();
+        assert_eq!(best.regexes.len(), 2);
+    }
+
+    #[test]
+    fn smaller_nc_rejected_when_fewer_tps() {
+        let cands = vec![
+            cand(&[r"^a(\d+)\.x\.com$", r"^b(\d+)\.x\.com$"], 10, 0, 0),
+            cand(&[r"^c(\d+)\.x\.com$"], 9, 1, 1),
+        ];
+        let best = select_best(&cands).unwrap();
+        assert_eq!(best.regexes.len(), 2);
+    }
+
+    #[test]
+    fn preference_chains_to_even_smaller() {
+        let cands = vec![
+            cand(&[r"^a(\d+)\.x$", r"^b(\d+)\.x$", r"^c(\d+)\.x$"], 10, 0, 0),
+            cand(&[r"^d(\d+)\.x$", r"^e(\d+)\.x$"], 10, 1, 0),
+            cand(&[r"^f(\d+)\.x$"], 10, 2, 0),
+        ];
+        // Three → two (one extra FP, same TP) → the single-regex NC has
+        // two FPs more than the *current* best (the two-regex NC has 1,
+        // single has 2 → within one extra FP of it). Chain applies.
+        let best = select_best(&cands).unwrap();
+        assert_eq!(best.regexes.len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Table 1 taxonomy: how and where operators embed ASNs in hostnames.
+//!
+//! * **Simple** — only an `as`-prefaced ASN and the suffix:
+//!   `^as(\d+)\.example\.com$`.
+//! * **Start** — `as`-prefaced ASN at the start of the hostname, with
+//!   more information after it: `^as(\d+)\.[a-z]+\.example\.com$`.
+//! * **End** — `as`-prefaced ASN immediately before the suffix, with
+//!   information before it: `[a-z\d]+\.as(\d+)\.example\.com$`.
+//! * **Bare** — no alphabetic characters preface the ASN:
+//!   `^(\d+)\.[a-z]+\d+\.example\.com$`.
+//! * **Complex** — ASN in the middle, an annotation other than `as`, an
+//!   alternation before the ASN, or a convention needing multiple
+//!   regexes.
+
+use crate::convention::NamingConvention;
+use crate::regex::{Elem, Regex};
+
+/// Shape category of a naming convention (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Taxonomy {
+    /// `^as(\d+)\.suffix$` and nothing else.
+    Simple,
+    /// `as`-annotated ASN at the hostname start.
+    Start,
+    /// `as`-annotated ASN at the hostname end.
+    End,
+    /// ASN without an alphabetic annotation, at the start or end.
+    Bare,
+    /// Everything else.
+    Complex,
+}
+
+impl Taxonomy {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Taxonomy::Simple => "simple",
+            Taxonomy::Start => "start",
+            Taxonomy::End => "end",
+            Taxonomy::Bare => "bare",
+            Taxonomy::Complex => "complex",
+        }
+    }
+}
+
+/// Classifies a convention into the Table 1 taxonomy.
+pub fn taxonomy_of(nc: &NamingConvention) -> Taxonomy {
+    match nc.regexes.as_slice() {
+        [r] => taxonomy_of_regex(r, &nc.suffix),
+        _ => Taxonomy::Complex,
+    }
+}
+
+/// Classifies a single regex.
+pub fn taxonomy_of_regex(r: &Regex, suffix: &str) -> Taxonomy {
+    let elems = r.elems();
+    let Some(ci) = r.capture_index() else { return Taxonomy::Complex };
+    let before = &elems[..ci];
+    let after = &elems[ci + 1..];
+
+    let annotation = match before.last() {
+        Some(Elem::Lit(l)) => trailing_alpha(l),
+        _ => "",
+    };
+    // Capture at the very start of the hostname: only the anchor and the
+    // (possibly empty) annotation literal precede it.
+    let at_start =
+        matches!(before, [Elem::StartAnchor] | [Elem::StartAnchor, Elem::Lit(_)]);
+    // Capture immediately before the suffix: only `\.suffix$` follows.
+    let suffix_lit = format!(".{suffix}");
+    let at_end = matches!(after,
+        [Elem::Lit(l), Elem::EndAnchor] if *l == suffix_lit);
+
+    if annotation == "as" {
+        let lit_is_exactly_as =
+            matches!(before, [Elem::StartAnchor, Elem::Lit(l)] if l == "as");
+        if at_start && at_end && lit_is_exactly_as {
+            Taxonomy::Simple
+        } else if at_start {
+            Taxonomy::Start
+        } else if at_end {
+            Taxonomy::End
+        } else {
+            Taxonomy::Complex
+        }
+    } else if annotation.is_empty() {
+        // No alphabetic annotation. Bare if positioned at an edge.
+        let bare_start = matches!(before, [Elem::StartAnchor])
+            || matches!(before, [Elem::StartAnchor, Elem::Lit(l)] if !ends_alpha(l));
+        if bare_start || at_end {
+            Taxonomy::Bare
+        } else {
+            Taxonomy::Complex
+        }
+    } else {
+        Taxonomy::Complex
+    }
+}
+
+/// The trailing run of ASCII letters in `s`.
+fn trailing_alpha(s: &str) -> &str {
+    let b = s.as_bytes();
+    let mut i = b.len();
+    while i > 0 && b[i - 1].is_ascii_lowercase() {
+        i -= 1;
+    }
+    &s[i..]
+}
+
+fn ends_alpha(s: &str) -> bool {
+    s.bytes().last().is_some_and(|b| b.is_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tax(rx: &str, suffix: &str) -> Taxonomy {
+        taxonomy_of_regex(&Regex::parse(rx).unwrap(), suffix)
+    }
+
+    #[test]
+    fn simple() {
+        assert_eq!(tax(r"^as(\d+)\.example\.com$", "example.com"), Taxonomy::Simple);
+    }
+
+    #[test]
+    fn start() {
+        assert_eq!(
+            tax(r"^as(\d+)\.[a-z]+\.example\.com$", "example.com"),
+            Taxonomy::Start
+        );
+        // Literal context with punctuation before `as` still counts as an
+        // `as` annotation at the hostname start.
+        assert_eq!(
+            tax(r"^gw-as(\d+)\.[a-z]+\.example\.com$", "example.com"),
+            Taxonomy::Start
+        );
+    }
+
+    #[test]
+    fn end() {
+        assert_eq!(
+            tax(r"[a-z\d]+\.as(\d+)\.example\.com$", "example.com"),
+            Taxonomy::End
+        );
+        assert_eq!(tax(r"as(\d+)\.nts\.ch$", "nts.ch"), Taxonomy::End);
+        assert_eq!(
+            tax(r"^[^\.]+\.as(\d+)\.example\.com$", "example.com"),
+            Taxonomy::End
+        );
+    }
+
+    #[test]
+    fn bare() {
+        assert_eq!(
+            tax(r"^(\d+)\.[a-z]+\d+\.example\.com$", "example.com"),
+            Taxonomy::Bare
+        );
+        // Bare at the end.
+        assert_eq!(
+            tax(r"^[^-]+-(\d+)\.example\.com$", "example.com"),
+            Taxonomy::Bare
+        );
+    }
+
+    #[test]
+    fn complex_cases() {
+        // ASN in the middle.
+        assert_eq!(
+            tax(r"^[a-z]+\.as(\d+)\.[a-z]+\.example\.com$", "example.com"),
+            Taxonomy::Complex
+        );
+        // Annotation other than `as`.
+        assert_eq!(tax(r"^p(\d+)\.[a-z]+\.example\.com$", "example.com"), Taxonomy::Complex);
+        // Alternation before the capture.
+        assert_eq!(
+            tax(r"^(?:p|s)?(\d+)\.[a-z]+\.example\.com$", "example.com"),
+            Taxonomy::Complex
+        );
+        // Bare but mid-hostname.
+        assert_eq!(
+            tax(r"^[a-z]+\.(\d+)\.[a-z]+\.example\.com$", "example.com"),
+            Taxonomy::Complex
+        );
+    }
+
+    #[test]
+    fn multi_regex_convention_is_complex() {
+        let nc = NamingConvention::new(
+            "equinix.com",
+            vec![
+                Regex::parse(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$").unwrap(),
+                Regex::parse(r"^(\d+)-.+\.equinix\.com$").unwrap(),
+            ],
+        );
+        assert_eq!(taxonomy_of(&nc), Taxonomy::Complex);
+    }
+
+    #[test]
+    fn single_regex_convention_delegates() {
+        let nc = NamingConvention::new(
+            "nts.ch",
+            vec![Regex::parse(r"as(\d+)\.nts\.ch$").unwrap()],
+        );
+        assert_eq!(taxonomy_of(&nc), Taxonomy::End);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Taxonomy::Simple.label(), "simple");
+        assert_eq!(Taxonomy::Complex.label(), "complex");
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end test of the `hoiho` command-line binary: learn from a
+//! training file, then apply the printed conventions to fresh hostnames.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const TRAINING: &str = "\
+# asn addr hostname
+64500 192.0.2.1 as64500-ae1.fra.bigco.net
+64501 192.0.2.5 as64501-xe2.lhr.bigco.net
+64502 192.0.2.9 as64502-ae9.ams.bigco.net
+64503 192.0.2.13 as64503-ae2.fra.bigco.net
+";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hoiho")
+}
+
+#[test]
+fn learn_then_apply_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hoiho-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let train = dir.join("train.txt");
+    std::fs::write(&train, TRAINING).unwrap();
+
+    // learn
+    let out = Command::new(bin()).arg("learn").arg(&train).output().unwrap();
+    assert!(out.status.success(), "learn failed: {}", String::from_utf8_lossy(&out.stderr));
+    let conventions = String::from_utf8(out.stdout).unwrap();
+    assert!(conventions.contains("bigco.net"), "{conventions}");
+    assert!(conventions.contains("(\\d+)"), "{conventions}");
+    let conv_path = dir.join("conv.txt");
+    std::fs::write(&conv_path, &conventions).unwrap();
+
+    // apply (hostnames on stdin)
+    let mut child = Command::new(bin())
+        .arg("apply")
+        .arg(&conv_path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"as65000-te1.syd.bigco.net\ncore7.nyc.bigco.net\nas999.other.org\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "as65000-te1.syd.bigco.net\t65000");
+    assert_eq!(lines[1], "core7.nyc.bigco.net\t-");
+    assert_eq!(lines[2], "as999.other.org\t-");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_and_errors() {
+    // No arguments: usage on stderr, exit code 2.
+    let out = Command::new(bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Missing file: exit code 1 with a readable message.
+    let out = Command::new(bin()).arg("learn").arg("/nonexistent/x.txt").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Malformed training line.
+    let dir = std::env::temp_dir().join(format!("hoiho-cli-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "not-a-number 192.0.2.1 host.example.com\n").unwrap();
+    let out = Command::new(bin()).arg("learn").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad ASN"));
+    std::fs::remove_dir_all(&dir).ok();
+}

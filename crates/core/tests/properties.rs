@@ -1,0 +1,233 @@
+//! Property-based tests for the core learning machinery: the regex
+//! dialect round-trips through its textual form, the matcher finds
+//! instances sampled from a regex, edit distance behaves like a metric
+//! (up to the OSA caveat), and evaluation counts stay consistent.
+
+use hoiho::apparent::{congruence, Congruence};
+use hoiho::editdist::damerau_levenshtein;
+use hoiho::eval::{evaluate, Counts};
+use hoiho::regex::{AltGroup, CharClass, Elem, Regex};
+use hoiho::training::{HostObs, Observation};
+use proptest::prelude::*;
+
+/// Strategy: a literal chunk over the hostname alphabet (possibly with
+/// dots and hyphens, never empty).
+fn lit() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9.-]{0,5}").unwrap()
+}
+
+/// Strategy: a non-empty alternation option (no punctuation — phase 2
+/// merges simple strings).
+fn alt_opt() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,4}").unwrap()
+}
+
+/// Strategy: one dialect element (excluding anchors and `.+`, handled at
+/// the regex level).
+fn elem() -> impl Strategy<Value = Elem> {
+    prop_oneof![
+        lit().prop_map(Elem::Lit),
+        Just(Elem::Digits),
+        Just(Elem::NotIn(".".to_string())),
+        Just(Elem::NotIn("-".to_string())),
+        Just(Elem::NotIn(".-".to_string())),
+        Just(Elem::Class(CharClass { lower: true, digit: false, hyphen: false })),
+        Just(Elem::Class(CharClass { lower: true, digit: true, hyphen: false })),
+        Just(Elem::Class(CharClass { lower: true, digit: true, hyphen: true })),
+        (proptest::collection::vec(alt_opt(), 1..3), any::<bool>())
+            .prop_filter_map("alt needs options", |(opts, optional)| {
+                AltGroup::from_variants(opts).map(|mut a| {
+                    a.optional = a.optional || optional;
+                    Elem::Alt(a)
+                })
+            }),
+    ]
+}
+
+/// Strategy: a whole dialect regex with optional anchors, a capture
+/// somewhere, and at most one `.+`.
+fn regex() -> impl Strategy<Value = Regex> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(elem(), 0..4),
+        proptest::collection::vec(elem(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(anchor_start, anchor_end, before, after, with_any)| {
+            let mut elems = Vec::new();
+            if anchor_start {
+                elems.push(Elem::StartAnchor);
+            }
+            elems.extend(before);
+            elems.push(Elem::CaptureDigits);
+            if with_any {
+                elems.push(Elem::Lit("-".to_string()));
+                elems.push(Elem::Any);
+            }
+            elems.extend(after);
+            if anchor_end {
+                elems.push(Elem::EndAnchor);
+            }
+            Regex::new(elems)
+        })
+}
+
+/// Samples a hostname fragment matching one element.
+fn instance_of(e: &Elem, rng_bits: u64) -> String {
+    let pick = |set: &[u8], n: usize| -> String {
+        (0..n)
+            .map(|i| set[(rng_bits as usize + i * 7) % set.len()] as char)
+            .collect()
+    };
+    match e {
+        Elem::StartAnchor | Elem::EndAnchor => String::new(),
+        Elem::Lit(l) => l.clone(),
+        Elem::CaptureDigits | Elem::Digits => pick(b"0123456789", 1 + (rng_bits % 4) as usize),
+        Elem::NotIn(set) => {
+            let alphabet: Vec<u8> = b"abcxyz0189.-"
+                .iter()
+                .copied()
+                .filter(|&c| !set.as_bytes().contains(&c))
+                .collect();
+            pick(&alphabet, 1 + (rng_bits % 3) as usize)
+        }
+        Elem::Class(c) => {
+            let mut alphabet = Vec::new();
+            if c.lower {
+                alphabet.extend_from_slice(b"abkz");
+            }
+            if c.digit {
+                alphabet.extend_from_slice(b"079");
+            }
+            if c.hyphen {
+                alphabet.push(b'-');
+            }
+            pick(&alphabet, 1 + (rng_bits % 3) as usize)
+        }
+        Elem::Any => pick(b"ab1.-", 1 + (rng_bits % 4) as usize),
+        Elem::Alt(a) => {
+            if a.optional && rng_bits.is_multiple_of(3) {
+                String::new()
+            } else {
+                a.opts[(rng_bits as usize) % a.opts.len()].clone()
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse → render is a fixpoint.
+    #[test]
+    fn regex_roundtrip(r in regex()) {
+        let text = r.to_string();
+        let parsed = Regex::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    /// A hostname assembled from per-element instances matches.
+    #[test]
+    fn sampled_instance_matches(r in regex(), seed in any::<u64>()) {
+        let host: String = r
+            .elems()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| instance_of(e, seed.wrapping_add(i as u64 * 131)))
+            .collect();
+        prop_assert!(
+            r.find(&host).is_some(),
+            "{} failed to match its own instance {host:?}",
+            r
+        );
+    }
+
+    /// Captures are digit runs inside the match span.
+    #[test]
+    fn captures_are_digits(r in regex(), seed in any::<u64>()) {
+        let host: String = r
+            .elems()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| instance_of(e, seed.wrapping_add(i as u64 * 131)))
+            .collect();
+        if let Some(m) = r.find(&host) {
+            for &(s, e) in &m.captures {
+                prop_assert!(s >= m.span.0 && e <= m.span.1);
+                prop_assert!(s < e);
+                prop_assert!(host[s..e].bytes().all(|b| b.is_ascii_digit()));
+            }
+        }
+    }
+
+    /// Damerau-Levenshtein: symmetry, identity, and length bounds.
+    #[test]
+    fn editdist_metric_properties(a in "[0-9]{0,8}", b in "[0-9]{0,8}") {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert_eq!(d, damerau_levenshtein(&b, &a));
+        prop_assert_eq!(d == 0, a == b);
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+    }
+
+    /// Single-edit strings are at distance one.
+    #[test]
+    fn editdist_single_edits(s in "[0-9]{2,8}", pos in any::<usize>(), digit in 0u8..10) {
+        let bytes = s.as_bytes();
+        let p = pos % bytes.len();
+        // Substitution with a different digit.
+        let nd = b'0' + digit;
+        if nd != bytes[p] {
+            let mut sub = bytes.to_vec();
+            sub[p] = nd;
+            prop_assert_eq!(damerau_levenshtein(&s, std::str::from_utf8(&sub).unwrap()), 1);
+        }
+        // Deletion.
+        let mut del = bytes.to_vec();
+        del.remove(p);
+        prop_assert_eq!(damerau_levenshtein(&s, std::str::from_utf8(&del).unwrap()), 1);
+        // Transposition of distinct adjacent digits.
+        if p + 1 < bytes.len() && bytes[p] != bytes[p + 1] {
+            let mut tr = bytes.to_vec();
+            tr.swap(p, p + 1);
+            prop_assert_eq!(damerau_levenshtein(&s, std::str::from_utf8(&tr).unwrap()), 1);
+        }
+    }
+
+    /// Exact numeric matches are always congruent; distance ≥ 2 never is.
+    #[test]
+    fn congruence_consistency(asn in 1u32..400_000) {
+        prop_assert_eq!(congruence(&asn.to_string(), asn), Congruence::Exact);
+        // Appending two digits makes it incongruent.
+        let far = format!("{asn}00");
+        if far.parse::<u32>().map(|v| v != asn).unwrap_or(true) {
+            prop_assert_eq!(congruence(&far, asn), Congruence::No);
+        }
+    }
+
+    /// Evaluation counts partition the hostname set.
+    #[test]
+    fn evaluation_counts_partition(asns in proptest::collection::vec(1u32..90_000, 1..20)) {
+        let hosts: Vec<HostObs> = asns
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| {
+                // Half annotated, half plain infra names.
+                let h = if i % 2 == 0 {
+                    format!("as{asn}.pop{i}.example.com")
+                } else {
+                    format!("core-{i}.example.com")
+                };
+                HostObs::build(&Observation::new(&h, [192, 0, 2, 1], asn), "example.com")
+            })
+            .collect();
+        let r = Regex::parse(r"^as(\d+)\.[a-z\d]+\.example\.com$").unwrap();
+        let c: Counts = evaluate(std::slice::from_ref(&r), &hosts);
+        prop_assert_eq!(c.total() as usize, hosts.len());
+        prop_assert!(c.atp() <= i64::from(c.tp));
+        prop_assert_eq!(c.matched(), c.tp + c.fp);
+        prop_assert!(c.unique_tp_asns.len() <= c.tp as usize);
+    }
+}

@@ -1,0 +1,412 @@
+//! AS-level topology generation.
+//!
+//! Produces the AS graph and databases the inference substrate needs:
+//! tiers with customer/provider and peer relationships (tier-1 clique,
+//! tier-2 transit, multi-homed edges), sibling organizations, prefix
+//! allocations originated in a BGP table, and IXPs with member sets.
+//! IXP peering-LAN prefixes are deliberately *not* originated in BGP —
+//! as in the real Internet, those addresses have no origin AS, which is
+//! precisely why hostnames and PeeringDB are the ownership signal there.
+
+use crate::config::SimConfig;
+use crate::naming::{brand_slug, OperatorNaming, StyleKind};
+use hoiho_asdb::{As2Org, AsRelationships, Asn, IxpDirectory, Prefix, RouteTable};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Position of an AS in the transit hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Transit-free; peers with every other tier-1.
+    Tier1,
+    /// Regional transit provider.
+    Tier2,
+    /// Stub / access / enterprise network.
+    Edge,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Brand slug (also the organization's hostname-safe name).
+    pub brand: String,
+    /// Address blocks this AS originates.
+    pub prefixes: Vec<Prefix>,
+    /// The operator's naming convention.
+    pub naming: OperatorNaming,
+}
+
+/// The generated AS level.
+#[derive(Debug, Clone)]
+pub struct AsLevel {
+    /// All ASes; index is the dense AS id used by the router level.
+    pub ases: Vec<AsInfo>,
+    /// ASN → dense id.
+    pub asn_index: BTreeMap<Asn, usize>,
+    /// The relationship graph.
+    pub rel: AsRelationships,
+    /// AS → organization (defines siblings).
+    pub org: As2Org,
+    /// IXPs with peering LANs and members (dense AS ids translated to
+    /// ASNs).
+    pub ixps: IxpDirectory,
+    /// BGP table: prefix → origin ASN.
+    pub bgp: RouteTable<Asn>,
+}
+
+impl AsLevel {
+    /// Dense id for an ASN.
+    pub fn id_of(&self, asn: Asn) -> Option<usize> {
+        self.asn_index.get(&asn).copied()
+    }
+
+    /// The [`AsInfo`] for an ASN.
+    pub fn by_asn(&self, asn: Asn) -> Option<&AsInfo> {
+        self.id_of(asn).map(|i| &self.ases[i])
+    }
+}
+
+/// Sequential address-space allocator.
+struct Allocator {
+    next: u32,
+}
+
+impl Allocator {
+    fn new() -> Allocator {
+        // Start in 1.0.0.0; the sim never uses reserved-space semantics.
+        Allocator { next: 0x01000000 }
+    }
+
+    /// Allocates an aligned block of the given prefix length.
+    fn alloc(&mut self, len: u8) -> Prefix {
+        let size = 1u32 << (32 - u32::from(len));
+        // Align up.
+        let addr = (self.next + size - 1) & !(size - 1);
+        self.next = addr + size;
+        Prefix::new(addr, len)
+    }
+}
+
+/// Generates the AS level for a configuration.
+#[allow(clippy::needless_range_loop)] // tier boundaries are index ranges
+pub fn generate(cfg: &SimConfig) -> AsLevel {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_0001);
+    let total = cfg.total_ases();
+
+    // Unique ASNs: tier-1s get low numbers for flavour, everyone else a
+    // scattered range, deduplicated.
+    let mut asns: Vec<Asn> = Vec::with_capacity(total);
+    let mut used = std::collections::BTreeSet::new();
+    for i in 0..total {
+        let range = if i < cfg.tier1 { 100..9_000 } else { 1_000..350_000 };
+        loop {
+            let a = rng.random_range(range.clone());
+            if used.insert(a) {
+                asns.push(a);
+                break;
+            }
+        }
+    }
+
+    // Brands, naming styles, prefixes.
+    let mut alloc = Allocator::new();
+    let weights = cfg.styles.weights();
+    let mut ases: Vec<AsInfo> = Vec::with_capacity(total);
+    for (i, &asn) in asns.iter().enumerate() {
+        let tier = if i < cfg.tier1 {
+            Tier::Tier1
+        } else if i < cfg.tier1 + cfg.tier2 {
+            Tier::Tier2
+        } else {
+            Tier::Edge
+        };
+        // Transit providers always name their gear; pure-edge networks
+        // draw from the full mixture.
+        let kind = match tier {
+            Tier::Tier1 | Tier::Tier2 => {
+                // Re-sample until we get a style with PTR records: big
+                // networks run DNS.
+                let mut k = StyleKind::sample(&weights, &mut rng);
+                for _ in 0..8 {
+                    if k != StyleKind::None {
+                        break;
+                    }
+                    k = StyleKind::sample(&weights, &mut rng);
+                }
+                k
+            }
+            Tier::Edge => StyleKind::sample(&weights, &mut rng),
+        };
+        let naming = OperatorNaming::generate(kind, &mut rng);
+        let plen = match tier {
+            Tier::Tier1 => 14,
+            Tier::Tier2 => 16,
+            Tier::Edge => 20,
+        };
+        let mut prefixes = vec![alloc.alloc(plen)];
+        if tier != Tier::Edge && rng.random_bool(0.5) {
+            prefixes.push(alloc.alloc(plen + 2));
+        }
+        let brand = if naming.suffix.is_empty() {
+            brand_slug(&mut rng)
+        } else {
+            // Brand matches the suffix's first label for coherence.
+            naming.suffix.split('.').next().unwrap_or("net").to_string()
+        };
+        ases.push(AsInfo { asn, tier, brand, prefixes, naming });
+    }
+
+    // Organizations: mostly one per AS; some operate 2–3 siblings.
+    let mut org = As2Org::new();
+    let mut next_org: u32 = 0;
+    let mut i = 0usize;
+    while i < total {
+        let id = next_org;
+        next_org += 1;
+        let name = ases[i].brand.clone();
+        org.assign(ases[i].asn, id, &name);
+        let mut take = 1;
+        if rng.random_bool(cfg.sibling_org_rate) {
+            take += 1 + usize::from(rng.random_bool(0.3));
+        }
+        for j in 1..take {
+            if i + j < total {
+                // Siblings share the brand (one company, several ASNs).
+                let sib_brand = name.clone();
+                ases[i + j].brand = sib_brand;
+                org.assign(ases[i + j].asn, id, &name);
+            }
+        }
+        i += take;
+    }
+
+    // Relationships.
+    let mut rel = AsRelationships::new();
+    let t1 = cfg.tier1;
+    let t2_end = cfg.tier1 + cfg.tier2;
+    // Tier-1 clique.
+    for a in 0..t1 {
+        for b in (a + 1)..t1 {
+            rel.add_peer(ases[a].asn, ases[b].asn);
+        }
+    }
+    // Tier-2: one or two tier-1 providers, plus lateral peering.
+    for x in t1..t2_end {
+        let nprov = 1 + usize::from(rng.random_bool(0.6));
+        let mut provs = std::collections::BTreeSet::new();
+        while provs.len() < nprov.min(t1) {
+            provs.insert(rng.random_range(0..t1));
+        }
+        for p in provs {
+            rel.add_provider_customer(ases[p].asn, ases[x].asn);
+        }
+    }
+    if cfg.tier2 > 1 {
+        let pairs = (cfg.tier2 as f64 * cfg.tier2_peering / 2.0) as usize;
+        for _ in 0..pairs {
+            let a = rng.random_range(t1..t2_end);
+            let b = rng.random_range(t1..t2_end);
+            if a != b && rel.relationship(ases[a].asn, ases[b].asn).is_none() {
+                rel.add_peer(ases[a].asn, ases[b].asn);
+            }
+        }
+    }
+    // Edges: one or two providers, mostly tier-2.
+    for x in t2_end..total {
+        let nprov = 1 + usize::from(rng.random_bool(0.35));
+        let mut provs = std::collections::BTreeSet::new();
+        while provs.len() < nprov {
+            let p = if rng.random_bool(0.82) && cfg.tier2 > 0 {
+                rng.random_range(t1..t2_end)
+            } else {
+                rng.random_range(0..t1)
+            };
+            provs.insert(p);
+        }
+        for p in provs {
+            rel.add_provider_customer(ases[p].asn, ases[x].asn);
+        }
+    }
+
+    // IXPs: LAN prefix + members; members peer among themselves with
+    // moderate probability. A third of the IXPs are large exchanges
+    // where tier-2s concentrate; the rest are small regional fabrics
+    // with a handful of edge members and sparse peering — those are
+    // well-documented in PeeringDB yet rarely traversed by traceroute
+    // (the paper's PeeringDB-only suffixes).
+    let mut ixps = IxpDirectory::new();
+    for k in 0..cfg.ixps {
+        let lan = alloc.alloc(24);
+        let large = k < cfg.ixps.div_ceil(3);
+        let mut members: Vec<Asn> = Vec::new();
+        if large {
+            // Tier-2s join the big IXPs eagerly; edges per the rate.
+            for x in t1..t2_end {
+                if rng.random_bool(0.35) {
+                    members.push(ases[x].asn);
+                }
+            }
+            for x in t2_end..total {
+                if rng.random_bool(cfg.ixp_member_rate / cfg.ixps.max(1) as f64 * 2.0) {
+                    members.push(ases[x].asn);
+                }
+            }
+        } else if total > t2_end {
+            let n = 4 + rng.random_range(0..5);
+            while members.len() < n {
+                let x = rng.random_range(t2_end..total);
+                if !members.contains(&ases[x].asn) {
+                    members.push(ases[x].asn);
+                }
+            }
+            members.sort_unstable();
+        }
+        // Peering mesh across members.
+        let mesh = if large { 0.3 } else { 0.12 };
+        for ai in 0..members.len() {
+            for bi in (ai + 1)..members.len() {
+                if rng.random_bool(mesh)
+                    && rel.relationship(members[ai], members[bi]).is_none()
+                {
+                    rel.add_peer(members[ai], members[bi]);
+                }
+            }
+        }
+        let name = format!("{}-ix{}", brand_slug(&mut rng), k + 1);
+        ixps.add(&name, lan, &members);
+    }
+
+    // BGP table (IXP LANs intentionally absent).
+    let mut bgp = RouteTable::new();
+    for a in &ases {
+        for p in &a.prefixes {
+            bgp.insert(*p, a.asn);
+        }
+    }
+
+    let asn_index = ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+    AsLevel { ases, asn_index, rel, org, ixps, bgp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level() -> AsLevel {
+        generate(&SimConfig::tiny(11))
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = SimConfig::tiny(11);
+        let l = level();
+        assert_eq!(l.ases.len(), cfg.total_ases());
+        assert_eq!(l.ixps.len(), cfg.ixps);
+        assert_eq!(l.asn_index.len(), l.ases.len()); // unique ASNs
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&SimConfig::tiny(5));
+        let b = generate(&SimConfig::tiny(5));
+        assert_eq!(a.ases.len(), b.ases.len());
+        for (x, y) in a.ases.iter().zip(&b.ases) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.naming.suffix, y.naming.suffix);
+        }
+        assert_eq!(a.rel.to_text(), b.rel.to_text());
+        let c = generate(&SimConfig::tiny(6));
+        assert_ne!(a.rel.to_text(), c.rel.to_text());
+    }
+
+    #[test]
+    fn tier1_clique() {
+        let cfg = SimConfig::tiny(11);
+        let l = level();
+        for a in 0..cfg.tier1 {
+            for b in 0..cfg.tier1 {
+                if a != b {
+                    assert_eq!(
+                        l.rel.relationship(l.ases[a].asn, l.ases[b].asn),
+                        Some(hoiho_asdb::Relationship::Peer)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let cfg = SimConfig::tiny(11);
+        let l = level();
+        for x in cfg.tier1..l.ases.len() {
+            assert!(
+                l.rel.providers(l.ases[x].asn).next().is_some(),
+                "AS{} has no provider",
+                l.ases[x].asn
+            );
+        }
+    }
+
+    #[test]
+    fn prefixes_unique_and_routed() {
+        let l = level();
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &l.ases {
+            for p in &a.prefixes {
+                assert!(seen.insert(*p), "duplicate prefix {p}");
+                assert_eq!(l.bgp.lookup_value(p.addr()), Some(&a.asn));
+            }
+        }
+    }
+
+    #[test]
+    fn ixp_lans_not_in_bgp() {
+        let l = level();
+        for ix in l.ixps.ixps() {
+            assert_eq!(l.bgp.lookup_value(ix.lan.addr()), None);
+            assert!(!ix.members.is_empty(), "IXP {} has no members", ix.name);
+            for m in &ix.members {
+                assert!(l.asn_index.contains_key(m));
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_exist_and_share_brand() {
+        // With enough ASes the sibling rate produces at least one org
+        // with two ASNs.
+        let mut cfg = SimConfig::tiny(3);
+        cfg.sibling_org_rate = 0.5;
+        let l = generate(&cfg);
+        let mut found = false;
+        for a in &l.ases {
+            let sibs = l.org.sibling_set(a.asn);
+            if sibs.len() > 1 {
+                found = true;
+                for s in &sibs {
+                    assert_eq!(l.by_asn(*s).unwrap().brand, a.brand);
+                }
+            }
+        }
+        assert!(found, "no sibling organizations generated");
+    }
+
+    #[test]
+    fn transit_tiers_have_names() {
+        let l = level();
+        let cfg = SimConfig::tiny(11);
+        for a in l.ases.iter().take(cfg.tier1 + cfg.tier2) {
+            // Tier-1/2 operators were re-sampled away from StyleKind::None
+            // (best effort; suffix may still be empty in the tail case).
+            if a.naming.kind != StyleKind::None {
+                assert!(!a.naming.suffix.is_empty());
+            }
+        }
+    }
+}

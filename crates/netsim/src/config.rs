@@ -1,0 +1,179 @@
+//! Simulation configuration.
+//!
+//! Defaults produce an Internet small enough to learn from in seconds but
+//! large enough to show the paper's effects; the ITDK timeline in
+//! `hoiho-itdk` scales several of these knobs per snapshot year (more
+//! operators embedding ASNs, more vantage points, better heuristics —
+//! the three growth factors §4 names for Figure 5).
+
+/// Mixture of naming styles across operators. Weights need not sum to 1;
+/// they are normalised. The defaults are loosely calibrated to Table 1:
+/// most neighbor-annotating operators put the ASN at the start, while
+/// own-ASN operators favour the end of the hostname.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StyleMix {
+    /// No PTR records, or names carrying no AS information.
+    pub none: f64,
+    /// Plain infrastructure names (interface/router/pop, no ASN).
+    pub infra: f64,
+    /// `^as<asn>\.suffix$` only (Table 1 "simple").
+    pub simple: f64,
+    /// `as<asn>` at the start plus more fields ("start").
+    pub start: f64,
+    /// `as<asn>` at the end, fields before ("end").
+    pub end: f64,
+    /// ASN digits without an alphabetic annotation ("bare").
+    pub bare: f64,
+    /// ASN mid-hostname, odd annotations, or multiple formats ("complex").
+    pub complex: f64,
+    /// Operator embeds its *own* ASN in every hostname (Figure 2).
+    pub own_asn: f64,
+    /// Operator embeds the neighbor's *name*, not number (Figure 1,
+    /// telia/seabone style) — not learnable as an ASN convention.
+    pub as_name: f64,
+    /// Hostnames derived from the IP address (Figure 3b).
+    pub ip_embed: f64,
+}
+
+impl Default for StyleMix {
+    fn default() -> Self {
+        StyleMix {
+            none: 0.30,
+            infra: 0.22,
+            simple: 0.025,
+            start: 0.10,
+            end: 0.040,
+            bare: 0.030,
+            complex: 0.045,
+            own_asn: 0.05,
+            as_name: 0.13,
+            ip_embed: 0.10,
+        }
+    }
+}
+
+impl StyleMix {
+    /// The weights as a fixed array (order matches
+    /// [`crate::naming::StyleKind::ALL`]).
+    pub fn weights(&self) -> [f64; 10] {
+        [
+            self.none,
+            self.infra,
+            self.simple,
+            self.start,
+            self.end,
+            self.bare,
+            self.complex,
+            self.own_asn,
+            self.as_name,
+            self.ip_embed,
+        ]
+    }
+}
+
+/// Top-level simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// RNG seed; everything downstream is deterministic in this.
+    pub seed: u64,
+    /// Number of tier-1 (transit-free, mutually peering) ASes.
+    pub tier1: usize,
+    /// Number of tier-2 (regional transit) ASes.
+    pub tier2: usize,
+    /// Number of edge ASes (access networks, enterprises, stubs).
+    pub edge: usize,
+    /// Number of IXPs.
+    pub ixps: usize,
+    /// Fraction of organizations operating 2–3 sibling ASNs.
+    pub sibling_org_rate: f64,
+    /// Naming-style mixture across operators.
+    pub styles: StyleMix,
+    /// Probability that an ASN-bearing hostname is stale (names a
+    /// previous neighbor).
+    pub stale_rate: f64,
+    /// Probability of a single-digit typo in an embedded ASN.
+    pub typo_rate: f64,
+    /// Probability that an operator annotates a *sibling* ASN of the
+    /// neighbor (applies only when the neighbor's organization has
+    /// several ASNs).
+    pub sibling_embed_rate: f64,
+    /// Probability a named interconnect interface keeps a hostname at
+    /// all (operators do not name everything).
+    pub name_coverage: f64,
+    /// Number of traceroute vantage points.
+    pub vantage_points: usize,
+    /// Probability a hop does not respond.
+    pub unresponsive_rate: f64,
+    /// Probability a hop answers from a different interface of the same
+    /// router (a third-party address) — a classic traceroute artefact
+    /// that pollutes bdrmapIT's subsequent sets.
+    pub third_party_rate: f64,
+    /// Average number of extra peer links per tier-2 AS.
+    pub tier2_peering: f64,
+    /// Fraction of edge ASes joining at least one IXP.
+    pub ixp_member_rate: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 20200127,
+            tier1: 8,
+            tier2: 56,
+            edge: 360,
+            ixps: 16,
+            sibling_org_rate: 0.05,
+            styles: StyleMix::default(),
+            stale_rate: 0.05,
+            typo_rate: 0.004,
+            sibling_embed_rate: 0.18,
+            name_coverage: 0.92,
+            vantage_points: 24,
+            unresponsive_rate: 0.03,
+            third_party_rate: 0.18,
+            tier2_peering: 2.0,
+            ixp_member_rate: 0.25,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Total AS count.
+    pub fn total_ases(&self) -> usize {
+        self.tier1 + self.tier2 + self.edge
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            tier1: 3,
+            tier2: 8,
+            edge: 40,
+            ixps: 2,
+            vantage_points: 6,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_consistent() {
+        let c = SimConfig::default();
+        assert_eq!(c.total_ases(), 8 + 56 + 360);
+        let w = c.styles.weights();
+        assert!(w.iter().all(|&x| x >= 0.0));
+        assert!(w.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let c = SimConfig::tiny(1);
+        assert!(c.total_ases() < SimConfig::default().total_ases());
+        assert_eq!(c.seed, 1);
+    }
+}

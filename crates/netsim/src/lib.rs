@@ -1,0 +1,38 @@
+//! # hoiho-netsim — a synthetic Internet for hostname-convention research
+//!
+//! The paper trains and validates on measurement data we cannot ship
+//! (CAIDA ITDK traceroute-derived router graphs, operator ground truth).
+//! This crate builds the closest synthetic equivalent that exercises the
+//! same code paths:
+//!
+//! * [`asgen`] — an AS-level topology: tiers, customer/provider and peer
+//!   relationships, sibling organizations, prefix allocations, IXPs.
+//! * [`naming`] — per-operator hostname conventions drawn from the
+//!   taxonomy the paper observed (Table 1): `as`-prefixed neighbor ASNs
+//!   at the start or end, bare ASNs, complex mixes, operators embedding
+//!   their *own* ASN everywhere (Figure 2), AS-*name* conventions the
+//!   learner must not be misled by, and IP-derived hostnames (Figure 3b).
+//!   Stale hostnames and digit typos are injected at configurable rates.
+//! * [`internet`] — the router-level topology. The load-bearing semantic
+//!   from the paper's Figure 1: when two ASes interconnect, the supplier
+//!   allocates the /30 or /31 from *its own* address space and assigns
+//!   PTR names to *both* sides under *its own* suffix — so the address
+//!   and name of a border interface attribute to the supplier while the
+//!   router belongs to the neighbor. Heuristic inference then errs
+//!   exactly the way the paper describes.
+//! * [`traceroute`] — vantage points, valley-free BGP path selection,
+//!   router-level path expansion, and hop responses using the inbound
+//!   interface address.
+//!
+//! Everything is seeded and deterministic: the same [`SimConfig`] always
+//! produces the same Internet.
+
+pub mod asgen;
+pub mod config;
+pub mod internet;
+pub mod naming;
+pub mod traceroute;
+
+pub use config::SimConfig;
+pub use internet::{Interface, Internet, Link, Router};
+pub use traceroute::{TracePath, TraceSet};

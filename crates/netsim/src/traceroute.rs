@@ -1,0 +1,449 @@
+//! Traceroute simulation over the synthetic Internet.
+//!
+//! AS-level forwarding follows Gao-Rexford policy routing: an AS prefers
+//! routes through customers over peers over providers, never exporting a
+//! peer/provider route to another peer/provider (valley-free paths). The
+//! route computation is the standard three-phase BFS per destination:
+//! customer routes propagate up provider links, one optional peer edge,
+//! then provider routes propagate down.
+//!
+//! Router-level expansion walks the star topology inside each AS and the
+//! interconnect/IXP links between them, recording at each hop the
+//! address of the interface the packet *entered* — which, on
+//! supplier-addressed interconnects, is an address routed and named by
+//! the previous AS (the paper's central measurement artefact).
+
+use crate::internet::{Internet, RouterId};
+use hoiho_asdb::{Addr, Asn, Relationship};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// One traceroute.
+#[derive(Debug, Clone)]
+pub struct TracePath {
+    /// ASN hosting the vantage point.
+    pub vp_asn: Asn,
+    /// Destination address probed.
+    pub dst: Addr,
+    /// Hop responses in order; `None` is an unresponsive hop.
+    pub hops: Vec<Option<Addr>>,
+    /// True when the destination itself answered as the final hop.
+    pub reached: bool,
+}
+
+/// A collection of traceroutes from a set of vantage points.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// All paths.
+    pub paths: Vec<TracePath>,
+    /// Dense AS ids hosting vantage points.
+    pub vp_as_ids: Vec<usize>,
+}
+
+const INF: u32 = u32::MAX;
+
+/// Per-destination policy routing state.
+pub struct Routing {
+    /// Adjacency (dense ids) restricted to ASes actually linked, with
+    /// the relationship from the perspective of the first AS.
+    nbrs: Vec<Vec<(usize, Relationship)>>,
+}
+
+impl Routing {
+    /// Builds the routing adjacency from an [`Internet`].
+    pub fn new(net: &Internet) -> Routing {
+        let n = net.aslevel.ases.len();
+        let mut nbrs: Vec<Vec<(usize, Relationship)>> = vec![Vec::new(); n];
+        for &(a, b) in net.link_index.keys() {
+            let ra = net.aslevel.ases[a].asn;
+            let rb = net.aslevel.ases[b].asn;
+            if let Some(rel) = net.aslevel.rel.relationship(ra, rb) {
+                nbrs[a].push((b, rel));
+            }
+        }
+        for list in &mut nbrs {
+            list.sort_by_key(|&(id, _)| id);
+            list.dedup_by_key(|&mut (id, _)| id);
+        }
+        Routing { nbrs }
+    }
+
+    /// Computes the next-hop table towards destination `d` (dense id).
+    /// `next[x]` is the dense id of the AS `x` forwards to, or `None`
+    /// when `x` has no valley-free route to `d`.
+    #[allow(clippy::needless_range_loop)] // x indexes several parallel tables
+    pub fn next_hops(&self, d: usize) -> Vec<Option<usize>> {
+        let n = self.nbrs.len();
+        let mut dist_cust = vec![INF; n];
+        dist_cust[d] = 0;
+        // Customer routes climb provider edges: if x has a customer
+        // route, every provider of x learns one.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0, d)));
+        while let Some(std::cmp::Reverse((dx, x))) = heap.pop() {
+            if dx > dist_cust[x] {
+                continue;
+            }
+            for &(y, rel) in &self.nbrs[x] {
+                // y is x's provider when x is y's customer.
+                if rel == Relationship::CustomerOf && dx + 1 < dist_cust[y] {
+                    dist_cust[y] = dx + 1;
+                    heap.push(std::cmp::Reverse((dx + 1, y)));
+                }
+            }
+        }
+        // Peer routes: exactly one lateral step onto a customer route.
+        let mut dist_peer = vec![INF; n];
+        for x in 0..n {
+            for &(y, rel) in &self.nbrs[x] {
+                if rel == Relationship::Peer && dist_cust[y] != INF {
+                    dist_peer[x] = dist_peer[x].min(dist_cust[y] + 1);
+                }
+            }
+        }
+        // Provider routes descend customer edges from any base route.
+        let base =
+            |i: usize, dc: &Vec<u32>, dp: &Vec<u32>| -> u32 { dc[i].min(dp[i]) };
+        let mut dist_prov = vec![INF; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
+        for x in 0..n {
+            let b = base(x, &dist_cust, &dist_peer);
+            if b != INF {
+                heap.push(std::cmp::Reverse((b, x)));
+            }
+        }
+        while let Some(std::cmp::Reverse((dx, x))) = heap.pop() {
+            let best_x = base(x, &dist_cust, &dist_peer).min(dist_prov[x]);
+            if dx > best_x {
+                continue;
+            }
+            for &(y, rel) in &self.nbrs[x] {
+                // y is x's customer: y can use x as provider.
+                if rel == Relationship::ProviderOf && dx + 1 < dist_prov[y] {
+                    dist_prov[y] = dx + 1;
+                    heap.push(std::cmp::Reverse((dx + 1, y)));
+                }
+            }
+        }
+
+        // Next-hop selection: customer > peer > provider, shortest, then
+        // lowest dense id (deterministic).
+        let mut next: Vec<Option<usize>> = vec![None; n];
+        for x in 0..n {
+            if x == d {
+                continue;
+            }
+            let mut choice: Option<usize> = None;
+            if dist_cust[x] != INF {
+                choice = self.nbrs[x]
+                    .iter()
+                    .filter(|&&(y, rel)| {
+                        rel == Relationship::ProviderOf && dist_cust[y] == dist_cust[x] - 1
+                    })
+                    .map(|&(y, _)| y)
+                    .min();
+            } else if dist_peer[x] != INF {
+                choice = self.nbrs[x]
+                    .iter()
+                    .filter(|&&(y, rel)| {
+                        rel == Relationship::Peer && dist_cust[y] == dist_peer[x] - 1
+                    })
+                    .map(|&(y, _)| y)
+                    .min();
+            } else if dist_prov[x] != INF {
+                choice = self.nbrs[x]
+                    .iter()
+                    .filter(|&&(y, rel)| {
+                        rel == Relationship::CustomerOf
+                            && base(y, &dist_cust, &dist_peer).min(dist_prov[y])
+                                == dist_prov[x] - 1
+                    })
+                    .map(|&(y, _)| y)
+                    .min();
+            }
+            next[x] = choice;
+        }
+        next
+    }
+
+    /// The AS-level path from `s` to `d` under `next` (from
+    /// [`Routing::next_hops`] for `d`), inclusive of both ends.
+    pub fn as_path(&self, s: usize, d: usize, next: &[Option<usize>]) -> Option<Vec<usize>> {
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != d {
+            let nx = next[cur]?;
+            // Defensive: valley-free next-hops cannot loop, but a bug
+            // would hang the simulator, so bound the walk.
+            if path.len() > self.nbrs.len() {
+                return None;
+            }
+            path.push(nx);
+            cur = nx;
+        }
+        Some(path)
+    }
+}
+
+/// Runs the full measurement campaign: every vantage point traceroutes
+/// to one destination in every AS.
+pub fn run_traceroutes(net: &Internet) -> TraceSet {
+    let mut rng = StdRng::seed_from_u64(net.cfg.seed ^ 0x7E57_0003);
+    let n = net.aslevel.ases.len();
+    let routing = Routing::new(net);
+
+    // Vantage points: deterministic spread across edge and tier-2 ASes.
+    let mut vp_as_ids: Vec<usize> = Vec::new();
+    let mut cursor = 0usize;
+    while vp_as_ids.len() < net.cfg.vantage_points.min(n) {
+        let cand = (net.cfg.tier1 + cursor * 7) % n;
+        if !vp_as_ids.contains(&cand) {
+            vp_as_ids.push(cand);
+        }
+        cursor += 1;
+        if cursor > 4 * n {
+            break;
+        }
+    }
+
+    let mut paths = Vec::new();
+    for d in 0..n {
+        let next = routing.next_hops(d);
+        let dst = net.dest_addr(d);
+        for &vp in &vp_as_ids {
+            if vp == d {
+                continue;
+            }
+            let Some(as_path) = routing.as_path(vp, d, &next) else { continue };
+            let (hops, reached) = expand_path(net, &as_path, &mut rng);
+            paths.push(TracePath {
+                vp_asn: net.aslevel.ases[vp].asn,
+                dst,
+                hops,
+                reached,
+            });
+        }
+    }
+    TraceSet { paths, vp_as_ids }
+}
+
+/// Expands an AS path into hop addresses.
+fn expand_path(
+    net: &Internet,
+    as_path: &[usize],
+    rng: &mut StdRng,
+) -> (Vec<Option<Addr>>, bool) {
+    let mut hops: Vec<Addr> = Vec::new();
+    // The probe starts at the VP AS's core router.
+    let mut cur_router: RouterId = net.as_routers[as_path[0]][0];
+    for w in as_path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let Some(&li) = net.link_index.get(&(a, b)) else { break };
+        let link = &net.links[li];
+        let (exit_router, entry_router, entry_iface) = if link.a_as == a {
+            (link.a_router, link.b_router, link.b_iface)
+        } else {
+            (link.b_router, link.a_router, link.a_iface)
+        };
+        // Internal walk to the exit border (star topology: at most two
+        // internal hops, via the core).
+        record_internal(net, &mut hops, cur_router, exit_router, a);
+        // Crossing the interconnect: the hop answers with the entry
+        // interface — a supplier-routed address on the neighbor's router.
+        // With some probability the router answers from a *different*
+        // interface instead (a third-party address), the classic
+        // traceroute artefact that muddies ownership evidence.
+        let mut answer = net.interfaces[entry_iface as usize].addr;
+        if rng.random_bool(net.cfg.third_party_rate) {
+            // Third-party answers come from the interface the reply
+            // leaves through — some point-to-point or internal port,
+            // never the shared IXP LAN.
+            let candidates: Vec<u32> = net.routers[entry_router as usize]
+                .interfaces
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    net.interfaces[i as usize].kind != crate::internet::IfaceKind::IxpLan
+                })
+                .collect();
+            if candidates.len() > 1 {
+                let pick = candidates[rng.random_range(0..candidates.len())];
+                answer = net.interfaces[pick as usize].addr;
+            }
+        }
+        hops.push(answer);
+        cur_router = entry_router;
+    }
+    // Inside the destination AS, walk to the core where the host hangs.
+    let d = *as_path.last().expect("non-empty path");
+    let core = net.as_routers[d][0];
+    record_internal(net, &mut hops, cur_router, core, d);
+    // The destination host answers most of the time.
+    let reached = rng.random_bool(0.85);
+    let mut out: Vec<Option<Addr>> = hops
+        .into_iter()
+        .map(|h| if rng.random_bool(net.cfg.unresponsive_rate) { None } else { Some(h) })
+        .collect();
+    if reached {
+        out.push(Some(net.dest_addr(d)));
+    }
+    (out, reached)
+}
+
+/// Records the interior hops of a star-topology AS between two routers.
+fn record_internal(
+    net: &Internet,
+    hops: &mut Vec<Addr>,
+    from: RouterId,
+    to: RouterId,
+    as_id: usize,
+) {
+    if from == to {
+        return;
+    }
+    let core = net.as_routers[as_id][0];
+    if from != core && to != core {
+        // from → core → to.
+        if let Some(&(_, on_core)) = net.internal.get(&(from, core)) {
+            hops.push(net.interfaces[on_core as usize].addr);
+        }
+        if let Some(&(_, on_to)) = net.internal.get(&(core, to)) {
+            hops.push(net.interfaces[on_to as usize].addr);
+        }
+    } else if let Some(&(_, on_to)) = net.internal.get(&(from, to)) {
+        hops.push(net.interfaces[on_to as usize].addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::internet::Internet;
+    use hoiho_asdb::Relationship;
+
+    fn net() -> Internet {
+        Internet::generate(&SimConfig::tiny(31))
+    }
+
+    #[test]
+    fn traceroutes_produced() {
+        let n = net();
+        let ts = run_traceroutes(&n);
+        assert_eq!(ts.vp_as_ids.len(), n.cfg.vantage_points);
+        assert!(!ts.paths.is_empty());
+        // Typical scale: most VP/destination pairs produce a path.
+        assert!(ts.paths.len() > n.aslevel.ases.len());
+    }
+
+    #[test]
+    fn hops_are_known_interfaces_or_dest() {
+        let n = net();
+        let ts = run_traceroutes(&n);
+        for p in ts.paths.iter().take(500) {
+            for (i, h) in p.hops.iter().enumerate() {
+                let Some(addr) = h else { continue };
+                let is_last = i == p.hops.len() - 1;
+                let known = n.addr_index.contains_key(addr);
+                let is_dst = *addr == p.dst;
+                assert!(known || (is_last && is_dst && p.reached), "stray hop {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let n = net();
+        let routing = Routing::new(&n);
+        let total = n.aslevel.ases.len();
+        for d in (0..total).step_by(7) {
+            let next = routing.next_hops(d);
+            for s in (0..total).step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let Some(path) = routing.as_path(s, d, &next) else { continue };
+                assert!(path.len() >= 2);
+                assert_eq!(path[0], s);
+                assert_eq!(*path.last().unwrap(), d);
+                // Valley-free: once we step down (to a customer) or
+                // across (peer), we never step up (to a provider) and
+                // cross at most one peer edge.
+                let mut descending = false;
+                let mut peer_edges = 0;
+                for w in path.windows(2) {
+                    let ra = n.aslevel.ases[w[0]].asn;
+                    let rb = n.aslevel.ases[w[1]].asn;
+                    match n.aslevel.rel.relationship(ra, rb).expect("adjacent") {
+                        Relationship::CustomerOf => {
+                            assert!(!descending, "up step after down step in {path:?}");
+                        }
+                        Relationship::Peer => {
+                            peer_edges += 1;
+                            descending = true;
+                        }
+                        Relationship::ProviderOf => {
+                            descending = true;
+                        }
+                    }
+                }
+                assert!(peer_edges <= 1, "multiple peer edges in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_is_high() {
+        // Everyone has a provider chain to the tier-1 clique, so routes
+        // must exist between almost all pairs.
+        let n = net();
+        let routing = Routing::new(&n);
+        let total = n.aslevel.ases.len();
+        let mut ok = 0;
+        let mut all = 0;
+        for d in 0..total {
+            let next = routing.next_hops(d);
+            for s in 0..total {
+                if s == d {
+                    continue;
+                }
+                all += 1;
+                if routing.as_path(s, d, &next).is_some() {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok as f64 / all as f64 > 0.95, "reachability {ok}/{all}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let n = net();
+        let a = run_traceroutes(&n);
+        let b = run_traceroutes(&n);
+        assert_eq!(a.paths.len(), b.paths.len());
+        for (x, y) in a.paths.iter().zip(&b.paths) {
+            assert_eq!(x.hops, y.hops);
+        }
+    }
+
+    #[test]
+    fn far_side_addresses_appear_in_paths() {
+        // Traceroute must observe supplier-routed addresses on customer
+        // routers — the measurement artefact under study.
+        let n = net();
+        let ts = run_traceroutes(&n);
+        let mut seen_far = 0;
+        for p in &ts.paths {
+            for h in p.hops.iter().flatten() {
+                if let Some(iface) = n.iface_at(*h) {
+                    if iface.kind == crate::internet::IfaceKind::InterconnectFar {
+                        seen_far += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen_far > 50, "only {seen_far} far-side observations");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over random simulation seeds: structural
+//! invariants of the generated Internet and its measurement.
+
+use hoiho_netsim::internet::{EmbeddedInfo, IfaceKind};
+use hoiho_netsim::traceroute::{run_traceroutes, Routing};
+use hoiho_netsim::{Internet, SimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds a whole Internet; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every hostname is DNS-safe; every written ASN string appears in
+    /// its hostname; far-side interfaces are supplier-routed but
+    /// neighbor-operated.
+    #[test]
+    fn internet_invariants(seed in 0u64..10_000) {
+        let net = Internet::generate(&SimConfig::tiny(seed));
+        for iface in &net.interfaces {
+            if let Some(h) = iface.hostname.as_deref() {
+                prop_assert!(
+                    h.bytes().all(|b| b.is_ascii_lowercase()
+                        || b.is_ascii_digit()
+                        || b == b'.'
+                        || b == b'-'),
+                    "unsafe hostname {h}"
+                );
+                if let EmbeddedInfo::NeighborAsn { written, .. } = &iface.embedded {
+                    prop_assert!(h.contains(written.as_str()));
+                }
+            }
+            if iface.kind == IfaceKind::InterconnectFar {
+                let origin = net.aslevel.bgp.lookup_value(iface.addr).copied();
+                let owner = net.routers[iface.router as usize].owner;
+                prop_assert!(origin.is_some());
+                prop_assert_ne!(origin.unwrap(), owner);
+            }
+            if iface.kind == IfaceKind::IxpLan {
+                prop_assert_eq!(net.aslevel.bgp.lookup_value(iface.addr), None);
+            }
+        }
+    }
+
+    /// Interface addresses are unique and resolve back to themselves.
+    #[test]
+    fn addresses_unique(seed in 0u64..10_000) {
+        let net = Internet::generate(&SimConfig::tiny(seed));
+        let mut seen = std::collections::BTreeSet::new();
+        for iface in &net.interfaces {
+            prop_assert!(seen.insert(iface.addr), "duplicate address");
+            prop_assert_eq!(net.iface_at(iface.addr).map(|i| i.id), Some(iface.id));
+        }
+    }
+
+    /// AS paths are valley-free for random source/destination samples.
+    #[test]
+    fn paths_valley_free(seed in 0u64..10_000, d_pick in any::<usize>(), s_pick in any::<usize>()) {
+        let net = Internet::generate(&SimConfig::tiny(seed));
+        let routing = Routing::new(&net);
+        let n = net.aslevel.ases.len();
+        let d = d_pick % n;
+        let s = s_pick % n;
+        if s != d {
+            let next = routing.next_hops(d);
+            if let Some(path) = routing.as_path(s, d, &next) {
+                let mut descending = false;
+                let mut peers = 0;
+                for w in path.windows(2) {
+                    let ra = net.aslevel.ases[w[0]].asn;
+                    let rb = net.aslevel.ases[w[1]].asn;
+                    match net.aslevel.rel.relationship(ra, rb).unwrap() {
+                        hoiho_asdb::Relationship::CustomerOf => {
+                            prop_assert!(!descending, "valley in {path:?}");
+                        }
+                        hoiho_asdb::Relationship::Peer => {
+                            peers += 1;
+                            descending = true;
+                        }
+                        hoiho_asdb::Relationship::ProviderOf => descending = true,
+                    }
+                }
+                prop_assert!(peers <= 1);
+            }
+        }
+    }
+
+    /// Every responsive hop is either a known interface or the reached
+    /// destination.
+    #[test]
+    fn hops_resolve(seed in 0u64..10_000) {
+        let net = Internet::generate(&SimConfig::tiny(seed));
+        let ts = run_traceroutes(&net);
+        for p in ts.paths.iter().take(200) {
+            for (i, h) in p.hops.iter().enumerate() {
+                if let Some(addr) = h {
+                    let last = i == p.hops.len() - 1;
+                    prop_assert!(
+                        net.iface_at(*addr).is_some() || (last && *addr == p.dst),
+                        "unknown hop"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! # hoiho-pdb — PeeringDB-style snapshots
+//!
+//! PeeringDB's `netixlan` records map an IXP LAN address to the ASN of
+//! the member using it, recorded by the member's own operators. The
+//! paper uses two PeeringDB snapshots as training data (§4: PPV 96.0%,
+//! the most accurate training source) and as cross-validation ground
+//! truth for Table 2.
+//!
+//! [`synthesize`] derives a snapshot from the synthetic Internet's IXP
+//! ports. Operator-recorded data is imperfect in a specific way the
+//! paper highlights: organizations sometimes register their *main* ASN
+//! while the IXP hostname embeds a *sibling* (Microsoft AS8075 vs
+//! AS8069), and a few records go stale. Both error modes are injected at
+//! configurable rates, with ground truth kept alongside.
+
+use hoiho_asdb::{Addr, Asn};
+use hoiho_netsim::internet::IfaceKind;
+use hoiho_netsim::Internet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+
+/// One `netixlan`-style record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetIxLan {
+    /// The member ASN as recorded by the operator.
+    pub recorded_asn: Asn,
+    /// The LAN address.
+    pub addr: Addr,
+    /// IXP id in the directory.
+    pub ixp: u32,
+    /// Ground truth: the ASN actually operating the port's router.
+    pub true_asn: Asn,
+}
+
+impl NetIxLan {
+    /// True when the record is accurate.
+    pub fn correct(&self) -> bool {
+        self.recorded_asn == self.true_asn
+    }
+}
+
+/// Error-injection knobs for synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct PdbConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability a record lists a sibling of the true ASN.
+    pub sibling_rate: f64,
+    /// Probability a record is stale (lists an unrelated ASN).
+    pub stale_rate: f64,
+}
+
+impl Default for PdbConfig {
+    fn default() -> Self {
+        PdbConfig { seed: 0x9D8, sibling_rate: 0.02, stale_rate: 0.015 }
+    }
+}
+
+/// A synthesized PeeringDB snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct PeeringDbSnapshot {
+    /// All records, sorted by address.
+    pub records: Vec<NetIxLan>,
+}
+
+impl PeeringDbSnapshot {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for an address.
+    pub fn by_addr(&self, addr: Addr) -> Option<&NetIxLan> {
+        self.records.iter().find(|r| r.addr == addr)
+    }
+
+    /// Renders the snapshot as `asn|addr|ixp` lines (ground truth
+    /// omitted, as in real exports).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{}|{}|{}",
+                r.recorded_asn,
+                hoiho_asdb::addr_to_string(r.addr),
+                r.ixp
+            );
+        }
+        out
+    }
+}
+
+/// Builds a PeeringDB snapshot from the Internet's IXP ports.
+pub fn synthesize(net: &Internet, cfg: &PdbConfig) -> PeeringDbSnapshot {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ net.cfg.seed);
+    let mut records = Vec::new();
+    for iface in &net.interfaces {
+        if iface.kind != IfaceKind::IxpLan {
+            continue;
+        }
+        let Some(ixp) = net.aslevel.ixps.ixp_for_addr(iface.addr) else { continue };
+        let true_asn = net.routers[iface.router as usize].owner;
+        let recorded_asn = if rng.random_bool(cfg.sibling_rate) {
+            // The org records its main ASN; pick another sibling when
+            // one exists.
+            let sibs = net.aslevel.org.sibling_set(true_asn);
+            sibs.iter().copied().find(|&s| s != true_asn).unwrap_or(true_asn)
+        } else if rng.random_bool(cfg.stale_rate) {
+            // Stale record: a previous occupant of the port.
+            net.aslevel.ases[rng.random_range(0..net.aslevel.ases.len())].asn
+        } else {
+            true_asn
+        };
+        records.push(NetIxLan { recorded_asn, addr: iface.addr, ixp: ixp.id, true_asn });
+    }
+    records.sort_by_key(|r| r.addr);
+    PeeringDbSnapshot { records }
+}
+
+/// Builds Hoiho training observations from a snapshot: each record with
+/// a hostname on its address becomes (hostname, addr, recorded ASN).
+pub fn training_observations(
+    net: &Internet,
+    snap: &PeeringDbSnapshot,
+) -> Vec<hoiho::training::Observation> {
+    let mut out = Vec::new();
+    for r in &snap.records {
+        let Some(iface) = net.iface_at(r.addr) else { continue };
+        let Some(hostname) = iface.hostname.as_deref() else { continue };
+        out.push(hoiho::training::Observation::new(
+            hostname,
+            hoiho_asdb::addr_octets(r.addr),
+            r.recorded_asn,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho_netsim::SimConfig;
+
+    fn net() -> Internet {
+        Internet::generate(&SimConfig::tiny(41))
+    }
+
+    #[test]
+    fn records_cover_ixp_ports() {
+        let n = net();
+        let snap = synthesize(&n, &PdbConfig::default());
+        let ports = n
+            .interfaces
+            .iter()
+            .filter(|i| i.kind == IfaceKind::IxpLan)
+            .count();
+        assert_eq!(snap.len(), ports);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn records_mostly_correct() {
+        let n = net();
+        let snap = synthesize(&n, &PdbConfig::default());
+        let correct = snap.records.iter().filter(|r| r.correct()).count();
+        assert!(correct as f64 / snap.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn error_injection_scales() {
+        let n = net();
+        let noisy = synthesize(
+            &n,
+            &PdbConfig { sibling_rate: 0.0, stale_rate: 0.9, ..Default::default() },
+        );
+        let wrong = noisy.records.iter().filter(|r| !r.correct()).count();
+        assert!(wrong as f64 / noisy.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let n = net();
+        let a = synthesize(&n, &PdbConfig::default());
+        let b = synthesize(&n, &PdbConfig::default());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn text_rendering() {
+        let n = net();
+        let snap = synthesize(&n, &PdbConfig::default());
+        let text = snap.to_text();
+        assert_eq!(text.lines().count(), snap.len());
+        assert!(text.lines().all(|l| l.split('|').count() == 3));
+    }
+
+    #[test]
+    fn training_observations_have_hostnames() {
+        let n = net();
+        let snap = synthesize(&n, &PdbConfig::default());
+        let obs = training_observations(&n, &snap);
+        assert!(!obs.is_empty());
+        for o in &obs {
+            assert!(o.hostname.contains('.'));
+        }
+        // Observations only exist for named ports, so no more than
+        // records.
+        assert!(obs.len() <= snap.len());
+    }
+
+    #[test]
+    fn by_addr_lookup() {
+        let n = net();
+        let snap = synthesize(&n, &PdbConfig::default());
+        let first = snap.records[0].clone();
+        assert_eq!(snap.by_addr(first.addr), Some(&first));
+        assert_eq!(snap.by_addr(0xFFFF_FFFF), None);
+    }
+}

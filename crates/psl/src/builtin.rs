@@ -1,0 +1,153 @@
+//! Embedded public suffix list snapshot.
+//!
+//! A compact extract of the Mozilla public suffix list covering the
+//! effective TLDs that appear in the paper's datasets and in the suffixes
+//! our synthetic Internet generator emits. The full Mozilla list can be
+//! loaded at runtime with [`crate::PublicSuffixList::parse`]; this snapshot
+//! exists so the reproduction runs fully offline.
+
+/// Rules in Mozilla file syntax (one rule per line, `//` comments).
+pub const BUILTIN_PSL: &str = r#"
+// Generic top-level domains
+com
+net
+org
+edu
+gov
+int
+mil
+info
+biz
+name
+io
+co
+me
+tv
+cc
+ws
+nu
+cloud
+network
+global
+zone
+host
+systems
+digital
+technology
+
+// Country-code TLDs used directly as suffixes
+ad
+ae
+at
+be
+ca
+ch
+cl
+cn
+cz
+de
+dk
+es
+eu
+fi
+fr
+gr
+hk
+hu
+ie
+in
+it
+jp
+kr
+lu
+mx
+my
+nl
+no
+nz
+pl
+pt
+ro
+ru
+se
+sg
+si
+sk
+th
+tw
+ua
+uk
+us
+uy
+vn
+za
+
+// Second-level registries relevant to the paper / simulator
+co.uk
+org.uk
+net.uk
+ac.uk
+gov.uk
+co.nz
+net.nz
+org.nz
+ac.nz
+govt.nz
+geek.nz
+com.au
+net.au
+org.au
+edu.au
+gov.au
+com.br
+net.br
+org.br
+com.uy
+net.uy
+org.uy
+edu.uy
+com.mx
+net.mx
+org.mx
+co.jp
+ne.jp
+or.jp
+ad.jp
+ac.jp
+com.cn
+net.cn
+org.cn
+com.hk
+net.hk
+com.sg
+net.sg
+com.tw
+net.tw
+co.kr
+ne.kr
+or.kr
+co.za
+net.za
+org.za
+ac.za
+com.ar
+net.ar
+org.ar
+com.my
+net.my
+co.in
+net.in
+org.in
+ac.in
+com.tr
+net.tr
+co.th
+in.th
+net.th
+com.ua
+net.ua
+
+// Wildcard and exception examples kept for algorithmic coverage
+*.ck
+!www.ck
+"#;

@@ -1,0 +1,368 @@
+//! Public suffix list parsing and effective-TLD+1 lookup.
+//!
+//! Hoiho groups router hostnames by *suffix*: the registrable domain under
+//! which an operator names its routers (the paper, §3, determines suffixes
+//! "using the Mozilla public suffix list"). This crate implements the
+//! [Public Suffix List algorithm](https://publicsuffix.org/list/) — rules,
+//! wildcard rules (`*.ck`), and exception rules (`!www.ck`) — and exposes
+//! the two lookups Hoiho needs:
+//!
+//! * [`PublicSuffixList::public_suffix`] — the effective TLD of a hostname
+//!   (e.g. `org.nz` for `luckie.org.nz`).
+//! * [`PublicSuffixList::registrable_domain`] — the suffix Hoiho groups by:
+//!   the public suffix plus one label (e.g. `equinix.com` for
+//!   `p714.sgw.equinix.com`).
+//!
+//! The list snapshot embedded in [`PublicSuffixList::builtin`] covers the
+//! effective TLDs exercised by this reproduction (generic TLDs plus the
+//! country-code second-level registries that appear in the paper's figures
+//! and in our synthetic Internet). The parser accepts the full Mozilla file
+//! format, so a complete list can be loaded with
+//! [`PublicSuffixList::parse`].
+//!
+//! Scope notes: hostnames here are DNS PTR strings, which in practice are
+//! ASCII; internationalized labels (punycode) pass through untouched as
+//! opaque labels.
+
+mod builtin;
+
+/// A parsed public suffix list.
+///
+/// Rule storage is a flat vector of reversed-label rules; lookups scan per
+/// candidate rule. Hostname suffix determination happens once per hostname
+/// at training-set construction, so simplicity beats a radix tree here.
+#[derive(Debug, Clone, Default)]
+pub struct PublicSuffixList {
+    /// Normal rules, stored as lowercase label sequences, most-significant
+    /// (TLD) label first. `["nz", "org"]` represents the rule `org.nz`.
+    rules: Vec<Vec<String>>,
+    /// Wildcard rules: `*.ck` stored as `["ck"]` (labels under the star).
+    wildcards: Vec<Vec<String>>,
+    /// Exception rules: `!www.ck` stored as `["ck", "www"]`.
+    exceptions: Vec<Vec<String>>,
+}
+
+/// Outcome of a suffix lookup on one hostname.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixMatch {
+    /// Number of labels (from the right) forming the public suffix.
+    pub suffix_labels: usize,
+    /// The public suffix itself, e.g. `org.nz`.
+    pub public_suffix: String,
+    /// The registrable domain (suffix + 1 label), if the hostname has one.
+    pub registrable: Option<String>,
+}
+
+impl PublicSuffixList {
+    /// Builds an empty list (only the implicit `*` rule applies: the last
+    /// label is the public suffix).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the built-in snapshot used throughout this reproduction.
+    pub fn builtin() -> Self {
+        let mut psl = Self::new();
+        psl.extend_from_str(builtin::BUILTIN_PSL);
+        psl
+    }
+
+    /// Parses a list in the Mozilla file format.
+    ///
+    /// Lines are trimmed; blank lines and lines starting with `//` are
+    /// ignored. A leading `!` marks an exception rule; a leading `*.` marks
+    /// a wildcard rule. Everything after the first whitespace on a line is
+    /// ignored, as the specification requires.
+    pub fn parse(text: &str) -> Self {
+        let mut psl = Self::new();
+        psl.extend_from_str(text);
+        psl
+    }
+
+    /// Adds all rules from `text` (same format as [`Self::parse`]).
+    pub fn extend_from_str(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            let rule = line.split_whitespace().next().unwrap_or("");
+            if rule.is_empty() {
+                continue;
+            }
+            self.add_rule(rule);
+        }
+        self.rules.sort();
+        self.rules.dedup();
+        self.wildcards.sort();
+        self.wildcards.dedup();
+        self.exceptions.sort();
+        self.exceptions.dedup();
+    }
+
+    /// Adds one rule in list syntax (`org.nz`, `*.ck`, `!www.ck`).
+    pub fn add_rule(&mut self, rule: &str) {
+        if let Some(exc) = rule.strip_prefix('!') {
+            self.exceptions.push(reverse_labels(exc));
+        } else if let Some(rest) = rule.strip_prefix("*.") {
+            self.wildcards.push(reverse_labels(rest));
+        } else if rule == "*" {
+            // The implicit rule; nothing to store.
+        } else {
+            self.rules.push(reverse_labels(rule));
+        }
+    }
+
+    /// Number of explicit rules loaded (normal + wildcard + exception).
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.wildcards.len() + self.exceptions.len()
+    }
+
+    /// True if no explicit rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Computes the public suffix and registrable domain of `hostname`.
+    ///
+    /// Returns `None` for hostnames with no labels (empty string, `"."`)
+    /// or with empty labels (`a..b`). The hostname is lowercased and a
+    /// single trailing dot is ignored.
+    pub fn lookup(&self, hostname: &str) -> Option<SuffixMatch> {
+        let name = hostname.trim_end_matches('.').to_ascii_lowercase();
+        if name.is_empty() {
+            return None;
+        }
+        let labels: Vec<&str> = name.split('.').collect();
+        if labels.iter().any(|l| l.is_empty()) {
+            return None;
+        }
+        let rev: Vec<&str> = labels.iter().rev().copied().collect();
+
+        // The prevailing rule is the matching rule with the most labels;
+        // exception rules beat all others. Per the algorithm, an exception
+        // rule's effective suffix drops the exception's leftmost label.
+        let mut suffix_labels = 1; // implicit `*` rule
+        if let Some(n) = longest_match(&self.exceptions, &rev) {
+            // Exception matched in full: suffix is the rule minus one label.
+            suffix_labels = n - 1;
+        } else {
+            if let Some(n) = longest_match(&self.rules, &rev) {
+                suffix_labels = suffix_labels.max(n);
+            }
+            // A wildcard rule `*.ck` (stored as ["ck"]) matches any name
+            // with >= 2 labels whose tail matches; the suffix is one label
+            // longer than the stored part.
+            if let Some(n) = longest_wildcard_match(&self.wildcards, &rev) {
+                suffix_labels = suffix_labels.max(n + 1);
+            }
+        }
+
+        // Exception rules can reduce the count to zero in a pathological
+        // list (`!com`); clamp so every name keeps at least one suffix
+        // label and never more labels than it has.
+        suffix_labels = suffix_labels.clamp(1, labels.len());
+
+        let public_suffix = labels[labels.len() - suffix_labels..].join(".");
+        let registrable = if labels.len() > suffix_labels {
+            Some(labels[labels.len() - suffix_labels - 1..].join("."))
+        } else {
+            None
+        };
+        Some(SuffixMatch { suffix_labels, public_suffix, registrable })
+    }
+
+    /// The public suffix (effective TLD) of `hostname`, if it has labels.
+    pub fn public_suffix(&self, hostname: &str) -> Option<String> {
+        self.lookup(hostname).map(|m| m.public_suffix)
+    }
+
+    /// The registrable domain — public suffix plus one label. This is the
+    /// "suffix" Hoiho groups hostnames by. `None` when the hostname is
+    /// itself a public suffix (e.g. `com`) or unparsable.
+    pub fn registrable_domain(&self, hostname: &str) -> Option<String> {
+        self.lookup(hostname).and_then(|m| m.registrable)
+    }
+}
+
+/// Splits a rule into lowercase labels, most-significant first.
+fn reverse_labels(rule: &str) -> Vec<String> {
+    rule.trim_end_matches('.')
+        .split('.')
+        .rev()
+        .map(|l| l.to_ascii_lowercase())
+        .collect()
+}
+
+/// Length in labels of the longest rule fully matching the reversed name,
+/// or `None`.
+fn longest_match(rules: &[Vec<String>], rev_name: &[&str]) -> Option<usize> {
+    let mut best = None;
+    for rule in rules {
+        if rule.len() <= rev_name.len()
+            && rule.iter().zip(rev_name).all(|(a, b)| a == b)
+        {
+            best = best.max(Some(rule.len()));
+        }
+    }
+    best
+}
+
+/// Length in labels of the longest wildcard *tail* matching the reversed
+/// name with at least one extra label available for the star.
+fn longest_wildcard_match(rules: &[Vec<String>], rev_name: &[&str]) -> Option<usize> {
+    let mut best = None;
+    for rule in rules {
+        if rule.len() < rev_name.len()
+            && rule.iter().zip(rev_name).all(|(a, b)| a == b)
+        {
+            best = best.max(Some(rule.len()));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::builtin()
+    }
+
+    #[test]
+    fn simple_tld() {
+        let p = psl();
+        assert_eq!(p.public_suffix("equinix.com").as_deref(), Some("com"));
+        assert_eq!(
+            p.registrable_domain("p714.sgw.equinix.com").as_deref(),
+            Some("equinix.com")
+        );
+    }
+
+    #[test]
+    fn second_level_registry() {
+        let p = psl();
+        assert_eq!(p.public_suffix("luckie.org.nz").as_deref(), Some("org.nz"));
+        assert_eq!(
+            p.registrable_domain("www.luckie.org.nz").as_deref(),
+            Some("luckie.org.nz")
+        );
+        // The paper's akl-ix.nz counts as suffix+1 under .nz.
+        assert_eq!(
+            p.registrable_domain("as24940.akl-ix.nz").as_deref(),
+            Some("akl-ix.nz")
+        );
+    }
+
+    #[test]
+    fn uy_and_ch_examples_from_paper() {
+        let p = psl();
+        assert_eq!(
+            p.registrable_domain("mlg4bras1-be127-605.antel.net.uy").as_deref(),
+            Some("antel.net.uy")
+        );
+        assert_eq!(
+            p.registrable_domain("ge0-2.01.p.ost.ch.as15576.nts.ch").as_deref(),
+            Some("nts.ch")
+        );
+    }
+
+    #[test]
+    fn hostname_equal_to_suffix_has_no_registrable() {
+        let p = psl();
+        assert_eq!(p.registrable_domain("com"), None);
+        assert_eq!(p.registrable_domain("org.nz"), None);
+        assert_eq!(p.public_suffix("org.nz").as_deref(), Some("org.nz"));
+    }
+
+    #[test]
+    fn unknown_tld_uses_implicit_star_rule() {
+        let p = psl();
+        assert_eq!(p.public_suffix("router.example.zzz").as_deref(), Some("zzz"));
+        assert_eq!(
+            p.registrable_domain("router.example.zzz").as_deref(),
+            Some("example.zzz")
+        );
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        let mut p = PublicSuffixList::new();
+        p.extend_from_str("*.ck\n!www.ck\n");
+        assert_eq!(p.public_suffix("anything.ck").as_deref(), Some("anything.ck"));
+        assert_eq!(
+            p.registrable_domain("r1.foo.anything.ck").as_deref(),
+            Some("foo.anything.ck")
+        );
+        // The exception rule makes www.ck registrable under ck.
+        assert_eq!(p.public_suffix("www.ck").as_deref(), Some("ck"));
+        assert_eq!(p.registrable_domain("www.ck").as_deref(), Some("www.ck"));
+        assert_eq!(p.registrable_domain("r1.www.ck").as_deref(), Some("www.ck"));
+    }
+
+    #[test]
+    fn comments_blank_lines_and_inline_junk_ignored() {
+        let p = PublicSuffixList::parse(
+            "// a comment\n\n  org.nz  trailing junk\n// another\nco.nz\n",
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.public_suffix("x.org.nz").as_deref(), Some("org.nz"));
+    }
+
+    #[test]
+    fn case_and_trailing_dot_normalised() {
+        let p = psl();
+        assert_eq!(
+            p.registrable_domain("P714.SGW.Equinix.COM.").as_deref(),
+            Some("equinix.com")
+        );
+    }
+
+    #[test]
+    fn degenerate_names_rejected() {
+        let p = psl();
+        assert_eq!(p.lookup(""), None);
+        assert_eq!(p.lookup("."), None);
+        assert_eq!(p.lookup("a..b.com"), None);
+    }
+
+    #[test]
+    fn longest_rule_wins() {
+        let mut p = PublicSuffixList::new();
+        p.extend_from_str("jp\nkobe.jp\ncity.kobe.jp\n");
+        assert_eq!(
+            p.public_suffix("r.foo.city.kobe.jp").as_deref(),
+            Some("city.kobe.jp")
+        );
+        assert_eq!(
+            p.registrable_domain("r.foo.city.kobe.jp").as_deref(),
+            Some("foo.city.kobe.jp")
+        );
+    }
+
+    #[test]
+    fn builtin_is_nonempty_and_idempotent() {
+        let p = psl();
+        assert!(p.len() > 50);
+        let mut again = PublicSuffixList::builtin();
+        again.extend_from_str(builtin::BUILTIN_PSL);
+        assert_eq!(p.len(), again.len());
+    }
+
+    #[test]
+    fn dedup_across_reloads() {
+        let mut p = PublicSuffixList::parse("org.nz\n");
+        p.extend_from_str("org.nz\nco.nz\n");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn single_label_hostname_on_known_tld() {
+        let p = psl();
+        // "com" alone: the whole name is the suffix.
+        let m = p.lookup("com").unwrap();
+        assert_eq!(m.suffix_labels, 1);
+        assert_eq!(m.registrable, None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the public suffix list lookups.
+
+use hoiho_psl::PublicSuffixList;
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9-]{0,6}").unwrap()
+}
+
+fn hostname() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label(), 1..6).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural invariants of every lookup: the public suffix is a
+    /// label-suffix of the hostname, the registrable domain is the
+    /// suffix plus exactly one label, and the hostname ends with it.
+    #[test]
+    fn lookup_invariants(h in hostname()) {
+        let psl = PublicSuffixList::builtin();
+        let m = psl.lookup(&h).expect("well-formed hostname");
+        let labels: Vec<&str> = h.split('.').collect();
+        prop_assert!(m.suffix_labels >= 1 && m.suffix_labels <= labels.len());
+        prop_assert_eq!(
+            &m.public_suffix,
+            &labels[labels.len() - m.suffix_labels..].join(".")
+        );
+        match &m.registrable {
+            Some(reg) => {
+                prop_assert_eq!(reg.split('.').count(), m.suffix_labels + 1);
+                let dotted = format!(".{reg}");
+                prop_assert!(h == *reg || h.ends_with(&dotted));
+                prop_assert!(reg.ends_with(&m.public_suffix));
+            }
+            None => prop_assert_eq!(m.suffix_labels, labels.len()),
+        }
+    }
+
+    /// The registrable domain is a fixpoint: looking it up again yields
+    /// itself.
+    #[test]
+    fn registrable_is_fixpoint(h in hostname()) {
+        let psl = PublicSuffixList::builtin();
+        if let Some(reg) = psl.registrable_domain(&h) {
+            prop_assert_eq!(psl.registrable_domain(&reg), Some(reg));
+        }
+    }
+
+    /// Lookups are case-insensitive and ignore one trailing dot.
+    #[test]
+    fn normalisation(h in hostname()) {
+        let psl = PublicSuffixList::builtin();
+        let upper = h.to_ascii_uppercase();
+        let dotted = format!("{h}.");
+        prop_assert_eq!(psl.lookup(&h), psl.lookup(&upper));
+        prop_assert_eq!(psl.lookup(&h), psl.lookup(&dotted));
+    }
+
+    /// Adding an unrelated rule never changes lookups under other TLDs.
+    #[test]
+    fn rule_locality(h in hostname()) {
+        let mut a = PublicSuffixList::builtin();
+        let before = a.lookup(&h);
+        a.extend_from_str("unrelated-zzz.example\n");
+        if !h.ends_with("example") {
+            prop_assert_eq!(a.lookup(&h), before);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Reproduces the paper's Figure 4 walkthrough: learning a naming
+//! convention for the Equinix suffix across the four phases.
+//!
+//! The sixteen hostnames (a–p) and their training ASNs are exactly the
+//! figure's, including the typo (hostname h embeds 22822 while the
+//! training ASN is 22282) and the two Microsoft interfaces whose
+//! embedded sibling ASNs (8069, 8074) disagree with the training ASN
+//! 8075.
+//!
+//! Run with: `cargo run --example equinix_figure4`
+
+use hoiho::eval::{classify_host, evaluate, Outcome};
+use hoiho::learner::{learn_suffix, LearnConfig};
+use hoiho::phases::{base, classes, merge};
+use hoiho::training::{Observation, SuffixTraining};
+use hoiho::Regex;
+
+/// Figure 4's training rows: (training ASN, hostname, label).
+const ROWS: &[(u32, &str, char)] = &[
+    (109, "109.sgw.equinix.com", 'a'),
+    (714, "714.os.equinix.com", 'b'),
+    (714, "714.me1.equinix.com", 'c'),
+    (714, "p714.sgw.equinix.com", 'd'),
+    (714, "s714.sgw.equinix.com", 'e'),
+    (24115, "p24115.mel.equinix.com", 'f'),
+    (24115, "s24115.tyo.equinix.com", 'g'),
+    (22282, "22822-2.tyo.equinix.com", 'h'),
+    (24482, "24482-fr5-ix.equinix.com", 'i'),
+    (54827, "54827-dc5-ix2.equinix.com", 'j'),
+    (55247, "55247-ch3-ix.equinix.com", 'k'),
+    (2906, "netflix.zh2.corp.eu.equinix.com", 'l'),
+    (19324, "ipv4.dosarrest.eqix.equinix.com", 'm'),
+    (8075, "8069.tyo.equinix.com", 'n'),
+    (8075, "8074.hkg.equinix.com", 'o'),
+    (55923, "45437-sy1-ix.equinix.com", 'p'),
+];
+
+fn training() -> SuffixTraining {
+    let obs: Vec<Observation> = ROWS
+        .iter()
+        .map(|&(asn, h, _)| Observation::new(h, [198, 51, 100, 7], asn))
+        .collect();
+    SuffixTraining::build("equinix.com", &obs)
+}
+
+/// Prints a regex's evaluation in the figure's format.
+fn show(st: &SuffixTraining, tag: &str, regexes: &[Regex]) {
+    let counts = evaluate(regexes, &st.hosts);
+    let mut tp = String::new();
+    let mut fp = String::new();
+    let mut fnn = String::new();
+    for (host, &(_, _, label)) in st.hosts.iter().zip(ROWS) {
+        match classify_host(regexes, host) {
+            Outcome::TruePositive(_) => tp.push(label),
+            Outcome::FalsePositive(_) => fp.push(label),
+            Outcome::FalseNegative => fnn.push(label),
+            Outcome::TrueNegative => {}
+        }
+    }
+    let shown: Vec<String> = regexes.iter().map(|r| r.to_string()).collect();
+    println!(
+        "{tag:<4} {}\n     TP[{tp}] FP[{fp}] FN[{fnn}]  ATP={}",
+        shown.join("  +  "),
+        counts.atp()
+    );
+}
+
+fn main() {
+    let st = training();
+    let rx = |s: &str| Regex::parse(s).unwrap();
+
+    println!("== Phase 1: generate base regexes (§3.2) ==");
+    let base_pool = base::generate(&st, &base::BaseConfig::default());
+    println!("generated {} distinct base regexes; the figure's examples:", base_pool.len());
+    show(&st, "#1", &[rx(r"^(\d+)\.[^\.]+\.equinix\.com$")]);
+    show(&st, "#2", &[rx(r"^p(\d+)\.[^\.]+\.equinix\.com$")]);
+    show(&st, "#3", &[rx(r"^s(\d+)\.[^\.]+\.equinix\.com$")]);
+    show(&st, "#4", &[rx(r"^(\d+)-.+\.equinix\.com$")]);
+    for want in ["#1", "#2", "#3", "#4"] {
+        let _ = want;
+    }
+
+    println!("\n== Phase 2: merge regexes (§3.3) ==");
+    let merged = merge::merge(&base_pool);
+    println!("{} merged regexes; the figure's #5:", merged.len());
+    show(&st, "#5", &[rx(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$")]);
+
+    println!("\n== Phase 3: embed character classes (§3.4) ==");
+    let mut pool = base_pool.clone();
+    pool.extend(merged);
+    let specialised = classes::embed_classes(&pool, &st.hosts);
+    println!("{} specialised regexes; the figure's #6:", specialised.len());
+    show(&st, "#6", &[rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$")]);
+
+    println!("\n== Phase 4 + selection: regex sets (§3.5, §3.6) ==");
+    show(
+        &st,
+        "#7",
+        &[
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.equinix\.com$"),
+        ],
+    );
+
+    println!("\n== Full pipeline result ==");
+    let learned = learn_suffix(&st, &LearnConfig::default()).expect("convention learned");
+    for r in &learned.convention.regexes {
+        println!("  {r}");
+    }
+    println!(
+        "TP={} FP={} FN={} ATP={} PPV={:.1}% class={}",
+        learned.counts.tp,
+        learned.counts.fp,
+        learned.counts.fnn,
+        learned.counts.atp(),
+        learned.counts.ppv() * 100.0,
+        learned.class.label()
+    );
+}

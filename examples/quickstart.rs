@@ -1,0 +1,67 @@
+//! Quickstart: learn a naming convention from a handful of annotated
+//! hostnames and use it to extract ASNs from new ones.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hoiho::learner::{learn_suffix, LearnConfig};
+use hoiho::training::{Observation, TrainingSet};
+use hoiho_psl::PublicSuffixList;
+
+fn main() {
+    // Training data: (training ASN, interface address, PTR hostname).
+    // The training ASN comes from heuristic router-ownership inference
+    // (RouterToAsAssignment, bdrmapIT) or PeeringDB — here it is given.
+    let rows: &[(u32, [u8; 4], &str)] = &[
+        (64500, [192, 0, 2, 1], "as64500-xe-1-2-0.fra.tele-nova.net"),
+        (64501, [192, 0, 2, 9], "as64501-ae3.lhr.tele-nova.net"),
+        (64502, [192, 0, 2, 17], "as64502-ge0-1.fra.tele-nova.net"),
+        (65010, [192, 0, 2, 33], "as65010-te0-0-1.ams.tele-nova.net"),
+        (64499, [192, 0, 2, 40], "te0-0-1.cr2.fra.tele-nova.net"), // infra, no ASN
+        (64499, [192, 0, 2, 44], "xe-1-2-0.cr1.lhr.tele-nova.net"),
+    ];
+
+    let mut training = TrainingSet::new();
+    for &(asn, addr, hostname) in rows {
+        training.push(Observation::new(hostname, addr, asn));
+    }
+
+    // Group hostnames by registrable domain (public suffix + 1).
+    let psl = PublicSuffixList::builtin();
+    let suffixes = training.by_suffix(&psl);
+    println!("training: {} hostnames in {} suffix group(s)\n", training.len(), suffixes.len());
+
+    // Learn the convention for each suffix.
+    for st in &suffixes {
+        let Some(learned) = learn_suffix(st, &LearnConfig::default()) else {
+            println!("{}: no convention learned", st.suffix);
+            continue;
+        };
+        println!("suffix {}", learned.convention.suffix);
+        for r in &learned.convention.regexes {
+            println!("  regex: {r}");
+        }
+        println!(
+            "  TP={} FP={} FN={} ATP={} PPV={:.1}%  class={}  taxonomy={}",
+            learned.counts.tp,
+            learned.counts.fp,
+            learned.counts.fnn,
+            learned.counts.atp(),
+            learned.counts.ppv() * 100.0,
+            learned.class.label(),
+            learned.taxonomy.label(),
+        );
+
+        // Apply the convention to hostnames never seen in training.
+        println!("\n  extraction on unseen hostnames:");
+        for h in [
+            "as65020-ae12.syd.tele-nova.net",
+            "as3356-hu0-1-0-3.nyc.tele-nova.net",
+            "ge2-0.cr3.syd.tele-nova.net",
+        ] {
+            match learned.convention.extract(h) {
+                Some(asn) => println!("    {h} -> AS{asn}"),
+                None => println!("    {h} -> (no ASN embedded)"),
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Hoiho-ASN reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one import root. See `DESIGN.md` for the system inventory.
+
+pub use hoiho;
+pub use hoiho_asdb as asdb;
+pub use hoiho_bdrmap as bdrmap;
+pub use hoiho_itdk as itdk;
+pub use hoiho_netsim as netsim;
+pub use hoiho_pdb as pdb;
+pub use hoiho_psl as psl;

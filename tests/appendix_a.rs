@@ -1,0 +1,117 @@
+//! Appendix A: merging regexes vs regex sets.
+//!
+//! The paper argues NC #7 (two crisp regexes) is the right expression of
+//! the Equinix convention: equivalent alternatives exist — one
+//! over-merged regex (#7a) or four fragmentary regexes (#7b) — but the
+//! merged form mixes structure into an `or` statement and the
+//! fragmentary form splits a convention a human would write once.
+//! These tests pin the behaviours that steer the learner to #7: the
+//! merge phase refuses structural (dot-crossing) alternations, and the
+//! greedy set construction stops once coverage stops improving.
+
+use hoiho_repro::hoiho::eval::evaluate;
+use hoiho_repro::hoiho::phases::merge::merge;
+use hoiho_repro::hoiho::phases::sets::{build_sets, SetsConfig};
+use hoiho_repro::hoiho::training::{Observation, SuffixTraining};
+use hoiho_repro::hoiho::Regex;
+
+fn training() -> SuffixTraining {
+    let rows: &[(u32, &str)] = &[
+        (109, "109.sgw.equinix.com"),
+        (714, "714.os.equinix.com"),
+        (714, "714.me1.equinix.com"),
+        (714, "p714.sgw.equinix.com"),
+        (714, "s714.sgw.equinix.com"),
+        (24115, "p24115.mel.equinix.com"),
+        (24115, "s24115.tyo.equinix.com"),
+        (22282, "22822-2.tyo.equinix.com"),
+        (24482, "24482-fr5-ix.equinix.com"),
+        (54827, "54827-dc5-ix2.equinix.com"),
+        (55247, "55247-ch3-ix.equinix.com"),
+        (2906, "netflix.zh2.corp.eu.equinix.com"),
+        (19324, "ipv4.dosarrest.eqix.equinix.com"),
+        (8075, "8069.tyo.equinix.com"),
+        (8075, "8074.hkg.equinix.com"),
+        (55923, "45437-sy1-ix.equinix.com"),
+    ];
+    let obs: Vec<Observation> =
+        rows.iter().map(|&(a, h)| Observation::new(h, [198, 51, 100, 8], a)).collect();
+    SuffixTraining::build("equinix.com", &obs)
+}
+
+fn rx(s: &str) -> Regex {
+    Regex::parse(s).unwrap()
+}
+
+#[test]
+fn merge_refuses_the_7a_style_structural_alternation() {
+    // #7's two regexes differ in structure (`\.[a-z\d]+` vs `-.+`), not
+    // in one simple string; phase 2 must not fuse them into a #7a-style
+    // `(?:\.[a-z\d]+|-.+)` monster.
+    let pool = vec![
+        rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+        rx(r"^(\d+)-.+\.equinix\.com$"),
+    ];
+    let merged = merge(&pool);
+    for m in &merged {
+        let s = m.to_string();
+        assert!(
+            !s.contains("(?:") || !s.contains('|') || s.matches("(?:").count() <= 1,
+            "unexpectedly complex merge {s}"
+        );
+        // No alternation option may contain a dot (structure).
+        for e in m.elems() {
+            if let hoiho_repro::hoiho::regex::Elem::Alt(a) = e {
+                assert!(a.opts.iter().all(|o| !o.contains('.')), "structural alt in {s}");
+            }
+        }
+    }
+}
+
+#[test]
+fn nc7_equivalent_to_7b_but_preferred_for_size() {
+    let st = training();
+    // The figure's NC #7.
+    let nc7 = [
+        rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+        rx(r"^(\d+)-.+\.equinix\.com$"),
+    ];
+    // The fragmentary NC #7b: four regexes covering the same hostnames.
+    let nc7b = [
+        rx(r"^(\d+)\.[a-z\d]+\.equinix\.com$"),
+        rx(r"^p(\d+)\.[a-z\d]+\.equinix\.com$"),
+        rx(r"^s(\d+)\.[a-z]+\.equinix\.com$"),
+        rx(r"^(\d+)-.+\.equinix\.com$"),
+    ];
+    let c7 = evaluate(&nc7, &st.hosts);
+    let c7b = evaluate(&nc7b, &st.hosts);
+    assert_eq!(c7.atp(), c7b.atp(), "the two NCs are functionally equivalent here");
+    assert_eq!(c7.tp, c7b.tp);
+
+    // Set construction seeded from the same pool must come back with
+    // the two-regex expression ranked above any 3+-regex equivalent.
+    let pool: Vec<Regex> = nc7b.iter().chain(nc7.iter()).cloned().collect();
+    let cands = build_sets(&pool, &st.hosts, &SetsConfig::default());
+    let best = &cands[0];
+    assert!(
+        best.regexes.len() <= 2,
+        "best candidate uses {} regexes: {:?}",
+        best.regexes.len(),
+        best.regexes.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+    );
+    assert_eq!(best.counts.atp(), 8);
+}
+
+#[test]
+fn smaller_set_preferred_at_equal_quality() {
+    // §3.6's fewer-regexes preference, end to end: give the learner the
+    // pieces of #7b and #7; it must not select a convention with more
+    // regexes than #7 when the counts tie.
+    let st = training();
+    let learned = hoiho_repro::hoiho::learner::learn_suffix(
+        &st,
+        &hoiho_repro::hoiho::learner::LearnConfig::default(),
+    )
+    .expect("learned");
+    assert!(learned.convention.len() <= 2);
+}

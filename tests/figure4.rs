@@ -1,0 +1,165 @@
+//! End-to-end reproduction of the paper's Figure 4: the four learning
+//! phases on the Equinix suffix, with the exact per-hostname
+//! classifications and ATP values from the figure.
+
+use hoiho_repro::hoiho::eval::{classify_host, evaluate, Outcome};
+use hoiho_repro::hoiho::learner::{learn_suffix, LearnConfig};
+use hoiho_repro::hoiho::phases::base::{self, BaseConfig};
+use hoiho_repro::hoiho::phases::{classes, merge};
+use hoiho_repro::hoiho::training::{Observation, SuffixTraining};
+use hoiho_repro::hoiho::Regex;
+
+/// The figure's rows: (training ASN, hostname, label a–p).
+const ROWS: &[(u32, &str, char)] = &[
+    (109, "109.sgw.equinix.com", 'a'),
+    (714, "714.os.equinix.com", 'b'),
+    (714, "714.me1.equinix.com", 'c'),
+    (714, "p714.sgw.equinix.com", 'd'),
+    (714, "s714.sgw.equinix.com", 'e'),
+    (24115, "p24115.mel.equinix.com", 'f'),
+    (24115, "s24115.tyo.equinix.com", 'g'),
+    (22282, "22822-2.tyo.equinix.com", 'h'),
+    (24482, "24482-fr5-ix.equinix.com", 'i'),
+    (54827, "54827-dc5-ix2.equinix.com", 'j'),
+    (55247, "55247-ch3-ix.equinix.com", 'k'),
+    (2906, "netflix.zh2.corp.eu.equinix.com", 'l'),
+    (19324, "ipv4.dosarrest.eqix.equinix.com", 'm'),
+    (8075, "8069.tyo.equinix.com", 'n'),
+    (8075, "8074.hkg.equinix.com", 'o'),
+    (55923, "45437-sy1-ix.equinix.com", 'p'),
+];
+
+fn training() -> SuffixTraining {
+    let obs: Vec<Observation> = ROWS
+        .iter()
+        .map(|&(asn, h, _)| Observation::new(h, [198, 51, 100, 7], asn))
+        .collect();
+    SuffixTraining::build("equinix.com", &obs)
+}
+
+fn rx(s: &str) -> Regex {
+    Regex::parse(s).unwrap()
+}
+
+/// Labels of TP/FP/FN hostnames for a regex list.
+fn labels(st: &SuffixTraining, regexes: &[Regex]) -> (String, String, String) {
+    let (mut tp, mut fp, mut fnn) = (String::new(), String::new(), String::new());
+    for (host, &(_, _, label)) in st.hosts.iter().zip(ROWS) {
+        match classify_host(regexes, host) {
+            Outcome::TruePositive(_) => tp.push(label),
+            Outcome::FalsePositive(_) => fp.push(label),
+            Outcome::FalseNegative => fnn.push(label),
+            Outcome::TrueNegative => {}
+        }
+    }
+    (tp, fp, fnn)
+}
+
+#[test]
+fn phase1_regex1_exact_classification() {
+    let st = training();
+    let r = rx(r"^(\d+)\.[^\.]+\.equinix\.com$");
+    assert_eq!(labels(&st, std::slice::from_ref(&r)), ("abc".into(), "no".into(), "defghijk".into()));
+    assert_eq!(evaluate(std::slice::from_ref(&r), &st.hosts).atp(), -7);
+}
+
+#[test]
+fn phase1_regexes_2_and_3() {
+    let st = training();
+    for (pat, tp) in [(r"^p(\d+)\.[^\.]+\.equinix\.com$", "df"), (r"^s(\d+)\.[^\.]+\.equinix\.com$", "eg")] {
+        let r = rx(pat);
+        let (got_tp, got_fp, _) = labels(&st, std::slice::from_ref(&r));
+        assert_eq!(got_tp, tp);
+        assert_eq!(got_fp, "");
+        assert_eq!(evaluate(std::slice::from_ref(&r), &st.hosts).atp(), -7);
+    }
+}
+
+#[test]
+fn phase1_regex4_typo_tp() {
+    // Regex #4 catches hostname h via the Damerau-Levenshtein typo rule
+    // (22822 vs training 22282).
+    let st = training();
+    let r = rx(r"^(\d+)-.+\.equinix\.com$");
+    assert_eq!(labels(&st, std::slice::from_ref(&r)), ("hijk".into(), "p".into(), "abcdefg".into()));
+    assert_eq!(evaluate(std::slice::from_ref(&r), &st.hosts).atp(), -4);
+}
+
+#[test]
+fn phase1_generates_figure_regexes() {
+    let st = training();
+    let pool: Vec<String> = base::generate(&st, &BaseConfig::default())
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    for want in [
+        r"^(\d+)\.[^\.]+\.equinix\.com$",
+        r"^p(\d+)\.[^\.]+\.equinix\.com$",
+        r"^s(\d+)\.[^\.]+\.equinix\.com$",
+        r"^(\d+)-.+\.equinix\.com$",
+    ] {
+        assert!(pool.iter().any(|g| g == want), "phase 1 missing {want}");
+    }
+}
+
+#[test]
+fn phase2_produces_regex5() {
+    let st = training();
+    let pool = base::generate(&st, &BaseConfig::default());
+    let merged: Vec<String> = merge::merge(&pool).iter().map(|r| r.to_string()).collect();
+    assert!(
+        merged.iter().any(|s| s == r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$"),
+        "phase 2 missing regex #5 in {merged:?}"
+    );
+    let r5 = rx(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$");
+    assert_eq!(evaluate(std::slice::from_ref(&r5), &st.hosts).atp(), 1);
+}
+
+#[test]
+fn phase3_produces_regex6() {
+    let st = training();
+    let mut pool = base::generate(&st, &BaseConfig::default());
+    pool.extend(merge::merge(&pool));
+    let specialised: Vec<String> =
+        classes::embed_classes(&pool, &st.hosts).iter().map(|r| r.to_string()).collect();
+    assert!(
+        specialised.iter().any(|s| s == r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+        "phase 3 missing regex #6 in {specialised:?}"
+    );
+}
+
+#[test]
+fn phase4_set_reaches_atp8_and_selection_picks_it() {
+    let st = training();
+    let set = [
+        rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+        rx(r"^(\d+)-.+\.equinix\.com$"),
+    ];
+    let counts = evaluate(&set, &st.hosts);
+    assert_eq!((counts.tp, counts.fp, counts.fnn), (11, 3, 0));
+    assert_eq!(counts.atp(), 8);
+
+    // The full learner must select exactly the figure's NC #7.
+    let learned = learn_suffix(&st, &LearnConfig::default()).expect("learned");
+    let got: Vec<String> = learned.convention.regexes.iter().map(|r| r.to_string()).collect();
+    assert_eq!(
+        got,
+        vec![
+            r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$".to_string(),
+            r"^(\d+)-.+\.equinix\.com$".to_string(),
+        ],
+        "selection did not pick the figure's NC #7"
+    );
+    assert_eq!(learned.counts.atp(), 8);
+}
+
+#[test]
+fn microsoft_siblings_are_fps_here() {
+    // Hostnames n and o embed Microsoft sibling ASNs (8069, 8074-typo'd
+    // 8075 fails the last-digit rule) while the training ASN is 8075 —
+    // both must be FPs under the plain §3.1 rules.
+    let st = training();
+    let r = rx(r"^(\d+)\.[a-z]+\.equinix\.com$");
+    let (_, fp, _) = labels(&st, std::slice::from_ref(&r));
+    assert!(fp.contains('n') && fp.contains('o'), "fp set was {fp:?}");
+}

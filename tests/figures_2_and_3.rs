@@ -1,0 +1,105 @@
+//! Figures 2 and 3: the supplier-own-ASN convention and the
+//! apparent-ASN edge cases, end to end through the learner.
+
+use hoiho_repro::hoiho::apparent::{congruence, Congruence};
+use hoiho_repro::hoiho::classify::NcClass;
+use hoiho_repro::hoiho::learner::{learn_all, LearnConfig};
+use hoiho_repro::hoiho::training::{Observation, TrainingSet};
+use hoiho_repro::psl::PublicSuffixList;
+
+#[test]
+fn figure2_nts_ch_learns_a_single_unusable_convention() {
+    // The nts.ch operator embeds its own AS15576 in every hostname,
+    // including those supplied to customer routers. The learner must
+    // produce a convention, but one that extracts a single unique ASN —
+    // never usable for neighbor inference.
+    let rows: &[(u32, &str)] = &[
+        (15576, "ge0-2.01.p.ost.ch.as15576.nts.ch"),
+        (15576, "lo1000.01.lns.czh.ch.as15576.nts.ch"),
+        (15576, "te0-0-24.01.p.bre.ch.as15576.nts.ch"),
+        (44879, "01.r.cba.ch.bl.cust.as15576.nts.ch"),
+        (51768, "02.r.czh.ch.sda.cust.as15576.nts.ch"),
+        (206616, "01.r.cbs.ch.wwc.cust.as15576.nts.ch"),
+    ];
+    let mut ts = TrainingSet::new();
+    for &(asn, h) in rows {
+        ts.push(Observation::new(h, [203, 0, 113, 5], asn));
+    }
+    let groups = ts.by_suffix(&PublicSuffixList::builtin());
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].suffix, "nts.ch");
+    let learned = learn_all(&groups, &LearnConfig::default());
+    assert_eq!(learned.len(), 1);
+    let lc = &learned[0];
+    assert!(lc.single, "nts.ch must be flagged single");
+    assert!(!lc.class.usable(), "single-ASN conventions are not usable");
+    assert_eq!(lc.counts.unique_extracted.len(), 1);
+    assert!(lc.counts.unique_extracted.contains(&15576));
+    // And the convention does extract 15576 from the operator's shapes.
+    assert_eq!(lc.convention.extract("xe-9.02.p.zrh.ch.as15576.nts.ch"), Some(15576));
+}
+
+#[test]
+fn figure3a_typo_rules() {
+    // Rows of Figure 3a with the rule outcomes §3.1 prescribes.
+    let cases: &[(&str, u32, Congruence)] = &[
+        // Typos / coincidences at distance one with matching first+last:
+        ("24940", 20940, Congruence::Typo),
+        ("202073", 205073, Congruence::Typo),
+        ("20732", 207032, Congruence::Typo),
+        // Coincidence rejected: last digits differ.
+        ("605", 6057, Congruence::No),
+        // Plain agreement.
+        ("701", 701, Congruence::Exact),
+    ];
+    for &(extracted, training, want) in cases {
+        assert_eq!(congruence(extracted, training), want, "{extracted} vs {training}");
+    }
+}
+
+#[test]
+fn figure3b_ip_fragments_never_train_conventions() {
+    // Hostnames deriving from the interface address must not give the
+    // learner an apparent ASN, even when an octet equals the training
+    // ASN. With only such hostnames, nothing is learned.
+    let rows: &[(u32, [u8; 4], &str)] = &[
+        (122, [50, 236, 216, 122], "50-236-216-122-static.hfc.combusiness.net"),
+        (209, [209, 201, 58, 109], "209-201-58-109.dia.stat.combusiness.net"),
+        (209, [209, 206, 252, 105], "209-206-252-105.stat.combusiness.net"),
+    ];
+    let mut ts = TrainingSet::new();
+    for &(asn, addr, h) in rows {
+        ts.push(Observation::new(h, addr, asn));
+    }
+    let groups = ts.by_suffix(&PublicSuffixList::builtin());
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].apparent_count(), 0, "IP fragments must not look like ASNs");
+    let learned = learn_all(&groups, &LearnConfig::default());
+    assert!(learned.is_empty(), "no convention should be learned from IP-derived names");
+}
+
+#[test]
+fn figure1_style_neighbor_annotations_learned_usable() {
+    // gtt.net-style: the supplier annotates each neighbor ASN.
+    let rows: &[(u32, &str)] = &[
+        (13335, "ip4.gtt-like.net.as13335.any"),
+        (3356, "xe-11-0-0.cr2-phx2.ip4.gtt-like.net"),
+    ];
+    let _ = rows; // (illustrative rows above; the learnable set below)
+    let mut ts = TrainingSet::new();
+    for i in 0..6u32 {
+        let asn = 50000 + i * 17;
+        ts.push(Observation::new(
+            &format!("as{asn}-xe-{i}.lax{}.gtt-like.net", i % 3),
+            [198, 51, 100, i as u8 + 1],
+            asn,
+        ));
+    }
+    let groups = ts.by_suffix(&PublicSuffixList::builtin());
+    let learned = learn_all(&groups, &LearnConfig::default());
+    assert_eq!(learned.len(), 1);
+    let lc = &learned[0];
+    assert_eq!(lc.class, NcClass::Good);
+    assert!(!lc.single);
+    assert_eq!(lc.convention.extract("as64999-xe-9.lax1.gtt-like.net"), Some(64999));
+}

@@ -1,0 +1,171 @@
+//! Whole-system integration: synthetic Internet → traceroute → alias
+//! resolution → ownership inference → Hoiho learning → §5 integration,
+//! asserting the paper's qualitative claims hold end to end.
+
+use hoiho_repro::bdrmap::integrate::{integrate, ConventionSet};
+use hoiho_repro::hoiho::classify::NcClass;
+use hoiho_repro::hoiho::learner::{learn_all, LearnConfig};
+use hoiho_repro::itdk::{BuiltSnapshot, Method, SnapshotSpec};
+use hoiho_repro::netsim::SimConfig;
+use hoiho_repro::psl::PublicSuffixList;
+use std::collections::BTreeMap;
+
+fn spec(method: Method, seed: u64) -> SnapshotSpec {
+    SnapshotSpec { label: format!("it-{seed}"), method, cfg: SimConfig::tiny(seed), alias_split: 0.3 }
+}
+
+#[test]
+fn method_ordering_rtaa_below_bdrmapit_below_peeringdb() {
+    // Figure 6's headline ordering must hold on the same Internet.
+    let seed = 777;
+    let r = BuiltSnapshot::build(&spec(Method::Rtaa, seed));
+    let b = BuiltSnapshot::build(&spec(Method::BdrmapIt, seed));
+    let p = BuiltSnapshot::build(&spec(Method::PeeringDb, seed));
+    let (ra, ba, pa) = (r.training_accuracy(), b.training_accuracy(), p.training_accuracy());
+    assert!(ra < ba, "RTAA {ra} should be below bdrmapIT {ba}");
+    assert!(ba < pa + 0.05, "bdrmapIT {ba} should not beat PeeringDB {pa} materially");
+    assert!(ra > 0.5 && pa > 0.9);
+}
+
+#[test]
+fn learner_finds_usable_conventions_on_snapshot() {
+    let snap = BuiltSnapshot::build(&spec(Method::BdrmapIt, 4242));
+    let psl = PublicSuffixList::builtin();
+    let training = snap.training_set();
+    assert!(training.len() > 100, "thin training set: {}", training.len());
+    let groups = training.by_suffix(&psl);
+    let learned = learn_all(&groups, &LearnConfig::default());
+    assert!(!learned.is_empty());
+    let usable = learned.iter().filter(|l| l.class.usable()).count();
+    assert!(usable >= 3, "only {usable} usable conventions");
+    // Every learned convention extracts from its own suffix.
+    for lc in &learned {
+        assert!(!lc.convention.is_empty());
+        assert!(lc.counts.tp > 0);
+    }
+}
+
+#[test]
+fn integration_improves_against_ground_truth() {
+    // The §5 loop: agreement and ground-truth accuracy must not get
+    // worse, and stale hostnames must mostly be rejected. A full-size
+    // Internet keeps the decision sample large enough to be stable.
+    let snap = BuiltSnapshot::build(&SnapshotSpec {
+        label: "it-991".into(),
+        method: Method::BdrmapIt,
+        cfg: SimConfig { seed: 991, ..SimConfig::default() },
+        alias_split: 0.3,
+    });
+    let psl = PublicSuffixList::builtin();
+    let groups = snap.training_set().by_suffix(&psl);
+    let learned = learn_all(&groups, &LearnConfig::default());
+    let conventions = ConventionSet::new(
+        learned.iter().filter(|l| !l.single).map(|l| (l.convention.clone(), l.class)),
+    );
+    let mut hostnames = BTreeMap::new();
+    for &addr in snap.graph.by_addr.keys() {
+        if let Some(iface) = snap.internet.iface_at(addr) {
+            if let Some(h) = iface.hostname.as_deref() {
+                hostnames.insert(addr, h.to_string());
+            }
+        }
+    }
+    let res = integrate(&snap.graph, &snap.input, &snap.owners, &hostnames, &conventions);
+    assert!(res.annotated > 20, "annotated: {}", res.annotated);
+    assert!(res.final_rate() >= res.initial_rate());
+
+    // Ground truth scoring over annotated interfaces.
+    let score = |owners: &[Option<u32>]| -> (usize, usize) {
+        let (mut ok, mut all) = (0, 0);
+        for (&addr, h) in &hostnames {
+            if conventions.extract(h).is_none() {
+                continue;
+            }
+            let ridx = snap.graph.by_addr[&addr];
+            let Some(truth) = snap.internet.owner_of_addr(addr) else { continue };
+            let Some(inf) = owners[ridx] else { continue };
+            all += 1;
+            if inf == truth || snap.input.org.siblings(inf, truth) {
+                ok += 1;
+            }
+        }
+        (ok, all)
+    };
+    let (ok0, all0) = score(&snap.owners);
+    let (ok1, all1) = score(&res.owners);
+    assert_eq!(all0, all1);
+    assert!(ok1 >= ok0, "integration reduced accuracy: {ok0}/{all0} -> {ok1}/{all1}");
+
+    // Decision accuracy against simulator ground truth (the Table 2
+    // protocol over every decision): ≥ 70% correct.
+    let mut correct = 0usize;
+    for d in &res.decisions {
+        let truth = snap.internet.owner_of_addr(d.addr).unwrap();
+        let hostname_right = d.extracted == truth || snap.input.org.siblings(d.extracted, truth);
+        if hostname_right == d.used {
+            correct += 1;
+        }
+    }
+    if !res.decisions.is_empty() {
+        let rate = correct as f64 / res.decisions.len() as f64;
+        assert!(rate >= 0.7, "stale-vs-correct arbitration only {rate:.2}");
+    }
+}
+
+#[test]
+fn itdk_and_peeringdb_are_complementary() {
+    // §4: the two sources overlap on IXPs but each contributes unique
+    // usable suffixes (on a big-enough Internet).
+    let cfg = SimConfig { seed: 606, ..SimConfig::default() };
+    let itdk = BuiltSnapshot::build(&SnapshotSpec {
+        label: "itdk".into(),
+        method: Method::BdrmapIt,
+        cfg: cfg.clone(),
+        alias_split: 0.3,
+    });
+    let pdb = BuiltSnapshot::build(&SnapshotSpec {
+        label: "pdb".into(),
+        method: Method::PeeringDb,
+        cfg,
+        alias_split: 0.3,
+    });
+    let psl = PublicSuffixList::builtin();
+    let usable = |snap: &BuiltSnapshot| -> std::collections::BTreeSet<String> {
+        learn_all(&snap.training_set().by_suffix(&psl), &LearnConfig::default())
+            .into_iter()
+            .filter(|l| l.class.usable())
+            .map(|l| l.convention.suffix)
+            .collect()
+    };
+    let a = usable(&itdk);
+    let b = usable(&pdb);
+    assert!(!a.is_empty() && !b.is_empty());
+    assert!(a.difference(&b).count() > 0, "ITDK contributed nothing unique");
+}
+
+#[test]
+fn good_conventions_have_high_ppv_on_holdout() {
+    // Learn on one snapshot, apply to the same Internet's full
+    // ground-truth interface table (a superset of the training data):
+    // good NCs must stay mostly correct.
+    let snap = BuiltSnapshot::build(&spec(Method::BdrmapIt, 31415));
+    let psl = PublicSuffixList::builtin();
+    let learned = learn_all(&snap.training_set().by_suffix(&psl), &LearnConfig::default());
+    let mut ok = 0usize;
+    let mut bad = 0usize;
+    for lc in learned.iter().filter(|l| l.class == NcClass::Good && !l.single) {
+        for (iface, owner) in snap.internet.named_interfaces() {
+            let h = iface.hostname.as_deref().unwrap();
+            if let Some(extracted) = lc.convention.extract(h) {
+                if extracted == owner || snap.input.org.siblings(extracted, owner) {
+                    ok += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+    }
+    assert!(ok > 0);
+    let ppv = ok as f64 / (ok + bad) as f64;
+    assert!(ppv > 0.75, "holdout PPV {ppv:.2}");
+}
