@@ -1,22 +1,22 @@
-//! Property-based tests for the AS databases: the trie agrees with a
-//! linear scan, prefixes round-trip, and the relationship graph keeps
-//! its invariants under random construction.
+//! Property-based tests for the AS databases, on the devkit harness:
+//! the trie agrees with a linear scan, prefixes round-trip, and the
+//! relationship graph keeps its invariants under random construction.
 
 use hoiho_asdb::{addr_parse, addr_to_string, As2Org, AsRelationships, Prefix, RouteTable};
-use proptest::prelude::*;
+use hoiho_devkit::prop::{any, vec_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
 
-fn prefix() -> impl Strategy<Value = Prefix> {
+fn prefix() -> impl Gen<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(a, l))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    cases = 128;
 
     /// Longest-prefix match agrees with a brute-force scan.
-    #[test]
     fn trie_agrees_with_linear_scan(
-        entries in proptest::collection::vec((prefix(), any::<u32>()), 0..80),
-        queries in proptest::collection::vec(any::<u32>(), 0..60),
+        entries in vec_of((prefix(), any::<u32>()), 0..80),
+        queries in vec_of(any::<u32>(), 0..60),
     ) {
         // First value per distinct prefix wins in both implementations.
         let mut table: RouteTable<u32> = RouteTable::new();
@@ -39,7 +39,6 @@ proptest! {
     }
 
     /// Prefix parse/display round-trip and containment sanity.
-    #[test]
     fn prefix_roundtrip(p in prefix()) {
         let text = p.to_string();
         let parsed: Prefix = text.parse().unwrap();
@@ -53,17 +52,15 @@ proptest! {
     }
 
     /// Address dotted-quad round-trip.
-    #[test]
     fn addr_roundtrip(a in any::<u32>()) {
         prop_assert_eq!(addr_parse(&addr_to_string(a)), Some(a));
     }
 
     /// Relationship queries stay mutually consistent however the graph
     /// was built.
-    #[test]
     fn relationships_consistent(
-        pc in proptest::collection::vec((1u32..200, 1u32..200), 0..60),
-        peers in proptest::collection::vec((1u32..200, 1u32..200), 0..60),
+        pc in vec_of((1u32..200, 1u32..200), 0..60),
+        peers in vec_of((1u32..200, 1u32..200), 0..60),
     ) {
         let mut rel = AsRelationships::new();
         for &(p, c) in &pc {
@@ -91,9 +88,8 @@ proptest! {
 
     /// Sibling relation is reflexive (for known ASNs), symmetric, and
     /// transitive — it is org-equality.
-    #[test]
     fn siblings_are_equivalence(
-        assignments in proptest::collection::vec((1u32..100, 0u32..10), 1..50),
+        assignments in vec_of((1u32..100, 0u32..10), 1..50),
     ) {
         let mut org = As2Org::new();
         for &(asn, o) in &assignments {

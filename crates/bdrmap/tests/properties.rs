@@ -1,0 +1,137 @@
+//! Property-based tests for router-ownership inference, on the devkit
+//! harness: the router graph built from arbitrary traceroute corpora
+//! keeps its structural invariants, and both inference methods are
+//! total, deterministic, and evidence-grounded.
+
+use hoiho_asdb::{As2Org, AsRelationships, IxpDirectory, Prefix, RouteTable};
+use hoiho_bdrmap::graph::RouterGraph;
+use hoiho_bdrmap::refine::{self, RefineConfig};
+use hoiho_bdrmap::rtaa;
+use hoiho_bdrmap::{InferenceInput, Trace};
+use hoiho_devkit::prop::{any, vec_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
+
+/// Raw material for an [`InferenceInput`]: announced /16s, sibling
+/// assignments, alias sets, and traceroute paths over a small address
+/// pool so hops actually collide with routers and prefixes.
+fn input() -> impl Gen<Value = InferenceInput> {
+    let announce = vec_of((0u32..40, 1u32..30), 1..25usize);
+    let pc = vec_of((1u32..30, 1u32..30), 0..15usize);
+    let aliases = vec_of(vec_of(any::<u32>().prop_map(pool_addr), 0..4usize), 0..8usize);
+    let traces = vec_of(
+        (
+            1u32..30,
+            any::<u32>().prop_map(pool_addr),
+            vec_of((any::<bool>(), any::<u32>()), 0..8usize),
+        ),
+        0..30usize,
+    );
+    (announce, pc, aliases, traces).prop_map(|(announce, pc, aliases, traces)| {
+        let mut bgp = RouteTable::new();
+        for (block, asn) in announce {
+            // First origin per /16 wins; later duplicates are ignored
+            // by construction order in RouteTable::insert semantics.
+            let p = Prefix::new(block << 16, 16);
+            if bgp.get(&p).is_none() {
+                bgp.insert(p, asn);
+            }
+        }
+        let mut rel = AsRelationships::new();
+        for (p, c) in pc {
+            if p != c {
+                rel.add_provider_customer(p, c);
+            }
+        }
+        let mut org = As2Org::new();
+        for asn in 1..30u32 {
+            org.assign(asn, asn / 3, "org");
+        }
+        let traces = traces
+            .into_iter()
+            .map(|(vp_asn, dst, hops)| Trace {
+                vp_asn,
+                dst,
+                hops: hops
+                    .into_iter()
+                    .map(|(responsive, a)| responsive.then(|| pool_addr(a)))
+                    .collect(),
+            })
+            .collect();
+        InferenceInput { bgp, rel, org, ixps: IxpDirectory::new(), aliases, traces }
+    })
+}
+
+/// Maps arbitrary entropy into a small address pool (40 /16 blocks ×
+/// 64 hosts) so addresses repeat across traces and alias sets.
+fn pool_addr(raw: u32) -> u32 {
+    ((raw % 40) << 16) | (raw >> 16) % 64
+}
+
+props! {
+    cases = 64;
+
+    /// The router graph partitions its addresses: every mapped address
+    /// belongs to exactly one router, and every responsive hop is
+    /// mapped.
+    fn graph_partitions_addresses(input in input()) {
+        let g = RouterGraph::build(&input);
+        let mut total = 0usize;
+        for (idx, node) in g.routers.iter().enumerate() {
+            for &a in &node.interfaces {
+                prop_assert_eq!(g.by_addr.get(&a).copied(), Some(idx));
+            }
+            total += node.interfaces.len();
+        }
+        // Disjointness: the address map and the interface lists agree
+        // in size, so no address sits on two routers.
+        prop_assert_eq!(total, g.by_addr.len());
+        for t in &input.traces {
+            for h in t.hops.iter().flatten() {
+                prop_assert!(g.by_addr.contains_key(h), "unmapped hop {h}");
+            }
+        }
+        // Edges and annotations reference real routers.
+        for node in &g.routers {
+            for (&next, &count) in &node.next_routers {
+                prop_assert!(next < g.len());
+                prop_assert!(count >= 1);
+            }
+        }
+    }
+
+    /// Both inference methods are total (one verdict slot per router)
+    /// and deterministic.
+    fn inference_total_and_deterministic(input in input()) {
+        let g = RouterGraph::build(&input);
+        let r1 = rtaa::infer(&g, &input);
+        let r2 = rtaa::infer(&g, &input);
+        prop_assert_eq!(r1.len(), g.len());
+        prop_assert_eq!(&r1, &r2);
+        let b1 = refine::infer(&g, &input, &RefineConfig::default());
+        let b2 = refine::infer(&g, &input, &RefineConfig::default());
+        prop_assert_eq!(b1.len(), g.len());
+        prop_assert_eq!(&b1, &b2);
+    }
+
+    /// An RTAA verdict is evidence-grounded: the elected AS originates
+    /// at least one of the router's own interfaces, and a router none
+    /// of whose interfaces resolve in BGP gets no verdict.
+    fn rtaa_owner_is_an_interface_origin(input in input()) {
+        let g = RouterGraph::build(&input);
+        let owners = rtaa::infer(&g, &input);
+        for (node, owner) in g.routers.iter().zip(&owners) {
+            let origins: Vec<u32> = node
+                .interfaces
+                .iter()
+                .filter_map(|&a| input.origin(a))
+                .collect();
+            match owner {
+                Some(asn) => prop_assert!(
+                    origins.contains(asn),
+                    "owner {asn} not among interface origins {origins:?}"
+                ),
+                None => prop_assert!(origins.is_empty()),
+            }
+        }
+    }
+}

@@ -1,13 +1,16 @@
 //! Benchmarks for the inference substrate: longest-prefix matching,
 //! public-suffix lookups, router-graph construction, RTAA election,
 //! bdrmapIT refinement, and the §5 integration.
+//!
+//! Runs on the devkit micro-benchmark harness; results land in
+//! `BENCH_inference.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hoiho::learner::{learn_all, LearnConfig};
 use hoiho_bdrmap::graph::RouterGraph;
 use hoiho_bdrmap::integrate::{integrate, ConventionSet};
 use hoiho_bdrmap::refine::{self, RefineConfig};
 use hoiho_bdrmap::rtaa;
+use hoiho_devkit::bench::{Harness, Throughput};
 use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_netsim::SimConfig;
 use hoiho_psl::PublicSuffixList;
@@ -23,11 +26,11 @@ fn spec() -> SnapshotSpec {
     }
 }
 
-fn bench_trie(c: &mut Criterion) {
+fn bench_trie(h: &mut Harness) {
     let snap = BuiltSnapshot::build(&spec());
     let bgp = &snap.input.bgp;
     let addrs: Vec<u32> = snap.graph.by_addr.keys().copied().collect();
-    let mut g = c.benchmark_group("substrate/trie_lpm");
+    let mut g = h.benchmark_group("substrate/trie_lpm");
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("lookup_observed_addrs", |b| {
         b.iter(|| {
@@ -43,7 +46,7 @@ fn bench_trie(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_psl(c: &mut Criterion) {
+fn bench_psl(h: &mut Harness) {
     let psl = PublicSuffixList::builtin();
     let snap = BuiltSnapshot::build(&spec());
     let names: Vec<String> = snap
@@ -52,7 +55,7 @@ fn bench_psl(c: &mut Criterion) {
         .iter()
         .filter_map(|i| i.hostname.clone())
         .collect();
-    let mut g = c.benchmark_group("substrate/psl");
+    let mut g = h.benchmark_group("substrate/psl");
     g.throughput(Throughput::Elements(names.len() as u64));
     g.bench_function("registrable_domain", |b| {
         b.iter(|| {
@@ -68,9 +71,9 @@ fn bench_psl(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_graph_build(c: &mut Criterion) {
+fn bench_graph_build(h: &mut Harness) {
     let snap = BuiltSnapshot::build(&spec());
-    let mut g = c.benchmark_group("inference/graph_build");
+    let mut g = h.benchmark_group("inference/graph_build");
     g.sample_size(20);
     g.throughput(Throughput::Elements(snap.input.traces.len() as u64));
     g.bench_function("router_graph_from_traces", |b| {
@@ -79,10 +82,10 @@ fn bench_graph_build(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(h: &mut Harness) {
     let snap = BuiltSnapshot::build(&spec());
     let graph = RouterGraph::build(&snap.input);
-    let mut g = c.benchmark_group("inference/ownership");
+    let mut g = h.benchmark_group("inference/ownership");
     g.sample_size(20);
     g.throughput(Throughput::Elements(graph.len() as u64));
     g.bench_function("rtaa_election", |b| {
@@ -94,7 +97,7 @@ fn bench_inference(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_integration(c: &mut Criterion) {
+fn bench_integration(h: &mut Harness) {
     let snap = BuiltSnapshot::build(&spec());
     let psl = PublicSuffixList::builtin();
     let training = snap.training_set();
@@ -111,7 +114,7 @@ fn bench_integration(c: &mut Criterion) {
             }
         }
     }
-    let mut g = c.benchmark_group("inference/integration");
+    let mut g = h.benchmark_group("inference/integration");
     g.sample_size(20);
     g.throughput(Throughput::Elements(hostnames.len() as u64));
     g.bench_function("sec5_integrate", |b| {
@@ -128,10 +131,10 @@ fn bench_integration(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(h: &mut Harness) {
     // The full snapshot build (topology, traceroute, aliases,
     // inference) — the unit Figure 5/6 iterate 19 times.
-    let mut g = c.benchmark_group("pipeline/snapshot_build");
+    let mut g = h.benchmark_group("pipeline/snapshot_build");
     g.sample_size(10);
     g.bench_function("tiny_internet", |b| {
         b.iter(|| black_box(BuiltSnapshot::build(black_box(&spec()))))
@@ -139,13 +142,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_trie,
-    bench_psl,
-    bench_graph_build,
-    bench_inference,
-    bench_integration,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("inference");
+    bench_trie(&mut h);
+    bench_psl(&mut h);
+    bench_graph_build(&mut h);
+    bench_inference(&mut h);
+    bench_integration(&mut h);
+    bench_end_to_end(&mut h);
+    h.finish();
+}

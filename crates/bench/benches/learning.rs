@@ -1,12 +1,15 @@
 //! Benchmarks for the learning pipeline: base-regex generation, the
 //! merge/class phases, per-suffix learning, and snapshot-scale learning
 //! (one bar per pipeline stage of the paper's §3).
+//!
+//! Runs on the devkit micro-benchmark harness; results land in
+//! `BENCH_learning.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hoiho::learner::{learn_all, learn_suffix, LearnConfig};
 use hoiho::phases::base::{self, BaseConfig};
 use hoiho::phases::{classes, merge};
 use hoiho::training::{Observation, SuffixTraining, TrainingSet};
+use hoiho_devkit::bench::{Harness, Throughput};
 use hoiho_psl::PublicSuffixList;
 use std::hint::black_box;
 
@@ -54,32 +57,32 @@ fn big_suffix(hostnames: usize) -> SuffixTraining {
     SuffixTraining::build("bigco.net", &obs)
 }
 
-fn bench_base_generation(c: &mut Criterion) {
+fn bench_base_generation(h: &mut Harness) {
     let st = figure4();
-    c.bench_function("learn/base_generate_figure4", |b| {
+    h.bench_function("learn/base_generate_figure4", |b| {
         b.iter(|| black_box(base::generate(black_box(&st), &BaseConfig::default())))
     });
 }
 
-fn bench_phases(c: &mut Criterion) {
+fn bench_phases(h: &mut Harness) {
     let st = figure4();
     let pool = base::generate(&st, &BaseConfig::default());
-    c.bench_function("learn/merge_figure4", |b| {
+    h.bench_function("learn/merge_figure4", |b| {
         b.iter(|| black_box(merge::merge(black_box(&pool))))
     });
-    c.bench_function("learn/classes_figure4", |b| {
+    h.bench_function("learn/classes_figure4", |b| {
         b.iter(|| black_box(classes::embed_classes(black_box(&pool), &st.hosts)))
     });
 }
 
-fn bench_learn_suffix(c: &mut Criterion) {
+fn bench_learn_suffix(h: &mut Harness) {
     let fig4 = figure4();
-    c.bench_function("learn/suffix_figure4", |b| {
+    h.bench_function("learn/suffix_figure4", |b| {
         b.iter(|| black_box(learn_suffix(black_box(&fig4), &LearnConfig::default())))
     });
     for n in [100usize, 400] {
         let st = big_suffix(n);
-        let mut g = c.benchmark_group("learn/suffix_scale");
+        let mut g = h.benchmark_group("learn/suffix_scale");
         g.throughput(Throughput::Elements(n as u64));
         g.bench_function(format!("{n}_hostnames"), |b| {
             b.iter(|| black_box(learn_suffix(black_box(&st), &LearnConfig::default())))
@@ -88,7 +91,7 @@ fn bench_learn_suffix(c: &mut Criterion) {
     }
 }
 
-fn bench_learn_snapshot(c: &mut Criterion) {
+fn bench_learn_snapshot(h: &mut Harness) {
     // Whole-snapshot learning across suffixes (threaded).
     let psl = PublicSuffixList::builtin();
     let mut ts = TrainingSet::new();
@@ -103,7 +106,7 @@ fn bench_learn_snapshot(c: &mut Criterion) {
         }
     }
     let groups = ts.by_suffix(&psl);
-    let mut g = c.benchmark_group("learn/snapshot");
+    let mut g = h.benchmark_group("learn/snapshot");
     g.sample_size(10);
     g.throughput(Throughput::Elements(ts.len() as u64));
     g.bench_function("40_suffixes_1000_hostnames", |b| {
@@ -112,11 +115,11 @@ fn bench_learn_snapshot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_base_generation,
-    bench_phases,
-    bench_learn_suffix,
-    bench_learn_snapshot
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("learning");
+    bench_base_generation(&mut h);
+    bench_phases(&mut h);
+    bench_learn_suffix(&mut h);
+    bench_learn_snapshot(&mut h);
+    h.finish();
+}

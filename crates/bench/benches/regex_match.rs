@@ -1,8 +1,11 @@
 //! Microbenchmarks for the regex dialect engine: parsing, matching, and
 //! extraction over a hostname corpus shaped like the paper's data.
+//!
+//! Runs on the devkit micro-benchmark harness; results land in
+//! `BENCH_regex_match.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hoiho::Regex;
+use hoiho_devkit::bench::{BatchSize, Harness, Throughput};
 use std::hint::black_box;
 
 /// The paper's own regexes (Figures 2 and 4 plus Table 1 shapes).
@@ -30,8 +33,8 @@ fn corpus() -> Vec<String> {
     out
 }
 
-fn bench_parse(c: &mut Criterion) {
-    c.bench_function("regex/parse_paper_set", |b| {
+fn bench_parse(h: &mut Harness) {
+    h.bench_function("regex/parse_paper_set", |b| {
         b.iter(|| {
             for s in REGEXES {
                 black_box(Regex::parse(black_box(s)).unwrap());
@@ -40,10 +43,10 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
-fn bench_match(c: &mut Criterion) {
+fn bench_match(h: &mut Harness) {
     let regexes: Vec<Regex> = REGEXES.iter().map(|s| Regex::parse(s).unwrap()).collect();
     let hosts = corpus();
-    let mut g = c.benchmark_group("regex/match");
+    let mut g = h.benchmark_group("regex/match");
     g.throughput(Throughput::Elements((regexes.len() * hosts.len()) as u64));
     g.bench_function("find_all_pairs", |b| {
         b.iter(|| {
@@ -61,10 +64,10 @@ fn bench_match(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_extract(c: &mut Criterion) {
+fn bench_extract(h: &mut Harness) {
     let r = Regex::parse(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$").unwrap();
     let hosts = corpus();
-    let mut g = c.benchmark_group("regex/extract");
+    let mut g = h.benchmark_group("regex/extract");
     g.throughput(Throughput::Elements(hosts.len() as u64));
     g.bench_function("single_regex_corpus", |b| {
         b.iter(|| {
@@ -80,11 +83,11 @@ fn bench_extract(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_trace(c: &mut Criterion) {
+fn bench_trace(h: &mut Harness) {
     // find_trace powers the char-class phase; measure its overhead.
     let r = Regex::parse(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$").unwrap();
     let hosts = corpus();
-    c.bench_function("regex/find_trace_corpus", |b| {
+    h.bench_function("regex/find_trace_corpus", |b| {
         b.iter_batched(
             || hosts.clone(),
             |hosts| {
@@ -101,5 +104,11 @@ fn bench_trace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_match, bench_extract, bench_trace);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("regex_match");
+    bench_parse(&mut h);
+    bench_match(&mut h);
+    bench_extract(&mut h);
+    bench_trace(&mut h);
+    h.finish();
+}

@@ -46,10 +46,13 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 }
 
 /// True when the distance between `a` and `b` is exactly one. Short
-/// circuits on length difference greater than one.
+/// circuits on length difference greater than one, and rejects empty
+/// inputs outright: an empty digit string is never a one-typo ASN, and
+/// callers must not have to rely on upstream length guards (such as the
+/// ≥3-digit rule in `apparent::congruence`) for that.
 pub fn is_distance_one(a: &str, b: &str) -> bool {
     let (la, lb) = (a.len(), b.len());
-    if la.abs_diff(lb) > 1 {
+    if la == 0 || lb == 0 || la.abs_diff(lb) > 1 {
         return false;
     }
     damerau_levenshtein(a, b) == 1
@@ -70,7 +73,12 @@ mod tests {
         assert_eq!(damerau_levenshtein("", ""), 0);
         assert_eq!(damerau_levenshtein("", "123"), 3);
         assert_eq!(damerau_levenshtein("123", ""), 3);
-        assert!(is_distance_one("", "1"));
+        // The raw distance between "" and "1" is one, but an empty
+        // digit string is never a one-typo ASN.
+        assert_eq!(damerau_levenshtein("", "1"), 1);
+        assert!(!is_distance_one("", "1"));
+        assert!(!is_distance_one("1", ""));
+        assert!(!is_distance_one("", ""));
     }
 
     #[test]

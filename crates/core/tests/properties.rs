@@ -1,57 +1,64 @@
-//! Property-based tests for the core learning machinery: the regex
-//! dialect round-trips through its textual form, the matcher finds
-//! instances sampled from a regex, edit distance behaves like a metric
-//! (up to the OSA caveat), and evaluation counts stay consistent.
+//! Property-based tests for the core learning machinery, on the devkit
+//! harness: the regex dialect round-trips through its textual form, the
+//! matcher finds instances sampled from a regex, edit distance behaves
+//! like a metric (up to the OSA caveat), and evaluation counts stay
+//! consistent.
 
 use hoiho::apparent::{congruence, Congruence};
 use hoiho::editdist::damerau_levenshtein;
 use hoiho::eval::{evaluate, Counts};
+use hoiho::learner::{learn_all, LearnConfig};
 use hoiho::regex::{AltGroup, CharClass, Elem, Regex};
-use hoiho::training::{HostObs, Observation};
-use proptest::prelude::*;
+use hoiho::training::{HostObs, Observation, TrainingSet};
+use hoiho_devkit::prop::{any, just, one_of, string_of, vec_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
+use hoiho_psl::PublicSuffixList;
 
-/// Strategy: a literal chunk over the hostname alphabet (possibly with
-/// dots and hyphens, never empty).
-fn lit() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9][a-z0-9.-]{0,5}").unwrap()
+const LOWER_DIGIT: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// A literal chunk over the hostname alphabet (possibly with dots and
+/// hyphens, never empty): `[a-z0-9][a-z0-9.-]{0,5}`.
+fn lit() -> impl Gen<Value = String> {
+    (string_of(LOWER_DIGIT, 1..=1usize), string_of("abcdefghijklmnopqrstuvwxyz0123456789.-", 0..=5usize))
+        .prop_map(|(head, tail)| format!("{head}{tail}"))
 }
 
-/// Strategy: a non-empty alternation option (no punctuation — phase 2
-/// merges simple strings).
-fn alt_opt() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9]{1,4}").unwrap()
+/// A non-empty alternation option (no punctuation — phase 2 merges
+/// simple strings): `[a-z0-9]{1,4}`.
+fn alt_opt() -> impl Gen<Value = String> {
+    string_of(LOWER_DIGIT, 1..=4usize)
 }
 
-/// Strategy: one dialect element (excluding anchors and `.+`, handled at
-/// the regex level).
-fn elem() -> impl Strategy<Value = Elem> {
-    prop_oneof![
-        lit().prop_map(Elem::Lit),
-        Just(Elem::Digits),
-        Just(Elem::NotIn(".".to_string())),
-        Just(Elem::NotIn("-".to_string())),
-        Just(Elem::NotIn(".-".to_string())),
-        Just(Elem::Class(CharClass { lower: true, digit: false, hyphen: false })),
-        Just(Elem::Class(CharClass { lower: true, digit: true, hyphen: false })),
-        Just(Elem::Class(CharClass { lower: true, digit: true, hyphen: true })),
-        (proptest::collection::vec(alt_opt(), 1..3), any::<bool>())
-            .prop_filter_map("alt needs options", |(opts, optional)| {
-                AltGroup::from_variants(opts).map(|mut a| {
-                    a.optional = a.optional || optional;
-                    Elem::Alt(a)
-                })
-            }),
-    ]
+/// One dialect element (excluding anchors and `.+`, handled at the
+/// regex level).
+fn elem() -> impl Gen<Value = Elem> {
+    one_of(vec![
+        lit().prop_map(Elem::Lit).boxed(),
+        just(Elem::Digits).boxed(),
+        just(Elem::NotIn(".".to_string())).boxed(),
+        just(Elem::NotIn("-".to_string())).boxed(),
+        just(Elem::NotIn(".-".to_string())).boxed(),
+        just(Elem::Class(CharClass { lower: true, digit: false, hyphen: false })).boxed(),
+        just(Elem::Class(CharClass { lower: true, digit: true, hyphen: false })).boxed(),
+        just(Elem::Class(CharClass { lower: true, digit: true, hyphen: true })).boxed(),
+        (vec_of(alt_opt(), 1..3usize), any::<bool>())
+            .prop_map(|(opts, optional)| {
+                let mut a = AltGroup::from_variants(opts).expect("options are non-empty");
+                a.optional = a.optional || optional;
+                Elem::Alt(a)
+            })
+            .boxed(),
+    ])
 }
 
-/// Strategy: a whole dialect regex with optional anchors, a capture
-/// somewhere, and at most one `.+`.
-fn regex() -> impl Strategy<Value = Regex> {
+/// A whole dialect regex with optional anchors, a capture somewhere,
+/// and at most one `.+`.
+fn regex() -> impl Gen<Value = Regex> {
     (
         any::<bool>(),
         any::<bool>(),
-        proptest::collection::vec(elem(), 0..4),
-        proptest::collection::vec(elem(), 0..4),
+        vec_of(elem(), 0..4usize),
+        vec_of(elem(), 0..4usize),
         any::<bool>(),
     )
         .prop_map(|(anchor_start, anchor_end, before, after, with_any)| {
@@ -116,11 +123,10 @@ fn instance_of(e: &Elem, rng_bits: u64) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    cases = 256;
 
     /// Render → parse → render is a fixpoint.
-    #[test]
     fn regex_roundtrip(r in regex()) {
         let text = r.to_string();
         let parsed = Regex::parse(&text)
@@ -129,7 +135,6 @@ proptest! {
     }
 
     /// A hostname assembled from per-element instances matches.
-    #[test]
     fn sampled_instance_matches(r in regex(), seed in any::<u64>()) {
         let host: String = r
             .elems()
@@ -145,7 +150,6 @@ proptest! {
     }
 
     /// Captures are digit runs inside the match span.
-    #[test]
     fn captures_are_digits(r in regex(), seed in any::<u64>()) {
         let host: String = r
             .elems()
@@ -163,8 +167,10 @@ proptest! {
     }
 
     /// Damerau-Levenshtein: symmetry, identity, and length bounds.
-    #[test]
-    fn editdist_metric_properties(a in "[0-9]{0,8}", b in "[0-9]{0,8}") {
+    fn editdist_metric_properties(
+        a in string_of("0123456789", 0..=8usize),
+        b in string_of("0123456789", 0..=8usize),
+    ) {
         let d = damerau_levenshtein(&a, &b);
         prop_assert_eq!(d, damerau_levenshtein(&b, &a));
         prop_assert_eq!(d == 0, a == b);
@@ -173,8 +179,11 @@ proptest! {
     }
 
     /// Single-edit strings are at distance one.
-    #[test]
-    fn editdist_single_edits(s in "[0-9]{2,8}", pos in any::<usize>(), digit in 0u8..10) {
+    fn editdist_single_edits(
+        s in string_of("0123456789", 2..=8usize),
+        pos in any::<usize>(),
+        digit in 0u8..10,
+    ) {
         let bytes = s.as_bytes();
         let p = pos % bytes.len();
         // Substitution with a different digit.
@@ -197,7 +206,6 @@ proptest! {
     }
 
     /// Exact numeric matches are always congruent; distance ≥ 2 never is.
-    #[test]
     fn congruence_consistency(asn in 1u32..400_000) {
         prop_assert_eq!(congruence(&asn.to_string(), asn), Congruence::Exact);
         // Appending two digits makes it incongruent.
@@ -208,8 +216,7 @@ proptest! {
     }
 
     /// Evaluation counts partition the hostname set.
-    #[test]
-    fn evaluation_counts_partition(asns in proptest::collection::vec(1u32..90_000, 1..20)) {
+    fn evaluation_counts_partition(asns in vec_of(1u32..90_000, 1..20usize)) {
         let hosts: Vec<HostObs> = asns
             .iter()
             .enumerate()
@@ -229,5 +236,35 @@ proptest! {
         prop_assert!(c.atp() <= i64::from(c.tp));
         prop_assert_eq!(c.matched(), c.tp + c.fp);
         prop_assert!(c.unique_tp_asns.len() <= c.tp as usize);
+    }
+}
+
+/// Regression: threaded whole-snapshot learning must be byte-for-byte
+/// identical to the single-threaded path, on a synthetic set large
+/// enough (50 suffixes) to exercise real work stealing across threads.
+#[test]
+fn learn_all_threaded_equals_single_threaded_50_suffixes() {
+    let psl = PublicSuffixList::builtin();
+    let mut ts = TrainingSet::new();
+    for d in 0..50u32 {
+        for i in 0..12u32 {
+            let asn = 30_000 + d * 40 + i;
+            ts.push(Observation::new(
+                &format!("as{asn}-ae{}.pop{}.operator{d}-net.net", i % 4, i % 5),
+                [203, 0, 113, (i % 250) as u8],
+                asn,
+            ));
+        }
+    }
+    let groups = ts.by_suffix(&psl);
+    assert_eq!(groups.len(), 50, "one group per synthetic suffix");
+    let single = learn_all(&groups, &LearnConfig { threads: 1, ..LearnConfig::default() });
+    let multi = learn_all(&groups, &LearnConfig { threads: 8, ..LearnConfig::default() });
+    assert_eq!(single.len(), multi.len());
+    for (s, m) in single.iter().zip(&multi) {
+        assert_eq!(s.convention.suffix, m.convention.suffix);
+        assert_eq!(s.convention.to_string(), m.convention.to_string());
+        assert_eq!(s.class, m.class);
+        assert_eq!(s.single, m.single);
     }
 }

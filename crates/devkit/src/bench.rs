@@ -1,0 +1,390 @@
+//! Micro-benchmark harness: warmup, calibrated fixed iteration budget,
+//! median + MAD, optional throughput — std only, criterion-shaped.
+//!
+//! The API mirrors the slice of criterion the workspace's bench targets
+//! used (`bench_function`, `benchmark_group`, `throughput`,
+//! `sample_size`, `Bencher::iter`, `Bencher::iter_batched`), so porting
+//! a bench is a `use`-line swap plus an explicit `main`. Each bench
+//! binary writes `BENCH_<name>.json` at the workspace root; that file
+//! is the unit of the repo's performance trajectory, so the schema is
+//! documented in DESIGN.md and kept append-compatible.
+//!
+//! Statistics: per benchmark we take `samples` timing samples, each of
+//! `iters_per_sample` iterations (calibrated during warmup so one
+//! sample costs roughly [`SAMPLE_TARGET_NS`]). The reported center is
+//! the **median** per-iteration time and the spread is the **median
+//! absolute deviation** (MAD) — both robust to the scheduling outliers
+//! that dominate short timings on shared machines, which is why they
+//! are preferred over mean/stddev here.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Warmup budget before calibration.
+const WARMUP_NS: u64 = 30_000_000;
+/// Target wall-clock cost of one timing sample.
+const SAMPLE_TARGET_NS: u64 = 15_000_000;
+/// Hard cap on one benchmark's measured phase.
+const MAX_BENCH_NS: u64 = 2_000_000_000;
+/// Default number of timing samples.
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for
+/// criterion compatibility; the harness re-runs setup per iteration
+/// either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+struct Record {
+    full_id: String,
+    iters_per_sample: u64,
+    samples: usize,
+    median_ns: f64,
+    mad_ns: f64,
+    /// `(elements_per_iter, elements_per_sec)`.
+    throughput: Option<(u64, f64)>,
+}
+
+/// Runs the measurement protocol for one routine.
+///
+/// `routine(k)` must execute the benchmarked operation `k` times and
+/// return the wall-clock time of those `k` iterations only.
+fn measure(samples: usize, routine: &mut dyn FnMut(u64) -> Duration) -> (u64, Vec<f64>) {
+    // Warmup + calibration: grow the batch until it is measurable,
+    // accumulating an estimate of per-iteration cost.
+    let mut est_ns = f64::MAX;
+    let mut spent = 0u64;
+    let mut batch = 1u64;
+    while spent < WARMUP_NS {
+        let d = routine(batch).as_nanos() as u64;
+        spent += d.max(1);
+        est_ns = est_ns.min(d as f64 / batch as f64);
+        if d < 1_000_000 {
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+    let est_ns = est_ns.max(0.5);
+    let mut iters = (SAMPLE_TARGET_NS as f64 / est_ns) as u64;
+    iters = iters.clamp(1, 1 << 24);
+    // Respect the total cap: shrink the batch before dropping samples.
+    let projected = est_ns * iters as f64 * samples as f64;
+    if projected > MAX_BENCH_NS as f64 {
+        iters = ((MAX_BENCH_NS as f64 / samples as f64 / est_ns) as u64).max(1);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let d = routine(iters);
+        per_iter.push(d.as_nanos() as f64 / iters as f64);
+    }
+    (iters, per_iter)
+}
+
+/// Median of a sample set (empty → 0).
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation around the median.
+fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Collects and measures benchmarks, then writes `BENCH_<name>.json`.
+pub struct Harness {
+    name: String,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// A harness whose results land in `BENCH_<name>.json`.
+    pub fn new(name: &str) -> Harness {
+        Harness { name: name.to_string(), records: Vec::new() }
+    }
+
+    /// Benchmarks one routine under a full id like `learn/merge_figure4`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(id.to_string(), None, DEFAULT_SAMPLES, f);
+    }
+
+    /// Opens a named group; its benchmarks get ids `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        full_id: String,
+        throughput: Option<Throughput>,
+        samples: usize,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        eprint!("bench {full_id} ... ");
+        let mut b = Bencher { samples, outcome: None };
+        f(&mut b);
+        let (iters_per_sample, per_iter) =
+            b.outcome.expect("benchmark closure must call iter or iter_batched");
+        let m = median(&per_iter);
+        let d = mad(&per_iter, m);
+        let thr = throughput.map(|Throughput::Elements(e)| (e, e as f64 * 1e9 / m.max(1e-9)));
+        eprintln!("{} ±{} ({iters_per_sample} iters/sample){}", human_ns(m), human_ns(d), {
+            match thr {
+                Some((_, eps)) => format!(" {:.3} Melem/s", eps / 1e6),
+                None => String::new(),
+            }
+        });
+        self.records.push(Record {
+            full_id,
+            iters_per_sample,
+            samples: per_iter.len(),
+            median_ns: m,
+            mad_ns: d,
+            throughput: thr,
+        });
+    }
+
+    /// Writes `BENCH_<name>.json` at the workspace root (override the
+    /// directory with `BENCH_OUT_DIR`) and prints its path.
+    pub fn finish(self) {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(workspace_root);
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let json = self.to_json();
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+
+    /// Renders the results document; schema documented in DESIGN.md.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"benchmark\": {},", json_str(&self.name));
+        s.push_str("  \"harness\": \"hoiho-devkit\",\n");
+        s.push_str("  \"unit\": \"ns_per_iter\",\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"median_ns\": {:.1}, \"mad_ns\": {:.1}, \"throughput_elems_per_iter\": {}, \
+                 \"throughput_elems_per_sec\": {}}}",
+                json_str(&r.full_id),
+                r.iters_per_sample,
+                r.samples,
+                r.median_ns,
+                r.mad_ns,
+                r.throughput.map(|(e, _)| e.to_string()).unwrap_or_else(|| "null".into()),
+                r.throughput.map(|(_, eps)| format!("{eps:.1}")).unwrap_or_else(|| "null".into()),
+            );
+            s.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// A benchmark group: shared throughput annotation and sample count.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the number of timing samples (min 7 for a stable MAD).
+    pub fn sample_size(&mut self, n: usize) {
+        self.samples = n.max(7);
+    }
+
+    /// Benchmarks one routine; its id is `group/name`.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, name.as_ref());
+        self.harness.run_one(id, self.throughput, self.samples, f);
+    }
+
+    /// Ends the group (kept for criterion-call-shape compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs the measurement protocol.
+pub struct Bencher {
+    samples: usize,
+    outcome: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    /// Measures `f` — the benchmarked operation — per iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        self.outcome = Some(measure(self.samples, &mut |k| {
+            let t = Instant::now();
+            for _ in 0..k {
+                std::hint::black_box(f());
+            }
+            t.elapsed()
+        }));
+    }
+
+    /// Measures `routine` over fresh `setup()` output each iteration;
+    /// setup time is excluded from the timing.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        self.outcome = Some(measure(self.samples, &mut |k| {
+            let mut total = Duration::ZERO;
+            for _ in 0..k {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t.elapsed();
+            }
+            total
+        }));
+    }
+}
+
+/// Workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// JSON string literal with the escapes our ids can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable nanoseconds.
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let m = median(&xs);
+        assert_eq!(m, 5.0);
+        assert_eq!(mad(&xs, m), 2.0);
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&even), 2.5);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("learn/suffix_scale/100"), "\"learn/suffix_scale/100\"");
+    }
+
+    #[test]
+    fn measure_produces_samples() {
+        let mut counter = 0u64;
+        let (iters, per_iter) = measure(7, &mut |k| {
+            let t = Instant::now();
+            for _ in 0..k {
+                counter = std::hint::black_box(counter.wrapping_add(1));
+            }
+            t.elapsed()
+        });
+        assert!(iters >= 1);
+        assert_eq!(per_iter.len(), 7);
+        assert!(per_iter.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn document_renders_valid_shape() {
+        let mut h = Harness::new("unit");
+        h.records.push(Record {
+            full_id: "g/a".into(),
+            iters_per_sample: 10,
+            samples: 15,
+            median_ns: 123.4,
+            mad_ns: 1.2,
+            throughput: Some((100, 8.1e8)),
+        });
+        h.records.push(Record {
+            full_id: "g/b".into(),
+            iters_per_sample: 1,
+            samples: 7,
+            median_ns: 9.0,
+            mad_ns: 0.0,
+            throughput: None,
+        });
+        let json = h.to_json();
+        assert!(json.contains("\"median_ns\": 123.4"));
+        assert!(json.contains("\"mad_ns\": 1.2"));
+        assert!(json.contains("\"throughput_elems_per_sec\": null"));
+        assert!(json.contains("\"benchmark\": \"unit\""));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dependency-free devkit.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,33 @@
+//! Hermetic, std-only devkit for the hoiho workspace.
+//!
+//! The offline build environment cannot reach a crates.io registry, so
+//! this crate replaces the three external dev dependencies the seed
+//! tried to pull — `rand`, `proptest`, and `criterion` — with small
+//! in-tree equivalents exposing exactly the API surface the workspace
+//! already calls:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256** PRNG with `StdRng`,
+//!   [`SeedableRng`], and [`RngExt`] (`random_range`, `random_bool`,
+//!   `random`). The [`rngs`] alias module keeps the `rand`-shaped
+//!   import path so porting is a one-line `use` swap.
+//! * [`prop`] — a property-testing harness: integer/vec/string
+//!   generators, a deterministic runner, entropy-level bounded
+//!   shrinking, and the [`props!`] / [`prop_assert!`] macros.
+//! * [`bench`] — a criterion-shaped micro-benchmark harness: warmup,
+//!   calibrated iteration budget, median + MAD, throughput, and
+//!   `BENCH_<name>.json` output at the workspace root.
+//!
+//! Policy: this crate must stay dependency-free (`scripts/no-external-deps.sh`
+//! enforces it for the whole workspace), and the PRNG stream is pinned
+//! by golden tests — the simulation's fixtures are functions of it.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+/// `rand`-shaped alias so call sites keep `use hoiho_devkit::rngs::StdRng`.
+pub mod rngs {
+    pub use crate::rng::StdRng;
+}
+
+pub use rng::{RngExt, SeedableRng};

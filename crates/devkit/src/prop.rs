@@ -1,0 +1,650 @@
+//! Minimal property-testing harness: generators, a deterministic
+//! runner, and entropy-level shrinking — std only.
+//!
+//! ## Model
+//!
+//! A [`Gen`] does not shrink values; it *reads* values out of a finite
+//! byte buffer ([`Source`]). Random testing fills the buffer from the
+//! devkit PRNG; shrinking transforms the buffer (truncate, zero, halve
+//! bytes) and re-runs generation, so every shrunk candidate is by
+//! construction a value the generator could have produced — no
+//! per-combinator shrink logic, and `map`/`one_of` shrink for free. A
+//! drained buffer reads as zeros, which generators map to their minimal
+//! value (range start, shortest collection, first branch).
+//!
+//! ## Usage
+//!
+//! ```ignore
+//! use hoiho_devkit::{props, prop_assert, prop_assert_eq};
+//! use hoiho_devkit::prop::vec_of;
+//!
+//! props! {
+//!     cases = 128;
+//!
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//!
+//!     fn sort_is_idempotent(v in vec_of(0u8..=255, 0..32)) {
+//!         let mut once = v.clone();
+//!         once.sort();
+//!         let mut twice = once.clone();
+//!         twice.sort();
+//!         prop_assert_eq!(once, twice);
+//!     }
+//! }
+//! ```
+//!
+//! Bodies are closures returning `Result<(), String>`; the
+//! `prop_assert*` macros return `Err` on failure so the runner can
+//! shrink. Plain `panic!`/`unwrap` failures are also caught and shrunk.
+//!
+//! Runs are deterministic: the per-case seed is derived from the test
+//! name, so a failure reproduces without recording anything. Set
+//! `DEVKIT_CASES=<n>` to override every suite's case count (e.g. a
+//! longer soak in CI).
+
+use crate::rng::{SeedableRng, StdRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Bytes of entropy per test case. Generators reading past the end see
+/// zeros, so this is a soft budget, not a hard limit.
+const BUF_LEN: usize = 4096;
+
+/// Maximum candidate evaluations per shrink.
+const SHRINK_BUDGET: usize = 600;
+
+// ---------------------------------------------------------------------
+// Entropy source
+// ---------------------------------------------------------------------
+
+/// A finite byte buffer generators draw structured values from.
+pub struct Source<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Source<'a> {
+    /// Wraps a buffer; reads past the end yield zeros.
+    pub fn new(bytes: &'a [u8]) -> Source<'a> {
+        Source { bytes, pos: 0 }
+    }
+
+    /// Next byte (zero once drained).
+    pub fn byte(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Next little-endian u64 (zero-padded once drained).
+    pub fn u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= u64::from(self.byte()) << (8 * i);
+        }
+        v
+    }
+
+    /// Uniform draw from `[0, span)`; `0` when drained. `span` ≥ 1.
+    pub fn below(&mut self, span: u64) -> u64 {
+        ((u128::from(self.u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A generator of test values, reading its choices from a [`Source`].
+pub trait Gen {
+    /// The value type produced.
+    type Value: Clone + Debug;
+
+    /// Produces one value from the source's bytes.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Maps generated values through `f` (named after proptest's
+    /// `prop_map` — a plain `map` would collide with `Iterator::map`
+    /// on range generators).
+    fn prop_map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases, for heterogeneous collections like [`one_of`].
+    fn boxed(self) -> DynGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased generator.
+pub type DynGen<T> = Box<dyn Gen<Value = T>>;
+
+impl<T: Clone + Debug> Gen for DynGen<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        (**self).generate(src)
+    }
+}
+
+/// Integer ranges are generators: `0u32..80` draws uniformly and
+/// shrinks toward the range start.
+macro_rules! int_range_gen {
+    ($($t:ty),*) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> $t {
+                assert!(self.start < self.end, "empty generator range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                ((self.start as i128) + (src.below(span) as i128)) as $t
+            }
+        }
+        impl Gen for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty generator range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                ((lo as i128) + (src.below(span) as i128)) as $t
+            }
+        }
+    )*};
+}
+int_range_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain values: integers over their whole range, `bool` a coin.
+pub struct AnyGen<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types [`any`] can draw from their full domain.
+pub trait Arb: Clone + Debug {
+    /// Draws one value from the source.
+    fn arb(src: &mut Source) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arb for $t {
+            fn arb(src: &mut Source) -> $t {
+                src.u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arb for bool {
+    fn arb(src: &mut Source) -> bool {
+        src.byte() & 1 == 1
+    }
+}
+
+impl<T: Arb> Gen for AnyGen<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        T::arb(src)
+    }
+}
+
+/// A generator over a type's full domain: `any::<u64>()`.
+pub fn any<T: Arb>() -> AnyGen<T> {
+    AnyGen { _marker: std::marker::PhantomData }
+}
+
+/// The constant generator.
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut Source) -> T {
+        self.0.clone()
+    }
+}
+
+/// A constant generator: `just(Elem::Digits)`.
+pub fn just<T: Clone + Debug>(v: T) -> Just<T> {
+    Just(v)
+}
+
+/// See [`Gen::prop_map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, U: Clone + Debug, F: Fn(G::Value) -> U> Gen for Map<G, F> {
+    type Value = U;
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// Vectors of `elem` with length drawn from `len`.
+pub struct VecOf<G, L> {
+    elem: G,
+    len: L,
+}
+
+impl<G: Gen, L: Gen> Gen for VecOf<G, L>
+where
+    L::Value: TryInto<usize>,
+{
+    type Value = Vec<G::Value>;
+    fn generate(&self, src: &mut Source) -> Vec<G::Value> {
+        let n = self.len.generate(src).try_into().unwrap_or(0);
+        (0..n).map(|_| self.elem.generate(src)).collect()
+    }
+}
+
+/// A vector generator: `vec_of(0u32..10, 0..80)`.
+pub fn vec_of<G: Gen, L: Gen>(elem: G, len: L) -> VecOf<G, L>
+where
+    L::Value: TryInto<usize>,
+{
+    VecOf { elem, len }
+}
+
+/// Strings over a fixed character set with length drawn from `len`.
+pub struct StringOf<L> {
+    set: &'static str,
+    len: L,
+}
+
+impl<L: Gen> Gen for StringOf<L>
+where
+    L::Value: TryInto<usize>,
+{
+    type Value = String;
+    fn generate(&self, src: &mut Source) -> String {
+        let chars: Vec<char> = self.set.chars().collect();
+        let n = self.len.generate(src).try_into().unwrap_or(0);
+        (0..n).map(|_| chars[src.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// A string generator over `set`: `string_of("abc123", 1..=4)` plays the
+/// role of the regex strategy `[abc123]{1,4}`.
+pub fn string_of<L: Gen>(set: &'static str, len: L) -> StringOf<L>
+where
+    L::Value: TryInto<usize>,
+{
+    StringOf { set, len }
+}
+
+/// Uniform choice between boxed alternatives (first branch is the
+/// shrink target).
+pub struct OneOf<T> {
+    gens: Vec<DynGen<T>>,
+}
+
+impl<T: Clone + Debug> Gen for OneOf<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        let i = src.below(self.gens.len() as u64) as usize;
+        self.gens[i].generate(src)
+    }
+}
+
+/// A union generator: `one_of(vec![g1.boxed(), g2.boxed()])`.
+pub fn one_of<T: Clone + Debug>(gens: Vec<DynGen<T>>) -> OneOf<T> {
+    assert!(!gens.is_empty(), "one_of needs at least one generator");
+    OneOf { gens }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident : $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$idx.generate(src),)+)
+            }
+        }
+    };
+}
+tuple_gen!(A: 0);
+tuple_gen!(A: 0, B: 1);
+tuple_gen!(A: 0, B: 1, C: 2);
+tuple_gen!(A: 0, B: 1, C: 2, D: 3);
+tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// FNV-1a, for deriving a stable per-test seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Panic-noise suppression while shrinking: candidate evaluations are
+/// expected to panic, and the default hook would spew a backtrace per
+/// candidate. The custom hook stays silent while any shrink is active.
+static SUPPRESSED: AtomicUsize = AtomicUsize::new(0);
+static HOOK: OnceLock<()> = OnceLock::new();
+
+fn install_quiet_hook() {
+    HOOK.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESSED.load(Ordering::SeqCst) == 0 {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Outcome of one evaluation of the property body.
+fn eval<V, F: Fn(V) -> Result<(), String>>(f: &F, v: V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| f(v))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic (non-string payload)".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `cases` random cases of the property, shrinking any failure to
+/// a small counterexample before panicking with it.
+///
+/// Deterministic: case `i` of a test named `n` always sees the same
+/// bytes. `DEVKIT_CASES` overrides `cases` globally.
+pub fn run<G: Gen, F: Fn(G::Value) -> Result<(), String>>(
+    name: &str,
+    cases: u32,
+    gen: &G,
+    test: F,
+) {
+    install_quiet_hook();
+    let cases = std::env::var("DEVKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases)
+        .max(1);
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut buf = vec![0u8; BUF_LEN];
+        for chunk in buf.chunks_mut(8) {
+            let w = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        let value = gen.generate(&mut Source::new(&buf));
+        if let Err(first_err) = eval(&test, value.clone()) {
+            SUPPRESSED.fetch_add(1, Ordering::SeqCst);
+            let minimal = shrink(gen, &test, buf);
+            SUPPRESSED.fetch_sub(1, Ordering::SeqCst);
+            let min_value = gen.generate(&mut Source::new(&minimal));
+            let min_err = eval(&test, min_value.clone()).err().unwrap_or_else(|| first_err.clone());
+            panic!(
+                "property {name} failed at case {case}/{cases}\n\
+                 minimal counterexample: {min_value:?}\n\
+                 error: {min_err}\n\
+                 (original input: {value:?}; original error: {first_err})"
+            );
+        }
+    }
+}
+
+/// Shrinks a failing entropy buffer: truncations first (they zero whole
+/// suffixes, collapsing sizes and choices), then zeroed windows, then
+/// per-byte reductions. Keeps any candidate that still fails; bounded
+/// by [`SHRINK_BUDGET`] evaluations.
+fn shrink<G: Gen, F: Fn(G::Value) -> Result<(), String>>(
+    gen: &G,
+    test: &F,
+    mut buf: Vec<u8>,
+) -> Vec<u8> {
+    let mut budget = SHRINK_BUDGET;
+    let fails = |candidate: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let v = gen.generate(&mut Source::new(candidate));
+        eval(test, v).is_err()
+    };
+
+    // Pass 1: binary truncation.
+    let mut len = buf.len();
+    while len > 0 && budget > 0 {
+        let half = len / 2;
+        if fails(&buf[..half], &mut budget) {
+            len = half;
+        } else {
+            break;
+        }
+    }
+    buf.truncate(len);
+
+    // Pass 2 & 3 repeat until a full sweep makes no progress.
+    loop {
+        let mut improved = false;
+
+        // Zero out windows of shrinking size.
+        let mut window = buf.len().max(1);
+        while window >= 1 && budget > 0 {
+            let mut start = 0;
+            while start < buf.len() && budget > 0 {
+                let end = (start + window).min(buf.len());
+                if buf[start..end].iter().any(|&b| b != 0) {
+                    let mut cand = buf.clone();
+                    cand[start..end].fill(0);
+                    if fails(&cand, &mut budget) {
+                        buf = cand;
+                        improved = true;
+                    }
+                }
+                start += window;
+            }
+            if window == 1 {
+                break;
+            }
+            window /= 2;
+        }
+
+        // Reduce individual bytes: halve for coarse moves, then
+        // decrement for the last fine steps toward a boundary.
+        for i in 0..buf.len() {
+            while budget > 0 && buf[i] > 0 {
+                let mut cand = buf.clone();
+                cand[i] /= 2;
+                if !fails(&cand, &mut budget) {
+                    break;
+                }
+                buf = cand;
+                improved = true;
+            }
+            while budget > 0 && buf[i] > 0 {
+                let mut cand = buf.clone();
+                cand[i] -= 1;
+                if !fails(&cand, &mut budget) {
+                    break;
+                }
+                buf = cand;
+                improved = true;
+            }
+        }
+
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Asserts a condition inside a property body, returning `Err` (so the
+/// runner can shrink) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                va
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn` becomes a `#[test]` whose
+/// arguments are drawn from the given generators; see the module docs
+/// for an example. An optional leading `cases = N;` sets the per-test
+/// case count (default 64).
+#[macro_export]
+macro_rules! props {
+    (cases = $cases:expr; $($rest:tt)*) => {
+        $crate::props!(@expand $cases; $($rest)*);
+    };
+    (@expand $cases:expr; $(
+        $(#[doc = $doc:expr])*
+        fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let __gen = ($($gen,)+);
+                $crate::prop::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $cases,
+                    &__gen,
+                    |__value| {
+                        let ($($arg,)+) = __value;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::props!(@expand 64; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_source_is_minimal() {
+        let mut src = Source::new(&[]);
+        assert_eq!((5u32..17).generate(&mut src), 5);
+        assert_eq!((0usize..=9).generate(&mut src), 0);
+        assert_eq!(vec_of(0u8..10, 0..5).generate(&mut src), Vec::<u8>::new());
+        assert_eq!(string_of("xyz", 2..=4).generate(&mut src), "xx");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = vec_of(0u32..1000, 0..20);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buf = vec![0u8; 256];
+        for b in &mut buf {
+            *b = rng.next_u64() as u8;
+        }
+        let a = g.generate(&mut Source::new(&buf));
+        let b = g.generate(&mut Source::new(&buf));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        // Property: all u32s are < 100. Fails; minimal failing value
+        // must shrink to exactly 100.
+        let gen = 0u32..10_000;
+        let test = |v: u32| if v < 100 { Ok(()) } else { Err(format!("{v} too big")) };
+        // Find a failing buffer first.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut buf = vec![0u8; 64];
+        loop {
+            for b in &mut buf {
+                *b = rng.next_u64() as u8;
+            }
+            if gen.generate(&mut Source::new(&buf)) >= 100 {
+                break;
+            }
+        }
+        let minimal = shrink(&gen, &test, buf);
+        let v = gen.generate(&mut Source::new(&minimal));
+        assert!((100..=140).contains(&v), "shrinker landed far from the boundary: {v}");
+    }
+
+    props! {
+        cases = 50;
+
+        /// The harness's own smoke test, via the public macro.
+        fn vec_reverse_involution(v in vec_of(any::<u32>(), 0..40)) {
+            let mut w = v.clone();
+            w.reverse();
+            w.reverse();
+            prop_assert_eq!(v, w);
+        }
+
+        fn strings_respect_charset(s in string_of("ab", 0..8)) {
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

@@ -9,8 +9,8 @@
 use hoiho_asdb::Addr;
 use hoiho_bdrmap::Trace;
 use hoiho_netsim::Internet;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Groups interface addresses into alias sets by ground-truth router.

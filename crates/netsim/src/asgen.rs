@@ -11,8 +11,8 @@
 use crate::config::SimConfig;
 use crate::naming::{brand_slug, OperatorNaming, StyleKind};
 use hoiho_asdb::{As2Org, AsRelationships, Asn, IxpDirectory, Prefix, RouteTable};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Position of an AS in the transit hierarchy.

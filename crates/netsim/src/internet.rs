@@ -21,8 +21,8 @@ use crate::asgen::{self, AsLevel, Tier};
 use crate::config::SimConfig;
 use crate::naming::{NameCtx, OperatorNaming, StyleKind};
 use hoiho_asdb::{Addr, Asn};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Dense router identifier.

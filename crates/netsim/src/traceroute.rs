@@ -15,8 +15,8 @@
 
 use crate::internet::{Internet, RouterId};
 use hoiho_asdb::{Addr, Asn, Relationship};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
 use std::collections::BinaryHeap;
 
 /// One traceroute.

@@ -16,8 +16,8 @@
 use hoiho_asdb::{Addr, Asn};
 use hoiho_netsim::internet::IfaceKind;
 use hoiho_netsim::Internet;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 
 /// One `netixlan`-style record.

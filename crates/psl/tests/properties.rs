@@ -1,23 +1,27 @@
-//! Property-based tests for the public suffix list lookups.
+//! Property-based tests for the public suffix list lookups, on the
+//! devkit harness (`hoiho_devkit::prop`).
 
+use hoiho_devkit::prop::{string_of, vec_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
 use hoiho_psl::PublicSuffixList;
-use proptest::prelude::*;
 
-fn label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z][a-z0-9-]{0,6}").unwrap()
+/// A DNS label: `[a-z][a-z0-9-]{0,6}`.
+fn label() -> impl Gen<Value = String> {
+    (string_of("abcdefghijklmnopqrstuvwxyz", 1..=1usize), string_of("abcdefghijklmnopqrstuvwxyz0123456789-", 0..=6usize))
+        .prop_map(|(head, tail)| format!("{head}{tail}"))
 }
 
-fn hostname() -> impl Strategy<Value = String> {
-    proptest::collection::vec(label(), 1..6).prop_map(|ls| ls.join("."))
+/// A hostname of one to five labels.
+fn hostname() -> impl Gen<Value = String> {
+    vec_of(label(), 1..6usize).prop_map(|ls| ls.join("."))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    cases = 256;
 
     /// Structural invariants of every lookup: the public suffix is a
     /// label-suffix of the hostname, the registrable domain is the
     /// suffix plus exactly one label, and the hostname ends with it.
-    #[test]
     fn lookup_invariants(h in hostname()) {
         let psl = PublicSuffixList::builtin();
         let m = psl.lookup(&h).expect("well-formed hostname");
@@ -40,7 +44,6 @@ proptest! {
 
     /// The registrable domain is a fixpoint: looking it up again yields
     /// itself.
-    #[test]
     fn registrable_is_fixpoint(h in hostname()) {
         let psl = PublicSuffixList::builtin();
         if let Some(reg) = psl.registrable_domain(&h) {
@@ -49,7 +52,6 @@ proptest! {
     }
 
     /// Lookups are case-insensitive and ignore one trailing dot.
-    #[test]
     fn normalisation(h in hostname()) {
         let psl = PublicSuffixList::builtin();
         let upper = h.to_ascii_uppercase();
@@ -59,7 +61,6 @@ proptest! {
     }
 
     /// Adding an unrelated rule never changes lookups under other TLDs.
-    #[test]
     fn rule_locality(h in hostname()) {
         let mut a = PublicSuffixList::builtin();
         let before = a.lookup(&h);

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Guards the hermetic-build policy: no Cargo manifest may declare a
+# registry (crates.io) dependency. The build container has no network
+# access to a registry, so any such dependency makes the workspace
+# unbuildable. All dependencies must be path deps inside this repo.
+#
+# Exits non-zero and names the offending lines if a violation is found.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+# Known-bad dependencies this repo used to declare (rand, proptest,
+# criterion) must never reappear in any manifest.
+if grep -rn -E '^\s*(rand|proptest|criterion)\s*(=|\.)' --include=Cargo.toml .; then
+    echo "error: registry dependency (rand/proptest/criterion) found in a manifest" >&2
+    status=1
+fi
+
+# General rule: every dependency line with a version requirement must
+# also be a path dependency (version-only strings pull from a registry).
+if grep -rn -E '^\s*[A-Za-z0-9_-]+\s*=\s*"[0-9^~*]' --include=Cargo.toml . \
+        | grep -v -E '^\./(target|\.git)/' \
+        | grep -v -E '(^|:)\s*(version|edition|resolver|rust-version)\s*=' ; then
+    echo "error: version-only (registry) dependency found in a manifest" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "no-external-deps: OK (all manifests are path-only)"
+fi
+exit "$status"

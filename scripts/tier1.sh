@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what must be green before any PR merges.
+#   1. The hermetic-dependency check (manifests are path-only).
+#   2. A clean offline release build of the whole workspace.
+#   3. The full test suite, offline.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+./scripts/no-external-deps.sh
+cargo build --release --offline
+cargo test -q --offline
+echo "tier1: OK"
