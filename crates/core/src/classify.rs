@@ -39,6 +39,16 @@ impl NcClass {
             NcClass::Poor => "poor",
         }
     }
+
+    /// Inverse of [`NcClass::label`], for parsing serialized models.
+    pub fn parse_label(s: &str) -> Option<NcClass> {
+        match s {
+            "good" => Some(NcClass::Good),
+            "promising" => Some(NcClass::Promising),
+            "poor" => Some(NcClass::Poor),
+            _ => None,
+        }
+    }
 }
 
 /// Classifies an NC from its evaluation counts (§4).
@@ -124,5 +134,14 @@ mod tests {
         assert_eq!(NcClass::Good.label(), "good");
         assert_eq!(NcClass::Promising.label(), "promising");
         assert_eq!(NcClass::Poor.label(), "poor");
+    }
+
+    #[test]
+    fn parse_label_round_trips() {
+        for c in [NcClass::Good, NcClass::Promising, NcClass::Poor] {
+            assert_eq!(NcClass::parse_label(c.label()), Some(c));
+        }
+        assert_eq!(NcClass::parse_label("excellent"), None);
+        assert_eq!(NcClass::parse_label(""), None);
     }
 }

@@ -41,6 +41,18 @@ impl Taxonomy {
             Taxonomy::Complex => "complex",
         }
     }
+
+    /// Inverse of [`Taxonomy::label`], for parsing serialized models.
+    pub fn parse_label(s: &str) -> Option<Taxonomy> {
+        match s {
+            "simple" => Some(Taxonomy::Simple),
+            "start" => Some(Taxonomy::Start),
+            "end" => Some(Taxonomy::End),
+            "bare" => Some(Taxonomy::Bare),
+            "complex" => Some(Taxonomy::Complex),
+            _ => None,
+        }
+    }
 }
 
 /// Classifies a convention into the Table 1 taxonomy.
@@ -210,5 +222,19 @@ mod tests {
     fn labels() {
         assert_eq!(Taxonomy::Simple.label(), "simple");
         assert_eq!(Taxonomy::Complex.label(), "complex");
+    }
+
+    #[test]
+    fn parse_label_round_trips() {
+        for t in [
+            Taxonomy::Simple,
+            Taxonomy::Start,
+            Taxonomy::End,
+            Taxonomy::Bare,
+            Taxonomy::Complex,
+        ] {
+            assert_eq!(Taxonomy::parse_label(t.label()), Some(t));
+        }
+        assert_eq!(Taxonomy::parse_label("middle"), None);
     }
 }

@@ -185,6 +185,25 @@ impl PublicSuffixList {
     }
 }
 
+/// Iterates the suffixes of `hostname` at label boundaries, longest
+/// (the whole name) first: `a.b.c` → `a.b.c`, `b.c`, `c`.
+///
+/// Serving-side dispatch uses this to probe a suffix-keyed index when
+/// the PSL-derived registrable domain misses — a model may key a suffix
+/// deeper than (or, with a different PSL snapshot, different from) the
+/// registrable domain the local list computes. A trailing dot is
+/// ignored; the empty hostname yields nothing.
+pub fn label_suffixes(hostname: &str) -> impl Iterator<Item = &str> {
+    let name = hostname.trim_end_matches('.');
+    let whole = (!name.is_empty()).then_some(name);
+    whole.into_iter().chain(
+        name.char_indices()
+            .filter(|&(_, c)| c == '.')
+            .map(move |(i, _)| &name[i + 1..])
+            .filter(|s| !s.is_empty()),
+    )
+}
+
 /// Splits a rule into lowercase labels, most-significant first.
 fn reverse_labels(rule: &str) -> Vec<String> {
     rule.trim_end_matches('.')
@@ -228,6 +247,16 @@ mod tests {
 
     fn psl() -> PublicSuffixList {
         PublicSuffixList::builtin()
+    }
+
+    #[test]
+    fn label_suffixes_longest_first() {
+        let got: Vec<&str> = label_suffixes("p714.sgw.equinix.com").collect();
+        assert_eq!(got, ["p714.sgw.equinix.com", "sgw.equinix.com", "equinix.com", "com"]);
+        assert_eq!(label_suffixes("com").collect::<Vec<_>>(), ["com"]);
+        assert_eq!(label_suffixes("").count(), 0);
+        // Trailing dot ignored; empty tail labels skipped.
+        assert_eq!(label_suffixes("a.b.").collect::<Vec<_>>(), ["a.b", "b"]);
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! `hoiho-serve` — learn once, serve forever.
+//!
+//! ```text
+//! hoiho-serve save <training-file> <model-file>    learn → model artifact
+//! hoiho-serve save --sim <seed> <model-file>       same, from a synthetic snapshot
+//! hoiho-serve inspect <model-file>                 summarise an artifact
+//! hoiho-serve query <model-file> [hostname ...]    extract (args or stdin)
+//! hoiho-serve serve <model-file> <addr> [workers]  run the TCP server
+//! hoiho-serve send <addr> <request...>             one protocol request, print reply
+//! hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]
+//!                                                  drive a server, report lookups/sec
+//! ```
+//!
+//! The training file is the `hoiho` CLI's format (`asn addr hostname`
+//! per line); `--sim` builds a synthetic Internet with `hoiho-netsim`
+//! and trains on bdrmapIT-inferred ownership, the workspace's standard
+//! netsim→learner pipeline. The server speaks the line protocol
+//! documented in `hoiho_serve::server` (hostname per line, plus
+//! `STATS`, `STATS SUFFIX`, `RELOAD <path>`, `SHUTDOWN`).
+
+use hoiho::learner::{learn_all, LearnConfig};
+use hoiho::training::{Observation, TrainingSet};
+use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
+use hoiho_netsim::SimConfig;
+use hoiho_psl::PublicSuffixList;
+use hoiho_serve::server::Client;
+use hoiho_serve::{Engine, Model, ServerHandle};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let result = match strs.as_slice() {
+        ["save", "--sim", seed, out] => save_sim(seed, out),
+        ["save", training, out] => save_file(training, out),
+        ["inspect", model] => inspect(model),
+        ["query", model, hosts @ ..] => query(model, hosts),
+        ["serve", model, addr] => serve(model, addr, 0),
+        ["serve", model, addr, workers] => match workers.parse() {
+            Ok(w) => serve(model, addr, w),
+            Err(_) => usage(),
+        },
+        ["send", addr, words @ ..] if !words.is_empty() => send(addr, &words.join(" ")),
+        ["loadgen", addr, hosts] => loadgen(addr, hosts, 4, 20_000),
+        ["loadgen", addr, hosts, conns] => match conns.parse() {
+            Ok(c) => loadgen(addr, hosts, c, 20_000),
+            Err(_) => usage(),
+        },
+        ["loadgen", addr, hosts, conns, reqs] => match (conns.parse(), reqs.parse()) {
+            (Ok(c), Ok(r)) => loadgen(addr, hosts, c, r),
+            _ => usage(),
+        },
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hoiho-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> Result<(), String> {
+    eprintln!("usage: hoiho-serve save <training-file> <model-file>");
+    eprintln!("       hoiho-serve save --sim <seed> <model-file>");
+    eprintln!("       hoiho-serve inspect <model-file>");
+    eprintln!("       hoiho-serve query <model-file> [hostname ...]");
+    eprintln!("       hoiho-serve serve <model-file> <addr> [workers]");
+    eprintln!("       hoiho-serve send <addr> <request...>");
+    eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]");
+    Err("bad arguments".into())
+}
+
+/// Learns from a training file and writes the model artifact.
+fn save_file(training_path: &str, out: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(training_path)
+        .map_err(|e| format!("cannot read {training_path}: {e}"))?;
+    let ts = parse_training(&text)?;
+    save_training(&ts, out)
+}
+
+/// Learns from a synthetic snapshot (netsim → bdrmapIT ownership) and
+/// writes the model artifact.
+fn save_sim(seed: &str, out: &str) -> Result<(), String> {
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    let snap = BuiltSnapshot::build(&SnapshotSpec {
+        label: format!("serve-{seed}"),
+        method: Method::BdrmapIt,
+        cfg: SimConfig::tiny(seed),
+        alias_split: 0.3,
+    });
+    save_training(&snap.training_set(), out)
+}
+
+fn save_training(ts: &TrainingSet, out: &str) -> Result<(), String> {
+    let groups = ts.by_suffix(&PublicSuffixList::builtin());
+    let learned = learn_all(&groups, &LearnConfig::default());
+    let model = Model::from_learned(&learned);
+    model.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "saved {} conventions ({} regexes) from {} observations to {out}",
+        model.len(),
+        model.regex_count(),
+        ts.len()
+    );
+    Ok(())
+}
+
+fn inspect(path: &str) -> Result<(), String> {
+    let model = Model::load(path).map_err(|e| e.to_string())?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "# {} conventions, {} regexes", model.len(), model.regex_count()).ok();
+    for e in &model.entries {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\tregexes={}\thosts={}\ttp={}\tfp={}\tfn={}",
+            e.suffix,
+            e.class.label(),
+            if e.single { "single" } else { "multi" },
+            e.taxonomy.label(),
+            e.regexes.len(),
+            e.hostnames,
+            e.counts.tp,
+            e.counts.fp,
+            e.counts.fnn,
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+fn query(path: &str, hosts: &[&str]) -> Result<(), String> {
+    let model = Model::load(path).map_err(|e| e.to_string())?;
+    let engine = Engine::new(&model);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut answer = |hostname: &str| {
+        let x = engine.extract(hostname);
+        let (suffix, class) = match x.nc {
+            Some(i) => {
+                let nc = &engine.conventions()[i];
+                (nc.suffix.as_str(), nc.class.label())
+            }
+            None => ("-", "-"),
+        };
+        let asn = x.asn.map_or_else(|| "-".to_string(), |a| a.to_string());
+        writeln!(out, "{hostname}\t{asn}\t{suffix}\t{class}").ok();
+    };
+    if hosts.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| format!("read error: {e}"))?;
+            let h = line.trim();
+            if !h.is_empty() && !h.starts_with('#') {
+                answer(h);
+            }
+        }
+    } else {
+        for h in hosts {
+            answer(h);
+        }
+    }
+    Ok(())
+}
+
+fn serve(path: &str, addr: &str, workers: usize) -> Result<(), String> {
+    let model = Model::load(path).map_err(|e| e.to_string())?;
+    let engine = Arc::new(Engine::new(&model));
+    let srv = ServerHandle::start(addr, engine, workers)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "serving {} conventions on {} (send SHUTDOWN to stop, RELOAD <path> to hot-swap)",
+        model.len(),
+        srv.local_addr()
+    );
+    srv.join();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+/// Sends one protocol request line and prints the reply (including the
+/// extra lines of a `STATS SUFFIX` listing).
+fn send(addr: &str, line: &str) -> Result<(), String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = client.request(line).map_err(|e| format!("request failed: {e}"))?;
+    // `STATS SUFFIX` is multi-line: the first line is already part of
+    // the listing (or the lone `.` terminator on an empty model).
+    if line.trim() == "STATS SUFFIX" {
+        if resp == "." {
+            return Ok(());
+        }
+        println!("{resp}");
+        for l in client.read_until_dot().map_err(|e| format!("request failed: {e}"))? {
+            println!("{l}");
+        }
+        return Ok(());
+    }
+    println!("{resp}");
+    Ok(())
+}
+
+/// Fires `requests` round-robin queries per connection across `conns`
+/// parallel connections and reports aggregate lookups/sec.
+fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(hosts_path)
+        .map_err(|e| format!("cannot read {hosts_path}: {e}"))?;
+    let hosts: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if hosts.is_empty() {
+        return Err("no hostnames to send".into());
+    }
+    let conns = conns.max(1);
+    let t0 = Instant::now();
+    let totals: Result<Vec<(u64, u64)>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let hosts = &hosts;
+                scope.spawn(move || -> Result<(u64, u64), String> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                    let (mut hits, mut misses) = (0u64, 0u64);
+                    for i in 0..requests {
+                        let h = hosts[(c + i * conns) % hosts.len()];
+                        match client.query(h).map_err(|e| format!("query failed: {e}"))? {
+                            Some(_) => hits += 1,
+                            None => misses += 1,
+                        }
+                    }
+                    Ok((hits, misses))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread panicked")).collect()
+    });
+    let totals = totals?;
+    let secs = t0.elapsed().as_secs_f64();
+    let hits: u64 = totals.iter().map(|t| t.0).sum();
+    let misses: u64 = totals.iter().map(|t| t.1).sum();
+    let total = hits + misses;
+    println!(
+        "{total} lookups over {conns} connections in {secs:.3}s = {:.0} lookups/sec \
+         (hits={hits} misses={misses})",
+        total as f64 / secs
+    );
+    Ok(())
+}
+
+/// Parses the `hoiho` CLI training format: `asn addr hostname` per line.
+fn parse_training(text: &str) -> Result<TrainingSet, String> {
+    let mut ts = TrainingSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let mut it = line.split_whitespace();
+        let asn: u32 =
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad ASN"))?;
+        let addr =
+            it.next().and_then(hoiho::iputil::parse_ipv4).ok_or_else(|| err("bad address"))?;
+        let hostname = it.next().ok_or_else(|| err("missing hostname"))?;
+        if it.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        ts.push(Observation::new(hostname, addr, asn));
+    }
+    Ok(ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_parser_matches_cli_format() {
+        let ts = parse_training("# c\n64500 192.0.2.1 as64500.x.example.net\n").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert!(parse_training("x 1.2.3.4 h").is_err());
+        assert!(parse_training("1 bad h").is_err());
+        assert!(parse_training("1 1.2.3.4").is_err());
+    }
+}

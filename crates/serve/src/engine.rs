@@ -1,0 +1,272 @@
+//! The extraction engine: a read-optimized in-memory index over a
+//! loaded [`Model`](crate::model::Model).
+//!
+//! Dispatch is keyed by suffix: a query hostname is mapped to its
+//! PSL-derived registrable domain (reusing `hoiho-psl`, the same
+//! grouping the learner used), and that suffix's naming convention runs
+//! its compiled regexes in rank order — identical semantics to
+//! [`NamingConvention::extract`], minus the per-call allocation churn.
+//! When the registrable domain is not in the index (a model keyed under
+//! a deeper suffix, or a PSL snapshot drift between trainer and
+//! server), dispatch falls back to probing every label-boundary suffix
+//! of the hostname, longest first.
+//!
+//! Batch extraction ([`Engine::extract_all`]) fans out over scoped
+//! threads with each worker writing disjoint output slots, so results
+//! are positionally deterministic regardless of thread count.
+
+use crate::model::Model;
+use hoiho::classify::NcClass;
+use hoiho::regex::Regex;
+use hoiho_psl::{label_suffixes, PublicSuffixList};
+use std::collections::HashMap;
+
+/// One compiled convention, ready to serve lookups.
+#[derive(Debug, Clone)]
+pub struct CompiledNc {
+    /// The suffix the convention is keyed under.
+    pub suffix: String,
+    /// §4 quality class.
+    pub class: NcClass,
+    /// True when the convention labels a single ASN (Figure 2).
+    pub single: bool,
+    /// The regexes, in rank order.
+    pub regexes: Vec<Regex>,
+}
+
+impl CompiledNc {
+    /// Runs the convention on an already-lowercased hostname —
+    /// first-match-wins, mirroring [`hoiho::NamingConvention::extract`]:
+    /// the first matching regex provides the digits, and digits that
+    /// overflow the 32-bit ASN space yield `None` without trying later
+    /// regexes.
+    pub fn extract_lower(&self, lower: &str) -> Option<u32> {
+        for r in &self.regexes {
+            if let Some(digits) = r.extract(lower) {
+                return digits.parse::<u32>().ok();
+            }
+        }
+        None
+    }
+}
+
+/// The outcome of one lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extraction {
+    /// Index into [`Engine::conventions`] of the dispatched NC, when
+    /// some suffix in the index covered the hostname.
+    pub nc: Option<usize>,
+    /// The extracted ASN, when a regex matched.
+    pub asn: Option<u32>,
+}
+
+impl Extraction {
+    /// A lookup that found no convention to run.
+    pub const MISS: Extraction = Extraction { nc: None, asn: None };
+}
+
+/// A suffix-indexed, read-only extraction engine.
+///
+/// Construction compiles the model once; lookups never mutate, so one
+/// engine can be shared across server workers behind an `Arc` and
+/// hot-swapped atomically (see [`crate::server`]).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    psl: PublicSuffixList,
+    ncs: Vec<CompiledNc>,
+    by_suffix: HashMap<String, usize>,
+}
+
+impl Engine {
+    /// Compiles a model into an engine using the built-in PSL snapshot.
+    pub fn new(model: &Model) -> Engine {
+        Engine::with_psl(model, PublicSuffixList::builtin())
+    }
+
+    /// Compiles a model with a caller-provided PSL (e.g. a full Mozilla
+    /// list loaded at deploy time).
+    pub fn with_psl(model: &Model, psl: PublicSuffixList) -> Engine {
+        let ncs: Vec<CompiledNc> = model
+            .entries
+            .iter()
+            .map(|e| CompiledNc {
+                suffix: e.suffix.clone(),
+                class: e.class,
+                single: e.single,
+                regexes: e.regexes.clone(),
+            })
+            .collect();
+        let by_suffix =
+            ncs.iter().enumerate().map(|(i, nc)| (nc.suffix.clone(), i)).collect();
+        Engine { psl, ncs, by_suffix }
+    }
+
+    /// The compiled conventions, index-addressable (the indices appear
+    /// in [`Extraction::nc`] and the server's per-suffix stats).
+    pub fn conventions(&self) -> &[CompiledNc] {
+        &self.ncs
+    }
+
+    /// Number of conventions in the index.
+    pub fn len(&self) -> usize {
+        self.ncs.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ncs.is_empty()
+    }
+
+    /// Finds the convention index responsible for `lower` (an
+    /// already-lowercased hostname), if any.
+    fn dispatch(&self, lower: &str) -> Option<usize> {
+        if let Some(rd) = self.psl.registrable_domain(lower) {
+            if let Some(&i) = self.by_suffix.get(&rd) {
+                return Some(i);
+            }
+        }
+        // Fallback: probe every label-boundary suffix, longest first,
+        // so the deepest (most specific) indexed suffix wins.
+        label_suffixes(lower).find_map(|s| self.by_suffix.get(s).copied())
+    }
+
+    /// Looks up one hostname: dispatch to its suffix's NC, then run the
+    /// regexes. Matching is case-insensitive (one lowercase pass here).
+    pub fn extract(&self, hostname: &str) -> Extraction {
+        let lower = hostname.to_ascii_lowercase();
+        match self.dispatch(&lower) {
+            Some(i) => Extraction { nc: Some(i), asn: self.ncs[i].extract_lower(&lower) },
+            None => Extraction::MISS,
+        }
+    }
+
+    /// Batch lookup over `threads` scoped workers (0 = one per core).
+    ///
+    /// Output slot `i` always holds the extraction for `hostnames[i]`,
+    /// and each worker owns a disjoint contiguous chunk of the output,
+    /// so the result is byte-identical for every thread count.
+    pub fn extract_all(&self, hostnames: &[String], threads: usize) -> Vec<Extraction> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.max(1).min(hostnames.len().max(1));
+        let mut out = vec![Extraction::MISS; hostnames.len()];
+        if threads <= 1 {
+            for (slot, h) in out.iter_mut().zip(hostnames) {
+                *slot = self.extract(h);
+            }
+            return out;
+        }
+        let chunk = hostnames.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (inputs, slots) in hostnames.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, h) in slots.iter_mut().zip(inputs) {
+                        *slot = self.extract(h);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EvalCounts, Model, ModelEntry};
+    use hoiho::taxonomy::Taxonomy;
+
+    fn entry(suffix: &str, rx: &[&str]) -> ModelEntry {
+        ModelEntry {
+            suffix: suffix.to_string(),
+            class: NcClass::Good,
+            single: false,
+            taxonomy: Taxonomy::Complex,
+            hostnames: 10,
+            counts: EvalCounts::default(),
+            regexes: rx.iter().map(|s| Regex::parse(s).unwrap()).collect(),
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(&Model {
+            entries: vec![
+                entry(
+                    "equinix.com",
+                    &[r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$", r"^(\d+)-.+\.equinix\.com$"],
+                ),
+                entry("nts.ch", &[r"as(\d+)\.nts\.ch$"]),
+            ],
+        })
+    }
+
+    #[test]
+    fn dispatch_and_extract() {
+        let e = engine();
+        let x = e.extract("p714.sgw.equinix.com");
+        assert_eq!(x.asn, Some(714));
+        assert_eq!(x.nc.map(|i| e.conventions()[i].suffix.as_str()), Some("equinix.com"));
+        // Second regex in rank order.
+        assert_eq!(e.extract("24482-fr5-ix.equinix.com").asn, Some(24482));
+        // Covered suffix, no match: dispatched but no ASN.
+        let x = e.extract("netflix.zh2.corp.eu.equinix.com");
+        assert_eq!((x.nc.is_some(), x.asn), (true, None));
+        // Unknown suffix: full miss.
+        assert_eq!(e.extract("core1.example.org"), Extraction::MISS);
+        assert_eq!(e.extract(""), Extraction::MISS);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = engine();
+        assert_eq!(e.extract("GE0-2.01.P.AS15576.NTS.CH").asn, Some(15576));
+    }
+
+    #[test]
+    fn deeper_than_registrable_suffix_reachable_via_fallback() {
+        // A model keyed under a third-level suffix the PSL reduces past.
+        let e = Engine::new(&Model {
+            entries: vec![entry("net.example.com", &[r"^as(\d+)\.net\.example\.com$"])],
+        });
+        assert_eq!(e.extract("as100.net.example.com").asn, Some(100));
+    }
+
+    #[test]
+    fn extraction_matches_convention_semantics() {
+        // First matching regex wins even when its digits overflow u32 —
+        // mirroring NamingConvention::extract exactly, which never falls
+        // through to a later regex once one has matched.
+        let e = Engine::new(&Model {
+            entries: vec![entry(
+                "x.com",
+                &[r"-(\d+)\.x\.com$", r"^(\d+)-"],
+            )],
+        });
+        assert_eq!(e.extract("123-99999999999.x.com").asn, None);
+    }
+
+    #[test]
+    fn batch_is_positional_and_thread_invariant() {
+        let e = engine();
+        let hosts: Vec<String> = (0..997)
+            .map(|i| match i % 4 {
+                0 => format!("p{i}.sgw.equinix.com"),
+                1 => format!("{i}-fr5-ix.equinix.com"),
+                2 => format!("as{i}.nts.ch"),
+                _ => format!("host{i}.example.org"),
+            })
+            .collect();
+        let baseline = e.extract_all(&hosts, 1);
+        assert_eq!(baseline.len(), hosts.len());
+        for (i, h) in hosts.iter().enumerate() {
+            assert_eq!(baseline[i], e.extract(h));
+        }
+        for threads in [2, 3, 8, 64, 0] {
+            assert_eq!(e.extract_all(&hosts, threads), baseline, "threads={threads}");
+        }
+        assert!(e.extract_all(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # hoiho-serve — model artifacts and extraction serving
+//!
+//! The learner (`hoiho`) produces naming conventions; this crate makes
+//! them *reusable inference artifacts*, the way the paper's authors
+//! ship Hoiho's learned regexes with CAIDA's ITDK for others to apply:
+//!
+//! * [`model`] — a line-based text artifact serializing a full learned
+//!   model (per-suffix regexes, §4 class, single flag, taxonomy, eval
+//!   counts), with a strict line-numbered parser and a
+//!   render→parse→render fixpoint guarantee.
+//! * [`engine`] — a read-optimized in-memory index keyed by PSL-derived
+//!   suffix that dispatches hostnames to their convention and runs the
+//!   compiled regexes; single and thread-scoped batch APIs.
+//! * [`server`] — a `std::net` TCP line-protocol server with a fixed
+//!   worker pool, hit/miss/error/per-suffix counters, a `STATS`
+//!   command, atomic hot model reload, and graceful shutdown.
+//!
+//! The `hoiho-serve` binary wires these into the workspace pipeline:
+//! `save` (learn → artifact, from a training file or a synthetic
+//! snapshot), `inspect`, `query`, `serve`, and `loadgen`.
+//!
+//! Offline/serving split: learning is minutes-scale and runs offline;
+//! lookups are microseconds-scale and run here. Nothing in this crate
+//! mutates a model after load, so one [`engine::Engine`] serves any
+//! number of threads behind an `Arc`.
+
+pub mod engine;
+pub mod model;
+pub mod server;
+
+pub use engine::{CompiledNc, Engine, Extraction};
+pub use model::{EvalCounts, Model, ModelEntry, ModelError};
+pub use server::{Client, ServerHandle, StatsSnapshot};

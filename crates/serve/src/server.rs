@@ -1,0 +1,581 @@
+//! A concurrent TCP line-protocol server over an [`Engine`].
+//!
+//! ## Protocol
+//!
+//! One request per line, one response line per request (tab-separated):
+//!
+//! * `<hostname>` → `<hostname>\t<asn|->\t<suffix|->\t<class|->` — the
+//!   extraction, the dispatched suffix, and its §4 class; `-` marks the
+//!   missing parts.
+//! * `STATS` → `stats\thits=N\tmisses=N\terrors=N\tconns=N\tmodel=K`
+//!   — lifetime totals plus the live model's convention count.
+//! * `STATS SUFFIX` → one `suffix\tqueries` line per convention of the
+//!   live model, terminated by a lone `.` line.
+//! * `RELOAD <path>` → `ok\treloaded\t<n>` after atomically installing
+//!   the model at `<path>`, or `err\t<message>` (the old model keeps
+//!   serving on failure).
+//! * `SHUTDOWN` → `ok\tbye`, then the whole server drains and stops.
+//!
+//! ## Concurrency
+//!
+//! A fixed worker pool pulls accepted connections from a shared queue.
+//! The live engine sits behind `RwLock<Arc<Engine>>`: each request
+//! clones the `Arc` under a read lock (nanoseconds), so a hot reload
+//! ([`ServerHandle::install`] or `RELOAD`) swaps the model without
+//! dropping or stalling open connections — in-flight requests finish on
+//! the engine they started with. Per-suffix counters are allocated per
+//! engine generation and travel with it, so a reload resets them while
+//! the lifetime totals keep counting.
+//!
+//! Shutdown is graceful: workers finish the request they are on, then
+//! close their connections; the acceptor wakes itself with a loopback
+//! connection and joins.
+
+use crate::engine::Engine;
+use crate::model::Model;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks on an idle connection before re-checking
+/// the shutdown flag. Small enough that shutdown is prompt, large
+/// enough to be invisible in steady state.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// One engine generation: the compiled model plus its per-suffix
+/// query counters (index-aligned with [`Engine::conventions`]).
+pub struct Generation {
+    /// The compiled model.
+    pub engine: Arc<Engine>,
+    /// Queries dispatched to each convention since this generation was
+    /// installed.
+    pub per_suffix: Vec<AtomicU64>,
+}
+
+impl Generation {
+    fn new(engine: Arc<Engine>) -> Arc<Generation> {
+        let per_suffix = (0..engine.len()).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Generation { engine, per_suffix })
+    }
+}
+
+/// Counters shared by all workers for the server's lifetime.
+#[derive(Default)]
+struct Totals {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+    conns: AtomicU64,
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries that extracted an ASN.
+    pub hits: u64,
+    /// Queries that did not (unknown suffix, or no regex matched).
+    pub misses: u64,
+    /// Protocol errors (bad input, failed reloads).
+    pub errors: u64,
+    /// Connections accepted.
+    pub conns: u64,
+    /// Per-suffix query counts for the live generation, as
+    /// `(suffix, queries)` in engine index order.
+    pub per_suffix: Vec<(String, u64)>,
+}
+
+/// Shared server state: the live generation and lifetime totals.
+struct Shared {
+    live: RwLock<Arc<Generation>>,
+    totals: Totals,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn generation(&self) -> Arc<Generation> {
+        self.live.read().expect("generation lock poisoned").clone()
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop plus `workers` request threads
+    /// (0 = one per core).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        workers: usize,
+    ) -> std::io::Result<ServerHandle> {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            workers
+        };
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            live: RwLock::new(Generation::new(engine)),
+            totals: Totals::default(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                // `tx` is moved in and dropped on exit, which closes the
+                // queue and lets idle workers finish.
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    shared.totals.conns.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Atomically installs a new engine. Requests already dispatched
+    /// finish on the old generation; every later request sees the new
+    /// one. Per-suffix counters restart; lifetime totals continue.
+    pub fn install(&self, engine: Arc<Engine>) {
+        *self.shared.live.write().expect("generation lock poisoned") =
+            Generation::new(engine);
+    }
+
+    /// Snapshots the lifetime totals and the live generation's
+    /// per-suffix counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let gen = self.shared.generation();
+        StatsSnapshot {
+            hits: self.shared.totals.hits.load(Ordering::Relaxed),
+            misses: self.shared.totals.misses.load(Ordering::Relaxed),
+            errors: self.shared.totals.errors.load(Ordering::Relaxed),
+            conns: self.shared.totals.conns.load(Ordering::Relaxed),
+            per_suffix: gen
+                .engine
+                .conventions()
+                .iter()
+                .zip(&gen.per_suffix)
+                .map(|(nc, n)| (nc.suffix.clone(), n.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// True once a shutdown has been requested (e.g. by a client's
+    /// `SHUTDOWN` command).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested (a client's `SHUTDOWN`
+    /// command, or [`ServerHandle::shutdown`] called from another
+    /// thread on a clone of the shared state), then drains and joins
+    /// every thread.
+    pub fn join(mut self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(IDLE_POLL);
+        }
+        self.join_inner();
+    }
+
+    /// Requests a graceful stop and waits: in-flight requests complete,
+    /// workers drain the accept queue, all threads join.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pulls connections off the queue until the queue closes.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Hold the lock only to poll, so workers share the queue fairly
+        // and notice shutdown even while idle.
+        let next = {
+            let guard = rx.lock().expect("queue lock poisoned");
+            guard.recv_timeout(IDLE_POLL)
+        };
+        match next {
+            Ok(stream) => handle_conn(stream, shared),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until the client closes it, an I/O error
+/// occurs, or the server shuts down.
+fn handle_conn(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Non-UTF-8 input: count it and drop the connection (we
+                // cannot resynchronise a byte stream we cannot decode).
+                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let response = respond(request, shared);
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Computes the response (including trailing newline) for one request.
+fn respond(request: &str, shared: &Shared) -> String {
+    match request {
+        "STATS" => {
+            let gen = shared.generation();
+            let t = &shared.totals;
+            format!(
+                "stats\thits={}\tmisses={}\terrors={}\tconns={}\tmodel={}\n",
+                t.hits.load(Ordering::Relaxed),
+                t.misses.load(Ordering::Relaxed),
+                t.errors.load(Ordering::Relaxed),
+                t.conns.load(Ordering::Relaxed),
+                gen.engine.len(),
+            )
+        }
+        "STATS SUFFIX" => {
+            let gen = shared.generation();
+            let mut out = String::new();
+            for (nc, n) in gen.engine.conventions().iter().zip(&gen.per_suffix) {
+                out.push_str(&format!("{}\t{}\n", nc.suffix, n.load(Ordering::Relaxed)));
+            }
+            out.push_str(".\n");
+            out
+        }
+        "SHUTDOWN" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            "ok\tbye\n".to_string()
+        }
+        _ if request.starts_with("RELOAD ") => {
+            let path = request["RELOAD ".len()..].trim();
+            match Model::load(path) {
+                Ok(model) => {
+                    let engine = Arc::new(Engine::new(&model));
+                    let n = engine.len();
+                    *shared.live.write().expect("generation lock poisoned") =
+                        Generation::new(engine);
+                    format!("ok\treloaded\t{n}\n")
+                }
+                Err(e) => {
+                    shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                    format!("err\t{e}\n")
+                }
+            }
+        }
+        hostname => {
+            let gen = shared.generation();
+            let x = gen.engine.extract(hostname);
+            if let Some(i) = x.nc {
+                gen.per_suffix[i].fetch_add(1, Ordering::Relaxed);
+            }
+            match x.asn {
+                Some(_) => shared.totals.hits.fetch_add(1, Ordering::Relaxed),
+                None => shared.totals.misses.fetch_add(1, Ordering::Relaxed),
+            };
+            let (suffix, class) = match x.nc {
+                Some(i) => {
+                    let nc = &gen.engine.conventions()[i];
+                    (nc.suffix.as_str(), nc.class.label())
+                }
+                None => ("-", "-"),
+            };
+            let asn = x.asn.map_or_else(|| "-".to_string(), |a| a.to_string());
+            format!("{hostname}\t{asn}\t{suffix}\t{class}\n")
+        }
+    }
+}
+
+/// A minimal blocking client for the line protocol — used by the
+/// `query`/`loadgen` subcommands, the benches, and the smoke tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request line and reads one response line (trimmed).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+
+    /// Queries one hostname; returns the extracted ASN, if any.
+    pub fn query(&mut self, hostname: &str) -> std::io::Result<Option<u32>> {
+        let resp = self.request(hostname)?;
+        let mut fields = resp.split('\t');
+        let (_echo, asn) = (fields.next(), fields.next());
+        Ok(asn.and_then(|a| a.parse::<u32>().ok()))
+    }
+
+    /// Reads the remaining lines of a multi-line response (after
+    /// `STATS SUFFIX`) up to and excluding the `.` terminator.
+    pub fn read_until_dot(&mut self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        loop {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            let l = l.trim_end();
+            if l == "." {
+                return Ok(out);
+            }
+            out.push(l.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EvalCounts, Model, ModelEntry};
+    use hoiho::classify::NcClass;
+    use hoiho::regex::Regex;
+    use hoiho::taxonomy::Taxonomy;
+
+    fn model(suffix: &str, rx: &str) -> Model {
+        Model {
+            entries: vec![ModelEntry {
+                suffix: suffix.to_string(),
+                class: NcClass::Good,
+                single: false,
+                taxonomy: Taxonomy::Start,
+                hostnames: 4,
+                counts: EvalCounts::default(),
+                regexes: vec![Regex::parse(rx).unwrap()],
+            }],
+        }
+    }
+
+    fn start(model: &Model, workers: usize) -> ServerHandle {
+        ServerHandle::start("127.0.0.1:0", Arc::new(Engine::new(model)), workers).unwrap()
+    }
+
+    #[test]
+    fn serves_queries_and_stats() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(c.query("as64500.example.com").unwrap(), Some(64500));
+        assert_eq!(c.query("core1.example.com").unwrap(), None);
+        assert_eq!(c.query("nothing.example.org").unwrap(), None);
+        let resp = c.request("as777.example.com").unwrap();
+        assert_eq!(resp, "as777.example.com\t777\texample.com\tgood");
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.starts_with("stats\thits=2\tmisses=2\t"), "{stats}");
+        assert!(stats.contains("model=1"), "{stats}");
+        let s = srv.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        assert_eq!(s.per_suffix, vec![("example.com".to_string(), 3)]);
+        drop(c);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_served() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 4);
+        let addr = srv.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for i in 0..50u32 {
+                        let asn = 64000 + t * 100 + i;
+                        assert_eq!(
+                            c.query(&format!("as{asn}.example.com")).unwrap(),
+                            Some(asn)
+                        );
+                    }
+                });
+            }
+        });
+        let s = srv.stats();
+        assert_eq!(s.hits, 8 * 50);
+        assert_eq!(s.conns, 8);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hot_reload_swaps_without_dropping_connections() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(c.query("as1.example.com").unwrap(), Some(1));
+        assert_eq!(c.query("r2.other.net").unwrap(), None);
+        // Install a different model; the same connection sees it.
+        srv.install(Arc::new(Engine::new(&model("other.net", r"^r(\d+)\.other\.net$"))));
+        assert_eq!(c.query("as1.example.com").unwrap(), None);
+        assert_eq!(c.query("r2.other.net").unwrap(), Some(2));
+        // Per-suffix counters restarted with the new generation.
+        let s = srv.stats();
+        assert_eq!(s.per_suffix, vec![("other.net".to_string(), 1)]);
+        assert_eq!(s.hits, 2);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn reload_command_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("hoiho-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reload.model");
+        model("other.net", r"^r(\d+)\.other\.net$").save(&path).unwrap();
+
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        // A failed reload keeps the old model serving and counts an error.
+        let resp = c.request("RELOAD /no/such/file").unwrap();
+        assert!(resp.starts_with("err\t"), "{resp}");
+        assert_eq!(c.query("as5.example.com").unwrap(), Some(5));
+        let resp = c.request(&format!("RELOAD {}", path.display())).unwrap();
+        assert_eq!(resp, "ok\treloaded\t1");
+        assert_eq!(c.query("r7.other.net").unwrap(), Some(7));
+        assert_eq!(srv.stats().errors, 1);
+        srv.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let addr = srv.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.request("SHUTDOWN").unwrap(), "ok\tbye");
+        srv.join();
+        // The listener is gone: either the connect fails or the
+        // accepted socket is never served.
+        match Client::connect(addr) {
+            Err(_) => {}
+            Ok(mut c2) => assert!(c2.request("as1.example.com").is_err()),
+        }
+    }
+
+    #[test]
+    fn join_waits_for_client_shutdown() {
+        // Regression: join() must wait for a shutdown request, not
+        // issue one — a server blocked in join() keeps serving.
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let addr = srv.local_addr();
+        let joiner = std::thread::spawn(move || srv.join());
+        let mut c = Client::connect(addr).unwrap();
+        for _ in 0..5 {
+            assert_eq!(c.query("as64500.example.com").unwrap(), Some(64500));
+            std::thread::sleep(IDLE_POLL / 2);
+        }
+        assert_eq!(c.request("SHUTDOWN").unwrap(), "ok\tbye");
+        joiner.join().unwrap();
+    }
+
+    #[test]
+    fn stats_suffix_lists_per_suffix_counts() {
+        let mut m = model("example.com", r"^as(\d+)\.example\.com$");
+        m.entries.extend(model("other.net", r"^r(\d+)\.other\.net$").entries);
+        let srv = start(&m, 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        c.query("as1.example.com").unwrap();
+        c.query("as2.example.com").unwrap();
+        c.query("r9.other.net").unwrap();
+        let first = c.request("STATS SUFFIX").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        assert_eq!(lines, vec!["example.com\t2".to_string(), "other.net\t1".to_string()]);
+        srv.shutdown();
+    }
+}

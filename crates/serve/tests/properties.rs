@@ -1,0 +1,147 @@
+//! Property-based tests for the model artifact format, on the devkit
+//! harness: render→parse→render is a fixpoint over arbitrary learned
+//! models, and truncated or corrupted artifacts are rejected with
+//! line-numbered errors instead of panics.
+
+use hoiho::classify::NcClass;
+use hoiho::regex::Regex;
+use hoiho::taxonomy::Taxonomy;
+use hoiho_devkit::prop::{any, string_of, vec_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
+use hoiho_serve::model::{EvalCounts, Model, ModelEntry};
+use std::collections::BTreeSet;
+
+/// A registrable-domain-shaped suffix: `name.tld`.
+fn suffix() -> impl Gen<Value = String> {
+    (string_of("abcdefghijklmnopqrstuvwxyz", 1..=8usize), 0usize..5).prop_map(|(name, tld)| {
+        format!("{name}.{}", ["com", "net", "org", "ch", "nz"][tld])
+    })
+}
+
+/// One regex over `suffix`, drawn from templates covering the dialect's
+/// surface: anchors, literals, the capture, alternations, negated sets,
+/// character classes, `.+`, and `\d+`.
+fn template_regex(template: usize, suffix: &str) -> Regex {
+    let esc = suffix.replace('.', "\\.");
+    let src = match template % 7 {
+        0 => format!("^as(\\d+)\\.{esc}$"),
+        1 => format!("^as(\\d+)\\.[a-z]+\\.{esc}$"),
+        2 => format!("(\\d+)-.+\\.{esc}$"),
+        3 => format!("^[^\\.]+\\.as(\\d+)\\.{esc}$"),
+        4 => format!("^(?:p|s)?(\\d+)\\.[a-z\\d]+\\.{esc}$"),
+        5 => format!("^gw-as(\\d+)-[a-z-]+\\.{esc}$"),
+        _ => format!("^\\d+\\.as(\\d+)\\.{esc}$"),
+    };
+    Regex::parse(&src).expect("template regex parses")
+}
+
+fn entry() -> impl Gen<Value = ModelEntry> {
+    (
+        suffix(),
+        (0usize..3, any::<bool>(), 0usize..5, 0u64..100_000),
+        vec_of(0usize..7, 1..=3usize),
+        (0u32..100_000, 0u32..100_000, 0u32..100_000, 0u32..100_000, 0u32..5_000, 0u32..5_000),
+    )
+        .prop_map(|(suffix, (ci, single, ti, hostnames), templates, (tp, fp, fnn, tn, uta, ue))| {
+            ModelEntry {
+                regexes: templates.iter().map(|&t| template_regex(t, &suffix)).collect(),
+                suffix,
+                class: [NcClass::Good, NcClass::Promising, NcClass::Poor][ci],
+                single,
+                taxonomy: [
+                    Taxonomy::Simple,
+                    Taxonomy::Start,
+                    Taxonomy::End,
+                    Taxonomy::Bare,
+                    Taxonomy::Complex,
+                ][ti],
+                hostnames,
+                counts: EvalCounts {
+                    tp,
+                    fp,
+                    fnn,
+                    tn,
+                    unique_tp_asns: uta,
+                    unique_extracted: ue,
+                },
+            }
+        })
+}
+
+/// An arbitrary model: up to six conventions, suffixes deduplicated
+/// (the format rejects duplicates by design).
+fn model() -> impl Gen<Value = Model> {
+    vec_of(entry(), 0usize..6).prop_map(|mut entries| {
+        let mut seen = BTreeSet::new();
+        entries.retain(|e| seen.insert(e.suffix.clone()));
+        Model { entries }
+    })
+}
+
+props! {
+    cases = 96;
+
+    /// The core artifact guarantee: render → parse gives back the same
+    /// model, and rendering again gives byte-identical text.
+    fn render_parse_render_fixpoint(m in model()) {
+        let text = m.render();
+        let parsed = match Model::parse(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("rendered model failed to parse: {e}")),
+        };
+        prop_assert_eq!(&parsed, &m);
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Every strict line-prefix of a valid artifact is rejected — the
+    /// trailer makes truncation detectable at any cut point — and the
+    /// error names a line inside the file rather than panicking.
+    fn truncation_always_rejected(m in model(), cut in 0usize..10_000) {
+        let text = m.render();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = cut % lines.len();
+        let prefix = lines[..cut].join("\n");
+        let err = match Model::parse(&prefix) {
+            Err(e) => e,
+            Ok(_) => return Err(format!("prefix of {cut}/{} lines parsed", lines.len())),
+        };
+        prop_assert!(err.line <= lines.len(), "error line {} out of range", err.line);
+    }
+
+    /// Replacing any single line with garbage is rejected with a
+    /// 1-based line number no larger than the file.
+    fn corrupt_line_rejected_with_line_number(m in model(), which in 0usize..10_000) {
+        let text = m.render();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let i = which % lines.len();
+        lines[i] = "Z\tgarbage".to_string();
+        let corrupted = lines.join("\n");
+        let err = match Model::parse(&corrupted) {
+            Err(e) => e,
+            Ok(_) => return Err(format!("corruption of line {} accepted", i + 1)),
+        };
+        prop_assert!(
+            err.line >= 1 && err.line <= lines.len(),
+            "error line {} out of range 1..={}", err.line, lines.len()
+        );
+    }
+
+    /// Dropping a field from a record line is rejected too (short
+    /// records must not silently default).
+    fn short_records_rejected(m in model(), which in 0usize..10_000) {
+        let text = m.render();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Pick a record line with at least three fields and drop the last.
+        let candidates: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.split('\t').count() >= 3 && !l.starts_with('#'))
+            .map(|(i, _)| i)
+            .collect();
+        let i = candidates[which % candidates.len()];
+        let cut = lines[i].rsplit_once('\t').expect("record has tabs").0.to_string();
+        lines[i] = cut;
+        let corrupted = lines.join("\n");
+        prop_assert!(Model::parse(&corrupted).is_err(), "short record on line {} accepted", i + 1);
+    }
+}

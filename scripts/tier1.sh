@@ -1,13 +1,48 @@
 #!/usr/bin/env bash
 # Tier-1 gate: what must be green before any PR merges.
 #   1. The hermetic-dependency check (manifests are path-only).
-#   2. A clean offline release build of the whole workspace.
+#   2. A clean offline release build of the whole workspace, including
+#      every example and binary.
 #   3. The full test suite, offline.
+#   4. A live smoke test of the serving subsystem: learn a model from a
+#      simulated snapshot, serve it over TCP, drive one query + STATS,
+#      and shut down cleanly.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ./scripts/no-external-deps.sh
-cargo build --release --offline
+cargo build --release --offline --workspace --examples --bins
 cargo test -q --offline
+
+SRV=target/release/hoiho-serve
+SMOKE_DIR=$(mktemp -d)
+SRV_PID=
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+"$SRV" save --sim 2020 "$SMOKE_DIR/model.hoiho" 2>/dev/null
+"$SRV" inspect "$SMOKE_DIR/model.hoiho" > /dev/null
+"$SRV" serve "$SMOKE_DIR/model.hoiho" 127.0.0.1:0 2 2> "$SMOKE_DIR/serve.log" &
+SRV_PID=$!
+
+# The server prints its bound (ephemeral) address on startup.
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.* on \([0-9.]*:[0-9]*\).*/\1/p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$SMOKE_DIR/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "tier1: server never reported its address" >&2; exit 1; }
+
+"$SRV" send "$ADDR" smoke-test.invalid | grep -q "smoke-test.invalid"
+"$SRV" send "$ADDR" STATS | grep -q "^stats"
+"$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
+wait "$SRV_PID"
+SRV_PID=
+
 echo "tier1: OK"

@@ -10,3 +10,4 @@ pub use hoiho_itdk as itdk;
 pub use hoiho_netsim as netsim;
 pub use hoiho_pdb as pdb;
 pub use hoiho_psl as psl;
+pub use hoiho_serve as serve;

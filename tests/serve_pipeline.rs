@@ -1,0 +1,134 @@
+//! Serving-subsystem integration: synthetic Internet → learner → model
+//! artifact on disk → extraction engine → TCP server, asserting the
+//! served answers are indistinguishable from running the learner's
+//! conventions directly.
+
+use hoiho_repro::hoiho::learner::{learn_all, LearnConfig, LearnedConvention};
+use hoiho_repro::itdk::{BuiltSnapshot, Method, SnapshotSpec};
+use hoiho_repro::netsim::SimConfig;
+use hoiho_repro::psl::PublicSuffixList;
+use hoiho_repro::serve::server::Client;
+use hoiho_repro::serve::{Engine, Model, ServerHandle};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn learn(seed: u64) -> (BuiltSnapshot, Vec<LearnedConvention>) {
+    let snap = BuiltSnapshot::build(&SnapshotSpec {
+        label: format!("serve-it-{seed}"),
+        method: Method::BdrmapIt,
+        cfg: SimConfig::tiny(seed),
+        alias_split: 0.3,
+    });
+    let groups = snap.training_set().by_suffix(&PublicSuffixList::builtin());
+    let learned = learn_all(&groups, &LearnConfig::default());
+    (snap, learned)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hoiho-serve-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn saved_model_serves_the_learners_extractions() {
+    // Accumulate over several simulated Internets so the threshold below
+    // is meaningful (any single tiny snapshot yields a few dozen
+    // hostnames under learned suffixes).
+    let (mut checked, mut extracted) = (0usize, 0usize);
+    for seed in [20807, 4242, 991] {
+        let (snap, learned) = learn(seed);
+        assert!(!learned.is_empty());
+
+        // Save → load round trip through the on-disk artifact.
+        let model = Model::from_learned(&learned);
+        let path = scratch(&format!("pipeline-{seed}.model"));
+        model.save(&path).expect("save model");
+        let loaded = Model::load(&path).expect("load model");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, model, "artifact round trip changed the model");
+
+        // Every training hostname: the served extraction must equal the
+        // learner's direct extraction through its own convention.
+        let engine = Engine::new(&loaded);
+        let by_suffix: BTreeMap<&str, &LearnedConvention> =
+            learned.iter().map(|l| (l.convention.suffix.as_str(), l)).collect();
+        let groups = snap.training_set().by_suffix(&PublicSuffixList::builtin());
+        for st in &groups {
+            let Some(lc) = by_suffix.get(st.suffix.as_str()) else { continue };
+            for h in &st.hosts {
+                let direct = lc.convention.extract(&h.hostname);
+                let served = engine.extract(&h.hostname);
+                assert_eq!(
+                    served.asn, direct,
+                    "served {:?} != direct {:?} for {}",
+                    served.asn, direct, h.hostname
+                );
+                let nc = served.nc.expect("training hostname must dispatch");
+                assert_eq!(engine.conventions()[nc].suffix, st.suffix);
+                checked += 1;
+                extracted += usize::from(direct.is_some());
+            }
+        }
+    }
+    assert!(checked > 60, "only {checked} hostnames exercised");
+    assert!(extracted > 0, "no hostname extracted at all");
+}
+
+#[test]
+fn threaded_batches_match_single_threaded() {
+    // Regression mirroring the learn_all threads test: batch extraction
+    // must be byte-identical however the work is sharded.
+    let (snap, learned) = learn(4242);
+    let engine = Engine::new(&Model::from_learned(&learned));
+    let hostnames: Vec<String> =
+        snap.training_set().observations().iter().map(|o| o.hostname.clone()).collect();
+    assert!(hostnames.len() > 100);
+    let single = engine.extract_all(&hostnames, 1);
+    for threads in [2, 4, 7, 32, 0] {
+        assert_eq!(engine.extract_all(&hostnames, threads), single, "threads={threads}");
+    }
+    for (h, x) in hostnames.iter().zip(&single) {
+        assert_eq!(engine.extract(h), *x);
+    }
+}
+
+#[test]
+fn live_tcp_server_smoke() {
+    // Serve the learned model on an ephemeral port, query it over real
+    // sockets, read STATS, and shut down cleanly.
+    let (snap, learned) = learn(991);
+    let engine = Arc::new(Engine::new(&Model::from_learned(&learned)));
+    let srv = ServerHandle::start("127.0.0.1:0", Arc::clone(&engine), 2).expect("bind");
+    let addr = srv.local_addr();
+
+    let hostnames: Vec<String> = snap
+        .training_set()
+        .observations()
+        .iter()
+        .take(200)
+        .map(|o| o.hostname.clone())
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut served_hits = 0usize;
+    for h in &hostnames {
+        let direct = engine.extract(h).asn;
+        let over_tcp = client.query(h).expect("query");
+        assert_eq!(over_tcp, direct, "TCP answer diverged for {h}");
+        served_hits += usize::from(over_tcp.is_some());
+    }
+    assert!(served_hits > 0, "smoke test never extracted an ASN");
+
+    let stats = client.request("STATS").expect("stats");
+    assert!(stats.starts_with("stats\t"), "bad STATS response: {stats}");
+    let snapshot = srv.stats();
+    assert_eq!(
+        (snapshot.hits + snapshot.misses) as usize,
+        hostnames.len(),
+        "counters disagree with queries sent"
+    );
+    assert_eq!(snapshot.hits as usize, served_hits);
+
+    let bye = client.request("SHUTDOWN").expect("shutdown");
+    assert_eq!(bye, "ok\tbye");
+    srv.join();
+}
