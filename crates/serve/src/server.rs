@@ -16,9 +16,28 @@
 //!   serving on failure).
 //! * `SHUTDOWN` → `ok\tbye`, then the whole server drains and stops.
 //!
+//! ## Trust model
+//!
+//! The protocol is unauthenticated. Query lines are safe to expose, but
+//! `RELOAD` (which reads server-side filesystem paths and whose error
+//! messages reveal whether a path exists and parses) and `SHUTDOWN`
+//! (which terminates the server) are **admin verbs**: they are honoured
+//! only when the client's peer address is loopback, and answer
+//! `err\tadmin commands require a loopback peer` otherwise. Bind the
+//! server to `127.0.0.1` unless every host on the bound network is
+//! trusted with the query surface.
+//!
 //! ## Concurrency
 //!
-//! A fixed worker pool pulls accepted connections from a shared queue.
+//! A fixed worker pool pulls accepted connections from a shared queue,
+//! and **each worker serves one connection until it closes**: at most
+//! `workers` connections are served concurrently, and further accepted
+//! connections wait in the queue until a worker frees up. To keep idle
+//! keep-alive clients from pinning workers forever, a connection that
+//! completes no request for [`IDLE_DISCONNECT`] is closed. Workloads
+//! with many long-lived concurrent clients should raise `workers` (the
+//! ROADMAP's readiness-based I/O backend lifts the limit properly).
+//!
 //! The live engine sits behind `RwLock<Arc<Engine>>`: each request
 //! clones the `Arc` under a read lock (nanoseconds), so a hot reload
 //! ([`ServerHandle::install`] or `RELOAD`) swaps the model without
@@ -27,24 +46,35 @@
 //! engine generation and travel with it, so a reload resets them while
 //! the lifetime totals keep counting.
 //!
-//! Shutdown is graceful: workers finish the request they are on, then
-//! close their connections; the acceptor wakes itself with a loopback
-//! connection and joins.
+//! Shutdown is graceful for connections being served: workers finish
+//! the request they are on, then close their connections. Connections
+//! still waiting in the accept queue are closed without a response.
+//! The acceptor wakes itself with a loopback connection and joins.
 
 use crate::engine::Engine;
 use crate::model::Model;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker blocks on an idle connection before re-checking
 /// the shutdown flag. Small enough that shutdown is prompt, large
 /// enough to be invisible in steady state.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// A connection that completes no request for this long is closed, so
+/// idle keep-alive clients cannot pin a worker forever (each worker
+/// serves one connection at a time — see the module docs).
+pub const IDLE_DISCONNECT: Duration = Duration::from_secs(60);
+
+/// Hard cap on one request line. A client that exceeds it is counted
+/// as a protocol error and disconnected — the stream cannot be
+/// resynchronised without trusting the oversized line's framing.
+const MAX_LINE: usize = 64 * 1024;
 
 /// One engine generation: the compiled model plus its per-suffix
 /// query counters (index-aligned with [`Engine::conventions`]).
@@ -213,7 +243,8 @@ impl ServerHandle {
     }
 
     /// Requests a graceful stop and waits: in-flight requests complete,
-    /// workers drain the accept queue, all threads join.
+    /// connections still waiting in the accept queue are closed without
+    /// a response, and all threads join.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.join_inner();
@@ -236,6 +267,7 @@ impl ServerHandle {
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
+            drain_queue(rx);
             return;
         }
         // Hold the lock only to poll, so workers share the queue fairly
@@ -252,55 +284,105 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     }
 }
 
+/// Closes accepted-but-unserved connections on shutdown: dropping the
+/// streams sends FIN, so queued clients see EOF promptly instead of
+/// hanging on a queue no worker will ever service again.
+fn drain_queue(rx: &Mutex<Receiver<TcpStream>>) {
+    let guard = rx.lock().expect("queue lock poisoned");
+    while guard.try_recv().is_ok() {}
+}
+
 /// Serves one connection until the client closes it, an I/O error
-/// occurs, or the server shuts down.
-fn handle_conn(stream: TcpStream, shared: &Shared) {
+/// occurs, the connection idles past [`IDLE_DISCONNECT`], or the
+/// server shuts down.
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
+    // Admin verbs are honoured only from loopback peers (module docs).
+    let admin = stream.peer_addr().map(|a| a.ip().is_loopback()).unwrap_or(false);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Framing is by hand rather than `BufReader::read_line`: a read
+    // timeout must preserve partially-received bytes (`read_line`
+    // consumes them from the reader before reporting the error, so a
+    // request straddling the idle poll would be truncated), and a
+    // multi-byte UTF-8 character split across TCP segments must not be
+    // mistaken for invalid data.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_request = Instant::now();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            last_request = Instant::now();
+            let Ok(text) = std::str::from_utf8(&line) else {
+                // Non-UTF-8 input: count it and drop the connection (we
+                // cannot resynchronise a stream we cannot decode).
+                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            if !serve_line(text, admin, &mut writer, shared) {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE {
+            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Client closed; serve a final unterminated line, if any.
+                if !buf.is_empty() {
+                    match std::str::from_utf8(&buf) {
+                        Ok(text) => {
+                            serve_line(text, admin, &mut writer, shared);
+                        }
+                        Err(_) => {
+                            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || last_request.elapsed() >= IDLE_DISCONNECT
+                {
                     return;
                 }
-                continue;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                // Non-UTF-8 input: count it and drop the connection (we
-                // cannot resynchronise a byte stream we cannot decode).
-                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
-        }
-        let request = line.trim();
-        if request.is_empty() {
-            continue;
-        }
-        let response = respond(request, shared);
-        if writer.write_all(response.as_bytes()).is_err() {
-            return;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
         }
     }
 }
 
+/// Serves one framed request line; returns `false` when the connection
+/// should close (write failure, or the server is shutting down).
+fn serve_line(text: &str, admin: bool, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let request = text.trim();
+    if request.is_empty() {
+        return true;
+    }
+    let response = respond(request, admin, shared);
+    if writer.write_all(response.as_bytes()).is_err() {
+        return false;
+    }
+    !shared.shutdown.load(Ordering::SeqCst)
+}
+
+/// Refusal sent to non-loopback peers issuing admin verbs.
+const ERR_NOT_ADMIN: &str = "err\tadmin commands require a loopback peer\n";
+
 /// Computes the response (including trailing newline) for one request.
-fn respond(request: &str, shared: &Shared) -> String {
+/// `admin` is true when the peer may issue `RELOAD`/`SHUTDOWN`.
+fn respond(request: &str, admin: bool, shared: &Shared) -> String {
     match request {
         "STATS" => {
             let gen = shared.generation();
@@ -324,10 +406,18 @@ fn respond(request: &str, shared: &Shared) -> String {
             out
         }
         "SHUTDOWN" => {
+            if !admin {
+                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                return ERR_NOT_ADMIN.to_string();
+            }
             shared.shutdown.store(true, Ordering::SeqCst);
             "ok\tbye\n".to_string()
         }
         _ if request.starts_with("RELOAD ") => {
+            if !admin {
+                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                return ERR_NOT_ADMIN.to_string();
+            }
             let path = request["RELOAD ".len()..].trim();
             match Model::load(path) {
                 Ok(model) => {
@@ -561,6 +651,67 @@ mod tests {
         }
         assert_eq!(c.request("SHUTDOWN").unwrap(), "ok\tbye");
         joiner.join().unwrap();
+    }
+
+    #[test]
+    fn partial_request_straddling_idle_poll_is_not_truncated() {
+        // Regression: a request line arriving in fragments across the
+        // worker's 100ms read-timeout polls must be answered whole —
+        // the old BufReader::read_line framing dropped the bytes read
+        // before the timeout.
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"as64500.exam").unwrap();
+        std::thread::sleep(IDLE_POLL * 3); // several server-side timeouts fire
+        s.write_all(b"ple.com\n").unwrap();
+        let mut resp = String::new();
+        BufReader::new(s).read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "as64500.example.com\t64500\texample.com\tgood");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_in_one_segment_all_answered() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"as1.example.com\nas2.example.com\n").unwrap();
+        let mut r = BufReader::new(s);
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "as1.example.com\t1\texample.com\tgood");
+        resp.clear();
+        r.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "as2.example.com\t2\texample.com\tgood");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unterminated_final_line_is_served_on_eof() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"as7.example.com").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        BufReader::new(s).read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "as7.example.com\t7\texample.com\tgood");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn admin_verbs_refused_for_non_loopback_peers() {
+        let m = model("example.com", r"^as(\d+)\.example\.com$");
+        let shared = Shared {
+            live: RwLock::new(Generation::new(Arc::new(Engine::new(&m)))),
+            totals: Totals::default(),
+            shutdown: AtomicBool::new(false),
+        };
+        assert_eq!(respond("SHUTDOWN", false, &shared), ERR_NOT_ADMIN);
+        assert!(!shared.shutdown.load(Ordering::SeqCst), "non-admin SHUTDOWN must not stop the server");
+        assert_eq!(respond("RELOAD /etc/passwd", false, &shared), ERR_NOT_ADMIN);
+        assert_eq!(shared.totals.errors.load(Ordering::Relaxed), 2);
+        // Plain queries are served regardless of peer.
+        let resp = respond("as9.example.com", false, &shared);
+        assert_eq!(resp, "as9.example.com\t9\texample.com\tgood\n");
     }
 
     #[test]
