@@ -5,10 +5,14 @@
 //! hoiho-serve save --sim <seed> <model-file>       same, from a synthetic snapshot
 //! hoiho-serve inspect <model-file>                 summarise an artifact
 //! hoiho-serve query <model-file> [hostname ...]    extract (args or stdin)
+//! hoiho-serve shard <model-file> <N> <out-dir>     split into N shard artifacts + manifest
 //! hoiho-serve serve <model-file> <addr> [workers]  run the TCP server
+//!       [--shards N] [--cache-capacity K]          ... as an N-shard cluster with a
+//!                                                  bounded response cache
 //! hoiho-serve send <addr> <request...>             one protocol request, print reply
 //! hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]
 //!                                                  drive a server, report lookups/sec
+//!                                                  and p50/p99 latency
 //! ```
 //!
 //! The training file is the `hoiho` CLI's format (`asn addr hostname`
@@ -16,10 +20,14 @@
 //! and trains on bdrmapIT-inferred ownership, the workspace's standard
 //! netsim→learner pipeline. The server speaks the line protocol
 //! documented in `hoiho_serve::server` (hostname per line, plus
-//! `STATS`, `STATS SUFFIX`, `RELOAD <path>`, `SHUTDOWN`).
+//! `STATS`, `STATS SUFFIX`, `SHUTDOWN`; single-engine servers take
+//! `RELOAD <path>`, cluster servers `RELOAD SHARD <k> <path>` and
+//! `STATS CLUSTER`). `shard` materializes the same partition the
+//! clustered server builds in memory, for inspection or distribution.
 
 use hoiho::learner::{learn_all, LearnConfig};
 use hoiho::training::{Observation, TrainingSet};
+use hoiho_cluster::{shard_file_name, split, ClusterBackend, ShardRouter, SHARDMAP_FILE_NAME};
 use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_netsim::SimConfig;
 use hoiho_psl::PublicSuffixList;
@@ -30,17 +38,75 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Cluster flags accepted by `serve`, extracted before the positional
+/// match so they may appear anywhere after the subcommand.
+#[derive(Default)]
+struct ClusterFlags {
+    shards: Option<u32>,
+    cache_capacity: Option<usize>,
+}
+
+/// Splits `--shards N` / `--cache-capacity K` out of the argument list.
+fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), String> {
+    let mut flags = ClusterFlags::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = |name: &str| {
+            it.clone()
+                .next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .map(|v| v.as_str())
+        };
+        match a.as_str() {
+            "--shards" => {
+                let v = value("--shards")?;
+                it.next();
+                flags.shards =
+                    Some(v.parse().map_err(|_| format!("bad --shards value {v:?}"))?);
+            }
+            "--cache-capacity" => {
+                let v = value("--cache-capacity")?;
+                it.next();
+                flags.cache_capacity =
+                    Some(v.parse().map_err(|_| format!("bad --cache-capacity value {v:?}"))?);
+            }
+            other => rest.push(other),
+        }
+    }
+    Ok((rest, flags))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let strs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
-    let result = match strs.as_slice() {
+    let result = run(&args);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hoiho-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (strs, flags) = take_cluster_flags(args)?;
+    let clustered = flags.shards.is_some() || flags.cache_capacity.is_some();
+    if clustered && strs.first() != Some(&"serve") {
+        return Err("--shards/--cache-capacity only apply to serve".into());
+    }
+    match strs.as_slice() {
         ["save", "--sim", seed, out] => save_sim(seed, out),
         ["save", training, out] => save_file(training, out),
         ["inspect", model] => inspect(model),
         ["query", model, hosts @ ..] => query(model, hosts),
-        ["serve", model, addr] => serve(model, addr, 0),
+        ["shard", model, n, outdir] => match n.parse() {
+            Ok(n) => shard(model, n, outdir),
+            Err(_) => usage(),
+        },
+        ["serve", model, addr] => serve(model, addr, 0, &flags),
         ["serve", model, addr, workers] => match workers.parse() {
-            Ok(w) => serve(model, addr, w),
+            Ok(w) => serve(model, addr, w, &flags),
             Err(_) => usage(),
         },
         ["send", addr, words @ ..] if !words.is_empty() => send(addr, &words.join(" ")),
@@ -54,13 +120,6 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         _ => usage(),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("hoiho-serve: {e}");
-            ExitCode::FAILURE
-        }
     }
 }
 
@@ -69,7 +128,9 @@ fn usage() -> Result<(), String> {
     eprintln!("       hoiho-serve save --sim <seed> <model-file>");
     eprintln!("       hoiho-serve inspect <model-file>");
     eprintln!("       hoiho-serve query <model-file> [hostname ...]");
+    eprintln!("       hoiho-serve shard <model-file> <N> <out-dir>");
     eprintln!("       hoiho-serve serve <model-file> <addr> [workers]");
+    eprintln!("                         [--shards N] [--cache-capacity K]");
     eprintln!("       hoiho-serve send <addr> <request...>");
     eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]");
     Err("bad arguments".into())
@@ -167,30 +228,73 @@ fn query(path: &str, hosts: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
-fn serve(path: &str, addr: &str, workers: usize) -> Result<(), String> {
+/// Splits a model artifact into `n` shard artifacts plus the shard-map
+/// manifest, under `outdir` (created if missing).
+fn shard(path: &str, n: u32, outdir: &str) -> Result<(), String> {
     let model = Model::load(path).map_err(|e| e.to_string())?;
-    let engine = Arc::new(Engine::new(&model));
-    let srv = ServerHandle::start(addr, engine, workers)
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let (shards, map) = split(&model, n).map_err(|e| e.to_string())?;
+    let dir = std::path::Path::new(outdir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {outdir}: {e}"))?;
+    for (k, m) in shards.iter().enumerate() {
+        let file = dir.join(shard_file_name(k as u32));
+        m.save(&file).map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    }
+    let manifest = dir.join(SHARDMAP_FILE_NAME);
+    map.save(&manifest).map_err(|e| format!("cannot write {}: {e}", manifest.display()))?;
+    let loads = map.shard_weights();
     eprintln!(
-        "serving {} conventions on {} (send SHUTDOWN to stop, RELOAD <path> to hot-swap)",
+        "sharded {} conventions into {n} shards under {outdir} (weights {loads:?}, manifest {})",
         model.len(),
-        srv.local_addr()
+        manifest.display()
     );
+    Ok(())
+}
+
+fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result<(), String> {
+    let model = Model::load(path).map_err(|e| e.to_string())?;
+    let srv = if flags.shards.is_some() || flags.cache_capacity.is_some() {
+        let shards = flags.shards.unwrap_or(1);
+        let capacity = flags.cache_capacity.unwrap_or(0);
+        let router = Arc::new(
+            ShardRouter::from_model(&model, shards, capacity).map_err(|e| e.to_string())?,
+        );
+        let backend = Arc::new(ClusterBackend::new(router));
+        let srv = ServerHandle::start_with_backend(addr, backend, workers)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        eprintln!(
+            "serving {} conventions across {shards} shards (cache capacity {capacity}) on {} \
+             (send SHUTDOWN to stop, RELOAD SHARD <k> <path> to hot-swap one shard)",
+            model.len(),
+            srv.local_addr()
+        );
+        srv
+    } else {
+        let engine = Arc::new(Engine::new(&model));
+        let srv = ServerHandle::start(addr, engine, workers)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        eprintln!(
+            "serving {} conventions on {} (send SHUTDOWN to stop, RELOAD <path> to hot-swap)",
+            model.len(),
+            srv.local_addr()
+        );
+        srv
+    };
     srv.join();
     eprintln!("server stopped");
     Ok(())
 }
 
 /// Sends one protocol request line and prints the reply (including the
-/// extra lines of a `STATS SUFFIX` listing).
+/// extra lines of a multi-line `STATS SUFFIX` / `STATS CLUSTER`
+/// listing).
 fn send(addr: &str, line: &str) -> Result<(), String> {
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let resp = client.request(line).map_err(|e| format!("request failed: {e}"))?;
-    // `STATS SUFFIX` is multi-line: the first line is already part of
-    // the listing (or the lone `.` terminator on an empty model).
-    if line.trim() == "STATS SUFFIX" {
+    // Multi-line responses: the first line is already part of the
+    // listing (or the lone `.` terminator on an empty listing).
+    let multiline = matches!(line.trim(), "STATS SUFFIX" | "STATS CLUSTER");
+    if multiline && !resp.starts_with("err\t") {
         if resp == "." {
             return Ok(());
         }
@@ -204,8 +308,16 @@ fn send(addr: &str, line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Fires `requests` round-robin queries per connection across `conns`
-/// parallel connections and reports aggregate lookups/sec.
+/// parallel connections and reports aggregate lookups/sec plus p50/p99
+/// per-request latency.
 fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Result<(), String> {
     let text = std::fs::read_to_string(hosts_path)
         .map_err(|e| format!("cannot read {hosts_path}: {e}"))?;
@@ -219,22 +331,27 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
     }
     let conns = conns.max(1);
     let t0 = Instant::now();
-    let totals: Result<Vec<(u64, u64)>, String> = std::thread::scope(|scope| {
+    type ConnResult = Result<(u64, u64, Vec<u64>), String>;
+    let totals: Result<Vec<_>, String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
             .map(|c| {
                 let hosts = &hosts;
-                scope.spawn(move || -> Result<(u64, u64), String> {
+                scope.spawn(move || -> ConnResult {
                     let mut client = Client::connect(addr)
                         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
                     let (mut hits, mut misses) = (0u64, 0u64);
+                    let mut lat_ns: Vec<u64> = Vec::with_capacity(requests);
                     for i in 0..requests {
                         let h = hosts[(c + i * conns) % hosts.len()];
-                        match client.query(h).map_err(|e| format!("query failed: {e}"))? {
+                        let t = Instant::now();
+                        let asn = client.query(h).map_err(|e| format!("query failed: {e}"))?;
+                        lat_ns.push(t.elapsed().as_nanos() as u64);
+                        match asn {
                             Some(_) => hits += 1,
                             None => misses += 1,
                         }
                     }
-                    Ok((hits, misses))
+                    Ok((hits, misses, lat_ns))
                 })
             })
             .collect();
@@ -245,10 +362,15 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
     let hits: u64 = totals.iter().map(|t| t.0).sum();
     let misses: u64 = totals.iter().map(|t| t.1).sum();
     let total = hits + misses;
+    let mut lat_ns: Vec<u64> = totals.into_iter().flat_map(|t| t.2).collect();
+    lat_ns.sort_unstable();
+    let (p50, p99) = (percentile_ns(&lat_ns, 50.0), percentile_ns(&lat_ns, 99.0));
     println!(
         "{total} lookups over {conns} connections in {secs:.3}s = {:.0} lookups/sec \
-         (hits={hits} misses={misses})",
-        total as f64 / secs
+         (hits={hits} misses={misses} p50={:.1}us p99={:.1}us)",
+        total as f64 / secs,
+        p50 as f64 / 1_000.0,
+        p99 as f64 / 1_000.0,
     );
     Ok(())
 }
@@ -287,5 +409,37 @@ mod tests {
         assert!(parse_training("x 1.2.3.4 h").is_err());
         assert!(parse_training("1 bad h").is_err());
         assert!(parse_training("1 1.2.3.4").is_err());
+    }
+
+    #[test]
+    fn cluster_flags_extracted_anywhere() {
+        let args: Vec<String> = ["serve", "m", "a", "--shards", "4", "--cache-capacity", "512"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, flags) = take_cluster_flags(&args).unwrap();
+        assert_eq!(rest, ["serve", "m", "a"]);
+        assert_eq!(flags.shards, Some(4));
+        assert_eq!(flags.cache_capacity, Some(512));
+
+        let args: Vec<String> =
+            ["serve", "--shards", "2", "m", "a"].iter().map(|s| s.to_string()).collect();
+        let (rest, flags) = take_cluster_flags(&args).unwrap();
+        assert_eq!(rest, ["serve", "m", "a"]);
+        assert_eq!(flags.shards, Some(2));
+        assert_eq!(flags.cache_capacity, None);
+
+        assert!(take_cluster_flags(&["--shards".to_string()]).is_err());
+        assert!(take_cluster_flags(&["--shards".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50.0), 50);
+        assert_eq!(percentile_ns(&sorted, 99.0), 99);
+        assert_eq!(percentile_ns(&sorted, 100.0), 100);
+        assert_eq!(percentile_ns(&[7], 50.0), 7);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
     }
 }

@@ -1,0 +1,588 @@
+//! The shard router: N independently reloadable engines behind one
+//! lookup API, fronted by the bounded response cache.
+//!
+//! # Dispatch
+//!
+//! A global routing table maps every model suffix to its owning shard.
+//! A lookup lowercases the hostname once, then routes exactly the way
+//! a single engine dispatches: first by PSL registrable domain, then
+//! by longest-first label suffix. Because the routing table is the
+//! union of all shard indexes, the longest matching suffix globally is
+//! found even when registrable-domain routing misses — fallback
+//! semantics are preserved across shard boundaries, and the shard's own
+//! engine then re-dispatches internally to the same convention (the
+//! longest suffix it holds is the longest in the union, since a longer
+//! one in this shard would also be in the union).
+//!
+//! # Cache safety across reloads
+//!
+//! Cached answers are tagged with a [`Route`]: the shard and its
+//! generation for registrable-domain (exact) routes, or the global
+//! routing epoch for fallback and miss routes. A read revalidates the
+//! tag against the live counters, so a stale answer is never served:
+//!
+//! * Reloading shard *k* bumps *k*'s generation — every cached answer
+//!   computed by *k*'s old engine fails validation.
+//! * Any reload bumps the epoch — every fallback/miss answer is
+//!   dropped, because a reload can add or remove suffixes anywhere in
+//!   the fallback search order.
+//! * Exact-route answers of *other* shards stay valid: a reload may
+//!   not move a suffix between shards (cross-shard conflicts are
+//!   rejected), so another shard's registrable-domain dispatch cannot
+//!   be affected.
+//!
+//! The compute path samples `epoch → routing → generation → engine`,
+//! in that order, while a reload installs `engine → routing → bump
+//! generation+epoch → invalidate`. A lookup racing a reload may
+//! compute on the new engine but always carries the *old* tag, so the
+//! racing insert can never validate after the bump — at worst it
+//! lingers unservable until evicted. Eager invalidation after the bump
+//! just reclaims space early.
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::plan::split;
+use hoiho_psl::{label_suffixes, PublicSuffixList};
+use hoiho_serve::model::Model;
+use hoiho_serve::server::{Backend, Generation, QueryAnswer};
+use hoiho_serve::Engine;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A router construction or reload failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterError(pub String);
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// How a cached answer was routed — the validation tag that makes the
+/// cache reload-safe (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Registrable-domain dispatch to `shard` while it was at
+    /// `generation`.
+    Exact { shard: u32, generation: u64 },
+    /// Label-suffix fallback dispatch to `shard` under routing `epoch`.
+    Fallback { shard: u32, epoch: u64 },
+    /// No suffix covered the hostname under routing `epoch`.
+    Miss { epoch: u64 },
+}
+
+/// A cached response: the answer plus the route tag it must revalidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// Validation tag.
+    pub route: Route,
+    /// The answer served on a hit.
+    pub answer: QueryAnswer,
+}
+
+/// One shard: a hot-swappable engine generation plus its counters.
+struct ShardSlot {
+    /// The live generation (engine + per-suffix counters).
+    gen: RwLock<Arc<Generation>>,
+    /// Bumped on every reload of this shard; cached exact routes record
+    /// the value they were computed under.
+    generation_no: AtomicU64,
+    /// Queries dispatched to this shard (cache hits not included).
+    queries: AtomicU64,
+}
+
+/// Point-in-time view of one shard for `STATS CLUSTER`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Reload count (0 = as constructed).
+    pub generation: u64,
+    /// Conventions currently owned.
+    pub suffixes: usize,
+    /// Queries dispatched here since start (cache hits excluded).
+    pub queries: u64,
+}
+
+/// The suffix-sharded serving tier: shard engines, the routing table,
+/// and the response cache.
+pub struct ShardRouter {
+    psl: PublicSuffixList,
+    slots: Vec<ShardSlot>,
+    /// suffix → owning shard; swapped wholesale on reload.
+    routing: RwLock<Arc<HashMap<String, u32>>>,
+    /// Bumped on every reload of any shard; fallback/miss cache tags
+    /// record it.
+    epoch: AtomicU64,
+    cache: ShardedLru<CachedAnswer>,
+    /// Serializes reloads so routing rebuilds never interleave.
+    reload_lock: Mutex<()>,
+}
+
+impl ShardRouter {
+    /// Builds a router over pre-split shard models. Fails if the same
+    /// suffix appears in more than one shard.
+    pub fn new(shard_models: &[Model], cache_capacity: usize) -> Result<ShardRouter, RouterError> {
+        if shard_models.is_empty() {
+            return Err(RouterError("a cluster needs at least one shard".into()));
+        }
+        let mut routing: HashMap<String, u32> = HashMap::new();
+        for (k, m) in shard_models.iter().enumerate() {
+            for e in &m.entries {
+                if let Some(prev) = routing.insert(e.suffix.clone(), k as u32) {
+                    return Err(RouterError(format!(
+                        "suffix {} owned by both shard {prev} and shard {k}",
+                        e.suffix
+                    )));
+                }
+            }
+        }
+        let slots = shard_models
+            .iter()
+            .map(|m| ShardSlot {
+                gen: RwLock::new(Generation::new(Arc::new(Engine::new(m)))),
+                generation_no: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+            })
+            .collect();
+        Ok(ShardRouter {
+            psl: PublicSuffixList::builtin(),
+            slots,
+            routing: RwLock::new(Arc::new(routing)),
+            epoch: AtomicU64::new(0),
+            cache: ShardedLru::new(cache_capacity),
+            reload_lock: Mutex::new(()),
+        })
+    }
+
+    /// Plans, splits, and builds in one step.
+    pub fn from_model(
+        model: &Model,
+        shards: u32,
+        cache_capacity: usize,
+    ) -> Result<ShardRouter, RouterError> {
+        let (models, _) = split(model, shards).map_err(|e| RouterError(e.to_string()))?;
+        ShardRouter::new(&models, cache_capacity)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The response cache (for stats and tests).
+    pub fn cache(&self) -> &ShardedLru<CachedAnswer> {
+        &self.cache
+    }
+
+    /// True when `route`'s tag still matches the live counters.
+    fn route_current(&self, route: &Route) -> bool {
+        match *route {
+            Route::Exact { shard, generation } => {
+                self.slots[shard as usize].generation_no.load(Ordering::Acquire) == generation
+            }
+            Route::Fallback { epoch, .. } | Route::Miss { epoch } => {
+                self.epoch.load(Ordering::Acquire) == epoch
+            }
+        }
+    }
+
+    /// Answers one hostname, through the cache.
+    pub fn lookup(&self, hostname: &str) -> QueryAnswer {
+        let lower = hostname.to_ascii_lowercase();
+        if let Some(hit) = self.cache.get_valid(&lower, |v| self.route_current(&v.route)) {
+            return hit.answer;
+        }
+        let (route, answer) = self.compute(&lower);
+        self.cache.insert(&lower, CachedAnswer { route, answer: answer.clone() });
+        answer
+    }
+
+    /// Answers one hostname, bypassing the cache (no insert either).
+    pub fn lookup_uncached(&self, hostname: &str) -> QueryAnswer {
+        self.compute(&hostname.to_ascii_lowercase()).1
+    }
+
+    /// The routed compute path. Sampling order matters (module docs):
+    /// epoch, then routing, then the shard's generation, then its
+    /// engine — a racing reload leaves the tag stale, never the answer
+    /// newer than the tag claims.
+    fn compute(&self, lower: &str) -> (Route, QueryAnswer) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let routing = Arc::clone(&self.routing.read().unwrap());
+        // Exact: route by registrable domain, as the engine does first.
+        if let Some(rd) = self.psl.registrable_domain(lower) {
+            if let Some(&shard) = routing.get(&rd) {
+                let generation =
+                    self.slots[shard as usize].generation_no.load(Ordering::Acquire);
+                let answer = self.query_shard(shard, lower);
+                return (Route::Exact { shard, generation }, answer);
+            }
+        }
+        // Fallback: longest label suffix anywhere in the union.
+        for s in label_suffixes(lower) {
+            if let Some(&shard) = routing.get(s) {
+                let answer = self.query_shard(shard, lower);
+                return (Route::Fallback { shard, epoch }, answer);
+            }
+        }
+        (Route::Miss { epoch }, QueryAnswer::MISS)
+    }
+
+    /// Dispatches a pre-lowercased hostname to shard `k`'s engine.
+    fn query_shard(&self, k: u32, lower: &str) -> QueryAnswer {
+        let slot = &self.slots[k as usize];
+        slot.queries.fetch_add(1, Ordering::Relaxed);
+        let gen = Arc::clone(&slot.gen.read().unwrap());
+        let x = gen.engine.extract_lower(lower);
+        gen.answer_of(x)
+    }
+
+    /// Hot-reloads shard `k` with a new model. The new model may add
+    /// or drop suffixes, but may not claim a suffix another shard owns.
+    /// On success the shard's generation and the global epoch advance
+    /// and stale cache entries are dropped; on failure nothing changes.
+    pub fn reload_shard(&self, k: u32, model: &Model) -> Result<usize, RouterError> {
+        let Some(slot) = self.slots.get(k as usize) else {
+            return Err(RouterError(format!(
+                "shard {k} out of range (cluster has {})",
+                self.slots.len()
+            )));
+        };
+        let _serialize = self.reload_lock.lock().unwrap();
+        let current = Arc::clone(&self.routing.read().unwrap());
+        for e in &model.entries {
+            if let Some(&owner) = current.get(&e.suffix) {
+                if owner != k {
+                    return Err(RouterError(format!(
+                        "suffix {} is owned by shard {owner}; reload of shard {k} may not \
+                         claim it",
+                        e.suffix
+                    )));
+                }
+            }
+        }
+        let engine = Arc::new(Engine::new(model));
+        let n = engine.len();
+        // Install order per module docs: engine, routing, counters,
+        // then eager invalidation.
+        *slot.gen.write().unwrap() = Generation::new(engine);
+        let mut next: HashMap<String, u32> =
+            current.iter().filter(|&(_, &s)| s != k).map(|(s, &o)| (s.clone(), o)).collect();
+        for e in &model.entries {
+            next.insert(e.suffix.clone(), k);
+        }
+        *self.routing.write().unwrap() = Arc::new(next);
+        slot.generation_no.fetch_add(1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.cache.invalidate(|v| !self.route_current(&v.route));
+        Ok(n)
+    }
+
+    /// Total conventions across all shards.
+    pub fn model_len(&self) -> usize {
+        self.slots.iter().map(|s| s.gen.read().unwrap().engine.len()).sum()
+    }
+
+    /// Per-suffix query counts, shard by shard in index order (the
+    /// cluster analogue of the single engine's `STATS SUFFIX`). Cache
+    /// hits do not reach an engine and are not counted here.
+    pub fn per_suffix(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let gen = Arc::clone(&slot.gen.read().unwrap());
+            for (nc, n) in gen.engine.conventions().iter().zip(&gen.per_suffix) {
+                out.push((nc.suffix.clone(), n.load(Ordering::Relaxed)));
+            }
+        }
+        out
+    }
+
+    /// Per-shard stats snapshot.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(k, slot)| ShardStats {
+                shard: k as u32,
+                generation: slot.generation_no.load(Ordering::Acquire),
+                suffixes: slot.gen.read().unwrap().engine.len(),
+                queries: slot.queries.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Cache counters snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// [`Backend`] adapter plugging a [`ShardRouter`] into the serve
+/// protocol loop: queries go through the cache, `RELOAD SHARD <k>
+/// <path>` reloads one shard, and `STATS CLUSTER` reports shard and
+/// cache counters.
+pub struct ClusterBackend {
+    router: Arc<ShardRouter>,
+}
+
+impl ClusterBackend {
+    /// Wraps a router.
+    pub fn new(router: Arc<ShardRouter>) -> ClusterBackend {
+        ClusterBackend { router }
+    }
+
+    /// The wrapped router.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+}
+
+impl Backend for ClusterBackend {
+    fn query(&self, hostname: &str) -> QueryAnswer {
+        self.router.lookup(hostname)
+    }
+
+    fn model_len(&self) -> usize {
+        self.router.model_len()
+    }
+
+    fn per_suffix(&self) -> Vec<(String, u64)> {
+        self.router.per_suffix()
+    }
+
+    fn reload(&self, args: &str) -> Result<String, String> {
+        // Cluster reloads are per shard: RELOAD SHARD <k> <path>.
+        let mut parts = args.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("SHARD"), Some(k), Some(path), None) => {
+                let k: u32 = k.parse().map_err(|_| format!("bad shard index {k:?}"))?;
+                let model = Model::load(path).map_err(|e| e.to_string())?;
+                let n = self.router.reload_shard(k, &model).map_err(|e| e.to_string())?;
+                Ok(format!("reloaded\tshard={k}\tconventions={n}"))
+            }
+            _ => Err("cluster reload usage: RELOAD SHARD <k> <path>".into()),
+        }
+    }
+
+    fn cluster_stats(&self) -> Option<String> {
+        let mut body = String::new();
+        for s in self.router.shard_stats() {
+            let _ = writeln!(
+                body,
+                "shard\t{}\tgeneration={}\tsuffixes={}\tqueries={}",
+                s.shard, s.generation, s.suffixes, s.queries
+            );
+        }
+        let c = self.router.cache_stats();
+        let _ = writeln!(
+            body,
+            "cache\tcapacity={}\tlen={}\thits={}\tmisses={}\tinserts={}\tevictions={}\tinvalidations={}",
+            self.router.cache().capacity(),
+            self.router.cache().len(),
+            c.hits,
+            c.misses,
+            c.inserts,
+            c.evictions,
+            c.invalidations
+        );
+        body.push_str(".\n");
+        Some(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho::classify::NcClass;
+    use hoiho::regex::Regex;
+    use hoiho::taxonomy::Taxonomy;
+    use hoiho_serve::model::{EvalCounts, ModelEntry};
+
+    fn entry(suffix: &str, rx: &[&str]) -> ModelEntry {
+        ModelEntry {
+            suffix: suffix.to_string(),
+            class: NcClass::Good,
+            single: false,
+            taxonomy: Taxonomy::Start,
+            hostnames: 5,
+            counts: EvalCounts::default(),
+            regexes: rx.iter().map(|s| Regex::parse(s).unwrap()).collect(),
+        }
+    }
+
+    fn model() -> Model {
+        Model {
+            entries: vec![
+                entry("equinix.com", &[r"^[^\.]+\.[^\.]+\.as(\d+)\.equinix\.com$"]),
+                entry("nts.ch", &[r"^[^\.]+\.\d+\.[a-z]+\.as(\d+)\.nts\.ch$"]),
+                // A deeper suffix under the same registrable domain as
+                // another entry, to exercise fallback precedence.
+                entry("sgw.equinix.com", &[r"^p(\d+)\.sgw\.equinix\.com$"]),
+                entry("example.net", &[r"^as(\d+)\.example\.net$"]),
+            ],
+        }
+    }
+
+    const HOSTS: &[&str] = &[
+        "ge0-2.01.p.as15576.nts.ch",
+        "a.b.as64500.equinix.com",
+        "p714.sgw.equinix.com",
+        "as3356.example.net",
+        "AS3356.EXAMPLE.NET",
+        "nothing.example.org",
+        "example.net",
+        "com",
+        "",
+    ];
+
+    #[test]
+    fn router_matches_single_engine_for_all_shard_counts() {
+        let m = model();
+        let single = Engine::new(&m);
+        for shards in [1u32, 2, 3, 4] {
+            let router = ShardRouter::from_model(&m, shards, 64).unwrap();
+            for h in HOSTS {
+                let direct = single.extract(h);
+                let routed = router.lookup(h);
+                assert_eq!(routed.asn, direct.asn, "shards={shards} host={h}");
+                let expect_suffix = direct.nc.map(|i| single.conventions()[i].suffix.clone());
+                assert_eq!(routed.suffix, expect_suffix, "shards={shards} host={h}");
+                // And the cached second read agrees.
+                assert_eq!(router.lookup(h), routed, "shards={shards} host={h} cached");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_counted_and_engine_not_retouched() {
+        let router = ShardRouter::from_model(&model(), 2, 64).unwrap();
+        let h = "a.b.as64500.equinix.com";
+        assert_eq!(router.lookup(h).asn, Some(64500));
+        let queries_after_first: u64 = router.shard_stats().iter().map(|s| s.queries).sum();
+        for _ in 0..5 {
+            assert_eq!(router.lookup(h).asn, Some(64500));
+        }
+        let stats = router.cache_stats();
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 1);
+        let queries_now: u64 = router.shard_stats().iter().map(|s| s.queries).sum();
+        assert_eq!(queries_now, queries_after_first, "cache hits must not reach engines");
+        // Mixed case maps to the same cache entry.
+        assert_eq!(router.lookup("A.B.AS64500.Equinix.COM").asn, Some(64500));
+        assert_eq!(router.cache_stats().hits, 6);
+    }
+
+    #[test]
+    fn reload_invalidates_only_what_it_must() {
+        let m = model();
+        let router = ShardRouter::from_model(&m, 2, 64).unwrap();
+        let routing = Arc::clone(&router.routing.read().unwrap());
+        let nts_shard = routing["nts.ch"];
+        // Prime: one exact answer per shard, one miss.
+        for h in HOSTS {
+            router.lookup(h);
+        }
+        let primed = router.cache().len();
+        assert!(primed >= 4);
+
+        // Reload the nts.ch shard with that same single entry dropped
+        // to an always-miss regex set (still owns nts.ch).
+        let new_model = Model {
+            entries: m
+                .entries
+                .iter()
+                .filter(|e| routing[&e.suffix] == nts_shard)
+                .map(|e| {
+                    let mut e = e.clone();
+                    if e.suffix == "nts.ch" {
+                        e.regexes = vec![Regex::parse(r"^never(\d+)\.nts\.ch$").unwrap()];
+                    }
+                    e
+                })
+                .collect(),
+        };
+        router.reload_shard(nts_shard, &new_model).unwrap();
+
+        // The nts answer changed; the other shard's exact answers
+        // survived the reload in cache.
+        assert_eq!(router.lookup("ge0-2.01.p.as15576.nts.ch").asn, None);
+        let (other_host, other_asn) = [
+            ("a.b.as64500.equinix.com", "equinix.com", 64500),
+            ("as3356.example.net", "example.net", 3356),
+        ]
+        .iter()
+        .find(|(_, suffix, _)| routing[*suffix] != nts_shard)
+        .map(|&(h, _, asn)| (h, asn))
+        .expect("two shards cannot both hold nts.ch");
+        let hits_before = router.cache_stats().hits;
+        assert_eq!(router.lookup(other_host).asn, Some(other_asn));
+        assert_eq!(
+            router.cache_stats().hits,
+            hits_before + 1,
+            "other shard's exact-route entry must still be served from cache"
+        );
+        let gens: Vec<u64> = router.shard_stats().iter().map(|s| s.generation).collect();
+        assert_eq!(gens.iter().sum::<u64>(), 1, "exactly one shard advanced: {gens:?}");
+    }
+
+    #[test]
+    fn reload_may_not_steal_a_suffix() {
+        let m = model();
+        let router = ShardRouter::from_model(&m, 2, 0).unwrap();
+        let routing = Arc::clone(&router.routing.read().unwrap());
+        let victim = &m.entries[0].suffix;
+        let thief = (routing[victim] + 1) % 2;
+        let steal = Model { entries: vec![m.entries[0].clone()] };
+        let err = router.reload_shard(thief, &steal).unwrap_err();
+        assert!(err.0.contains("owned by shard"), "{err}");
+        // Nothing moved.
+        assert_eq!(router.lookup_uncached("a.b.as64500.equinix.com").asn, Some(64500));
+    }
+
+    #[test]
+    fn reload_can_add_and_drop_suffixes() {
+        let router = ShardRouter::from_model(&model(), 2, 16).unwrap();
+        assert_eq!(router.lookup("as1.fresh.io").asn, None);
+        // Give shard 0 a brand-new suffix and nothing else.
+        let fresh = Model { entries: vec![entry("fresh.io", &[r"^as(\d+)\.fresh\.io$"])] };
+        router.reload_shard(0, &fresh).unwrap();
+        assert_eq!(router.lookup("as1.fresh.io").asn, Some(1), "new suffix routed after reload");
+        // Suffixes previously on shard 0 are gone from routing.
+        let routing = Arc::clone(&router.routing.read().unwrap());
+        assert_eq!(routing.values().filter(|&&s| s == 0).count(), 1);
+        assert_eq!(router.model_len(), 1 + router.slots[1].gen.read().unwrap().engine.len());
+    }
+
+    #[test]
+    fn duplicate_suffix_across_shards_rejected_at_build() {
+        let m = Model { entries: vec![entry("dup.com", &[r"^as(\d+)\.dup\.com$"])] };
+        let err = match ShardRouter::new(&[m.clone(), m], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("duplicate suffix must be rejected"),
+        };
+        assert!(err.0.contains("owned by both"), "{err}");
+    }
+
+    #[test]
+    fn cluster_backend_protocol_surfaces() {
+        let router = Arc::new(ShardRouter::from_model(&model(), 2, 32).unwrap());
+        let backend = ClusterBackend::new(Arc::clone(&router));
+        assert_eq!(backend.query("a.b.as64500.equinix.com").asn, Some(64500));
+        assert_eq!(backend.model_len(), 4);
+        assert_eq!(backend.per_suffix().len(), 4);
+        let stats = backend.cluster_stats().unwrap();
+        assert!(stats.contains("shard\t0\tgeneration=0"), "{stats}");
+        assert!(stats.contains("shard\t1\t"), "{stats}");
+        assert!(stats.contains("cache\tcapacity=32\t"), "{stats}");
+        assert!(stats.ends_with(".\n"), "{stats}");
+        assert!(backend.reload("not-a-shard-reload").unwrap_err().contains("usage"));
+        assert!(backend.reload("SHARD 99 /nope").unwrap_err().contains("bad shard")
+            || backend.reload("SHARD 99 /nope").is_err());
+    }
+}

@@ -116,16 +116,35 @@ fn mad(xs: &[f64], center: f64) -> f64 {
     median(&devs)
 }
 
+/// A scalar fact measured outside the timing protocol (e.g. a cache
+/// hit rate), recorded alongside the timing results.
+#[derive(Debug, Clone)]
+struct Metric {
+    id: String,
+    value: f64,
+    unit: String,
+}
+
 /// Collects and measures benchmarks, then writes `BENCH_<name>.json`.
 pub struct Harness {
     name: String,
     records: Vec<Record>,
+    metrics: Vec<Metric>,
 }
 
 impl Harness {
     /// A harness whose results land in `BENCH_<name>.json`.
     pub fn new(name: &str) -> Harness {
-        Harness { name: name.to_string(), records: Vec::new() }
+        Harness { name: name.to_string(), records: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Records a scalar metric (a measured fact that is not a timing,
+    /// like a hit rate or a balance factor). Metrics land in a
+    /// `"metrics"` array next to `"results"` — an append-compatible
+    /// schema extension; absent when no metrics were recorded.
+    pub fn metric(&mut self, id: &str, value: f64, unit: &str) {
+        eprintln!("metric {id} = {value} {unit}");
+        self.metrics.push(Metric { id: id.to_string(), value, unit: unit.to_string() });
     }
 
     /// Benchmarks one routine under a full id like `learn/merge_figure4`.
@@ -210,7 +229,22 @@ impl Harness {
             );
             s.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
         }
-        s.push_str("  ]\n}\n");
+        if self.metrics.is_empty() {
+            s.push_str("  ]\n}\n");
+        } else {
+            s.push_str("  ],\n  \"metrics\": [\n");
+            for (i, m) in self.metrics.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "    {{\"id\": {}, \"value\": {}, \"unit\": {}}}",
+                    json_str(&m.id),
+                    m.value,
+                    json_str(&m.unit),
+                );
+                s.push_str(if i + 1 < self.metrics.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("  ]\n}\n");
+        }
         s
     }
 }
@@ -382,8 +416,21 @@ mod tests {
         assert!(json.contains("\"mad_ns\": 1.2"));
         assert!(json.contains("\"throughput_elems_per_sec\": null"));
         assert!(json.contains("\"benchmark\": \"unit\""));
+        assert!(!json.contains("\"metrics\""), "no metrics array unless metrics recorded");
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free devkit.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_render_next_to_results() {
+        let mut h = Harness::new("unit");
+        h.metric("cluster/hit_rate_pct", 87.5, "percent");
+        h.metric("cluster/balance", 1.0, "ratio");
+        let json = h.to_json();
+        assert!(json.contains("\"metrics\": ["));
+        assert!(json.contains("{\"id\": \"cluster/hit_rate_pct\", \"value\": 87.5, \"unit\": \"percent\"}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

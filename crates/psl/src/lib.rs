@@ -183,6 +183,24 @@ impl PublicSuffixList {
     pub fn registrable_domain(&self, hostname: &str) -> Option<String> {
         self.lookup(hostname).and_then(|m| m.registrable)
     }
+
+    /// The keys to probe a suffix-keyed index with, in priority order:
+    /// the PSL registrable domain first (the key the learner groups
+    /// by), then every label-boundary suffix longest-first (so a model
+    /// keyed deeper than — or, under PSL drift, differently from — the
+    /// registrable domain is still reachable, deepest suffix winning).
+    ///
+    /// `lower` must already be lowercased; the yielded keys are then
+    /// lowercase too. Both the serving engine and the cluster router
+    /// dispatch through this, which is what keeps their suffix choice
+    /// identical for any hostname.
+    pub fn dispatch_keys<'n>(
+        &self,
+        lower: &'n str,
+    ) -> impl Iterator<Item = std::borrow::Cow<'n, str>> {
+        let rd = self.registrable_domain(lower).map(std::borrow::Cow::Owned);
+        rd.into_iter().chain(label_suffixes(lower).map(std::borrow::Cow::Borrowed))
+    }
 }
 
 /// Iterates the suffixes of `hostname` at label boundaries, longest
@@ -257,6 +275,21 @@ mod tests {
         assert_eq!(label_suffixes("").count(), 0);
         // Trailing dot ignored; empty tail labels skipped.
         assert_eq!(label_suffixes("a.b.").collect::<Vec<_>>(), ["a.b", "b"]);
+    }
+
+    #[test]
+    fn dispatch_keys_registrable_first_then_longest_suffixes() {
+        let p = psl();
+        let got: Vec<String> =
+            p.dispatch_keys("p714.sgw.equinix.com").map(|c| c.into_owned()).collect();
+        assert_eq!(
+            got,
+            ["equinix.com", "p714.sgw.equinix.com", "sgw.equinix.com", "equinix.com", "com"]
+        );
+        // A public suffix alone has no registrable domain: only the
+        // label-suffix probes remain.
+        assert_eq!(p.dispatch_keys("com").map(|c| c.into_owned()).collect::<Vec<_>>(), ["com"]);
+        assert_eq!(p.dispatch_keys("").count(), 0);
     }
 
     #[test]

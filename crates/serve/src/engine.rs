@@ -18,8 +18,16 @@
 use crate::model::Model;
 use hoiho::classify::NcClass;
 use hoiho::regex::Regex;
-use hoiho_psl::{label_suffixes, PublicSuffixList};
+use hoiho_psl::PublicSuffixList;
 use std::collections::HashMap;
+
+/// Minimum number of hostnames a batch worker must own before
+/// [`Engine::extract_all`] spawns it. Extraction costs on the order of
+/// a microsecond per hostname while a thread spawn costs tens of
+/// microseconds, so fanning out a small batch is a net loss — the
+/// `serve/extract/batch_4_threads` bench regressed to ~0.6x
+/// single-threaded on a 213-hostname batch before this floor existed.
+pub const MIN_BATCH_CHUNK: usize = 1024;
 
 /// One compiled convention, ready to serve lookups.
 #[derive(Debug, Clone)]
@@ -118,24 +126,26 @@ impl Engine {
     }
 
     /// Finds the convention index responsible for `lower` (an
-    /// already-lowercased hostname), if any.
+    /// already-lowercased hostname), if any: the PSL registrable domain
+    /// first, then every label-boundary suffix longest-first
+    /// ([`PublicSuffixList::dispatch_keys`], shared with the cluster
+    /// router so both layers pick the same suffix).
     fn dispatch(&self, lower: &str) -> Option<usize> {
-        if let Some(rd) = self.psl.registrable_domain(lower) {
-            if let Some(&i) = self.by_suffix.get(&rd) {
-                return Some(i);
-            }
-        }
-        // Fallback: probe every label-boundary suffix, longest first,
-        // so the deepest (most specific) indexed suffix wins.
-        label_suffixes(lower).find_map(|s| self.by_suffix.get(s).copied())
+        self.psl.dispatch_keys(lower).find_map(|k| self.by_suffix.get(k.as_ref()).copied())
     }
 
     /// Looks up one hostname: dispatch to its suffix's NC, then run the
     /// regexes. Matching is case-insensitive (one lowercase pass here).
     pub fn extract(&self, hostname: &str) -> Extraction {
-        let lower = hostname.to_ascii_lowercase();
-        match self.dispatch(&lower) {
-            Some(i) => Extraction { nc: Some(i), asn: self.ncs[i].extract_lower(&lower) },
+        self.extract_lower(&hostname.to_ascii_lowercase())
+    }
+
+    /// [`Engine::extract`] for a hostname the caller has already
+    /// lowercased — the cluster router lowercases once for routing and
+    /// must not pay for it again per shard.
+    pub fn extract_lower(&self, lower: &str) -> Extraction {
+        match self.dispatch(lower) {
+            Some(i) => Extraction { nc: Some(i), asn: self.ncs[i].extract_lower(lower) },
             None => Extraction::MISS,
         }
     }
@@ -144,7 +154,10 @@ impl Engine {
     ///
     /// Output slot `i` always holds the extraction for `hostnames[i]`,
     /// and each worker owns a disjoint contiguous chunk of the output,
-    /// so the result is byte-identical for every thread count.
+    /// so the result is byte-identical for every thread count. Chunks
+    /// never shrink below [`MIN_BATCH_CHUNK`] hostnames: a batch too
+    /// small to amortize thread spawns runs on fewer workers (down to
+    /// the calling thread alone), which changes nothing positionally.
     pub fn extract_all(&self, hostnames: &[String], threads: usize) -> Vec<Extraction> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -153,13 +166,13 @@ impl Engine {
         };
         let threads = threads.max(1).min(hostnames.len().max(1));
         let mut out = vec![Extraction::MISS; hostnames.len()];
-        if threads <= 1 {
+        let chunk = hostnames.len().div_ceil(threads).max(MIN_BATCH_CHUNK);
+        if threads <= 1 || chunk >= hostnames.len() {
             for (slot, h) in out.iter_mut().zip(hostnames) {
                 *slot = self.extract(h);
             }
             return out;
         }
-        let chunk = hostnames.len().div_ceil(threads);
         std::thread::scope(|scope| {
             for (inputs, slots) in hostnames.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 scope.spawn(move || {
@@ -251,7 +264,9 @@ mod tests {
     #[test]
     fn batch_is_positional_and_thread_invariant() {
         let e = engine();
-        let hosts: Vec<String> = (0..997)
+        // Larger than MIN_BATCH_CHUNK so the threaded path actually
+        // engages, and not a multiple of any chunk size.
+        let hosts: Vec<String> = (0..(3 * MIN_BATCH_CHUNK + 17))
             .map(|i| match i % 4 {
                 0 => format!("p{i}.sgw.equinix.com"),
                 1 => format!("{i}-fr5-ix.equinix.com"),
@@ -268,5 +283,17 @@ mod tests {
             assert_eq!(e.extract_all(&hosts, threads), baseline, "threads={threads}");
         }
         assert!(e.extract_all(&[], 4).is_empty());
+        // A batch below the chunk floor must stay identical too (it
+        // runs on the calling thread regardless of `threads`).
+        let small = &hosts[..MIN_BATCH_CHUNK / 2];
+        assert_eq!(e.extract_all(small, 8), baseline[..small.len()]);
+    }
+
+    #[test]
+    fn prelowered_extraction_matches() {
+        let e = engine();
+        for h in ["GE0-2.01.P.AS15576.NTS.CH", "p714.sgw.equinix.com", "x.example.org"] {
+            assert_eq!(e.extract_lower(&h.to_ascii_lowercase()), e.extract(h));
+        }
     }
 }

@@ -28,6 +28,8 @@ pub mod engine;
 pub mod model;
 pub mod server;
 
-pub use engine::{CompiledNc, Engine, Extraction};
+pub use engine::{CompiledNc, Engine, Extraction, MIN_BATCH_CHUNK};
 pub use model::{EvalCounts, Model, ModelEntry, ModelError};
-pub use server::{Client, ServerHandle, StatsSnapshot};
+pub use server::{
+    Backend, Client, EngineBackend, Generation, QueryAnswer, ServerHandle, StatsSnapshot,
+};

@@ -11,10 +11,18 @@
 //!   — lifetime totals plus the live model's convention count.
 //! * `STATS SUFFIX` → one `suffix\tqueries` line per convention of the
 //!   live model, terminated by a lone `.` line.
+//! * `STATS CLUSTER` → per-shard and response-cache counters when the
+//!   server runs the cluster backend (`.`-terminated), `err` otherwise.
 //! * `RELOAD <path>` → `ok\treloaded\t<n>` after atomically installing
 //!   the model at `<path>`, or `err\t<message>` (the old model keeps
-//!   serving on failure).
+//!   serving on failure). The cluster backend takes
+//!   `RELOAD SHARD <k> <path>` instead.
 //! * `SHUTDOWN` → `ok\tbye`, then the whole server drains and stops.
+//!
+//! The protocol loop is backend-agnostic: extraction, reload, and the
+//! stats listings go through the [`Backend`] trait, so the same server
+//! fronts a single hot-swappable engine ([`EngineBackend`]) or the
+//! suffix-sharded router in `hoiho-cluster`.
 //!
 //! ## Trust model
 //!
@@ -38,8 +46,9 @@
 //! with many long-lived concurrent clients should raise `workers` (the
 //! ROADMAP's readiness-based I/O backend lifts the limit properly).
 //!
-//! The live engine sits behind `RwLock<Arc<Engine>>`: each request
-//! clones the `Arc` under a read lock (nanoseconds), so a hot reload
+//! In the default backend the live engine sits behind
+//! `RwLock<Arc<Generation>>`: each request clones the `Arc` under a
+//! read lock (nanoseconds), so a hot reload
 //! ([`ServerHandle::install`] or `RELOAD`) swaps the model without
 //! dropping or stalling open connections — in-flight requests finish on
 //! the engine they started with. Per-suffix counters are allocated per
@@ -53,6 +62,7 @@
 
 use crate::engine::Engine;
 use crate::model::Model;
+use hoiho::classify::NcClass;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -87,9 +97,134 @@ pub struct Generation {
 }
 
 impl Generation {
-    fn new(engine: Arc<Engine>) -> Arc<Generation> {
+    /// Wraps an engine with fresh per-suffix counters. Public because
+    /// the cluster router reuses generations as its per-shard unit.
+    pub fn new(engine: Arc<Engine>) -> Arc<Generation> {
         let per_suffix = (0..engine.len()).map(|_| AtomicU64::new(0)).collect();
         Arc::new(Generation { engine, per_suffix })
+    }
+
+    /// Runs one extraction, bumping the dispatched suffix's counter.
+    pub fn query(&self, hostname: &str) -> QueryAnswer {
+        let x = self.engine.extract(hostname);
+        self.answer_of(x)
+    }
+
+    /// Converts an engine extraction into the protocol-level answer,
+    /// counting the dispatch.
+    pub fn answer_of(&self, x: crate::engine::Extraction) -> QueryAnswer {
+        let (suffix, class) = match x.nc {
+            Some(i) => {
+                self.per_suffix[i].fetch_add(1, Ordering::Relaxed);
+                let nc = &self.engine.conventions()[i];
+                (Some(nc.suffix.clone()), Some(nc.class))
+            }
+            None => (None, None),
+        };
+        QueryAnswer { asn: x.asn, suffix, class }
+    }
+}
+
+/// One extraction answer as the protocol reports it: ASN, dispatched
+/// suffix, and the suffix's §4 class (`None` marks the `-` fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// The extracted ASN, when a regex matched.
+    pub asn: Option<u32>,
+    /// The suffix whose convention served the query.
+    pub suffix: Option<String>,
+    /// That convention's quality class.
+    pub class: Option<NcClass>,
+}
+
+impl QueryAnswer {
+    /// The answer for a hostname no convention covers.
+    pub const MISS: QueryAnswer = QueryAnswer { asn: None, suffix: None, class: None };
+
+    /// Renders the tab-separated response fields after the echoed
+    /// hostname: `<asn|->\t<suffix|->\t<class|->`.
+    pub fn render_fields(&self) -> String {
+        format!(
+            "{}\t{}\t{}",
+            self.asn.map_or_else(|| "-".to_string(), |a| a.to_string()),
+            self.suffix.as_deref().unwrap_or("-"),
+            self.class.map_or("-", |c| c.label()),
+        )
+    }
+}
+
+/// What the TCP server needs from an extraction backend. The default
+/// backend is a single hot-swappable engine ([`EngineBackend`]); the
+/// cluster crate plugs a suffix-sharded router with a response cache in
+/// through the same seam, so the protocol loop is written once.
+pub trait Backend: Send + Sync + 'static {
+    /// Answers one hostname query.
+    fn query(&self, hostname: &str) -> QueryAnswer;
+    /// Convention count reported by `STATS` as `model=`.
+    fn model_len(&self) -> usize;
+    /// Per-suffix query counts for `STATS SUFFIX`, in index order.
+    fn per_suffix(&self) -> Vec<(String, u64)>;
+    /// Handles the argument text of a `RELOAD` request. Returns the
+    /// response payload after `ok\t` (e.g. `reloaded\t12`), or the
+    /// error message after `err\t`. Must leave the old state serving on
+    /// failure.
+    fn reload(&self, args: &str) -> Result<String, String>;
+    /// The full multi-line `STATS CLUSTER` response body including the
+    /// terminating `.\n`, or `None` when the backend is not a cluster.
+    fn cluster_stats(&self) -> Option<String> {
+        None
+    }
+}
+
+/// The default backend: one engine behind `RwLock<Arc<Generation>>`,
+/// hot-swappable as a whole.
+pub struct EngineBackend {
+    live: RwLock<Arc<Generation>>,
+}
+
+impl EngineBackend {
+    /// Wraps an engine as generation zero.
+    pub fn new(engine: Arc<Engine>) -> EngineBackend {
+        EngineBackend { live: RwLock::new(Generation::new(engine)) }
+    }
+
+    /// Atomically installs a new engine: per-suffix counters restart,
+    /// in-flight requests finish on the generation they started with.
+    pub fn install(&self, engine: Arc<Engine>) {
+        *self.live.write().expect("generation lock poisoned") = Generation::new(engine);
+    }
+
+    /// The live generation.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.live.read().expect("generation lock poisoned").clone()
+    }
+}
+
+impl Backend for EngineBackend {
+    fn query(&self, hostname: &str) -> QueryAnswer {
+        self.generation().query(hostname)
+    }
+
+    fn model_len(&self) -> usize {
+        self.generation().engine.len()
+    }
+
+    fn per_suffix(&self) -> Vec<(String, u64)> {
+        let gen = self.generation();
+        gen.engine
+            .conventions()
+            .iter()
+            .zip(&gen.per_suffix)
+            .map(|(nc, n)| (nc.suffix.clone(), n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    fn reload(&self, args: &str) -> Result<String, String> {
+        let model = Model::load(args.trim()).map_err(|e| e.to_string())?;
+        let engine = Arc::new(Engine::new(&model));
+        let n = engine.len();
+        self.install(engine);
+        Ok(format!("reloaded\t{n}"))
     }
 }
 
@@ -118,17 +253,11 @@ pub struct StatsSnapshot {
     pub per_suffix: Vec<(String, u64)>,
 }
 
-/// Shared server state: the live generation and lifetime totals.
+/// Shared server state: the extraction backend and lifetime totals.
 struct Shared {
-    live: RwLock<Arc<Generation>>,
+    backend: Arc<dyn Backend>,
     totals: Totals,
     shutdown: AtomicBool,
-}
-
-impl Shared {
-    fn generation(&self) -> Arc<Generation> {
-        self.live.read().expect("generation lock poisoned").clone()
-    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -136,6 +265,9 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Present when the server was started over a single engine;
+    /// [`ServerHandle::install`] needs it.
+    engine_backend: Option<Arc<EngineBackend>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -143,10 +275,32 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts the accept loop plus `workers` request threads
-    /// (0 = one per core).
+    /// (0 = one per core) over a single hot-swappable engine.
     pub fn start(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
+        workers: usize,
+    ) -> std::io::Result<ServerHandle> {
+        let backend = Arc::new(EngineBackend::new(engine));
+        Self::start_inner(addr, backend.clone(), Some(backend), workers)
+    }
+
+    /// Like [`ServerHandle::start`], but over a caller-provided backend
+    /// (e.g. the cluster router). [`ServerHandle::install`] is not
+    /// available on such a server — reloads go through
+    /// [`Backend::reload`].
+    pub fn start_with_backend(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        workers: usize,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(addr, backend, None, workers)
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        engine_backend: Option<Arc<EngineBackend>>,
         workers: usize,
     ) -> std::io::Result<ServerHandle> {
         let workers = if workers == 0 {
@@ -157,7 +311,7 @@ impl ServerHandle {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            live: RwLock::new(Generation::new(engine)),
+            backend,
             totals: Totals::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -190,7 +344,13 @@ impl ServerHandle {
             })
         };
 
-        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+        Ok(ServerHandle {
+            addr,
+            shared,
+            engine_backend,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -201,27 +361,27 @@ impl ServerHandle {
     /// Atomically installs a new engine. Requests already dispatched
     /// finish on the old generation; every later request sees the new
     /// one. Per-suffix counters restart; lifetime totals continue.
+    ///
+    /// # Panics
+    ///
+    /// If the server was started with [`ServerHandle::start_with_backend`]
+    /// — custom backends reload through [`Backend::reload`].
     pub fn install(&self, engine: Arc<Engine>) {
-        *self.shared.live.write().expect("generation lock poisoned") =
-            Generation::new(engine);
+        self.engine_backend
+            .as_ref()
+            .expect("install() requires the single-engine backend")
+            .install(engine);
     }
 
-    /// Snapshots the lifetime totals and the live generation's
-    /// per-suffix counters.
+    /// Snapshots the lifetime totals and the backend's per-suffix
+    /// counters.
     pub fn stats(&self) -> StatsSnapshot {
-        let gen = self.shared.generation();
         StatsSnapshot {
             hits: self.shared.totals.hits.load(Ordering::Relaxed),
             misses: self.shared.totals.misses.load(Ordering::Relaxed),
             errors: self.shared.totals.errors.load(Ordering::Relaxed),
             conns: self.shared.totals.conns.load(Ordering::Relaxed),
-            per_suffix: gen
-                .engine
-                .conventions()
-                .iter()
-                .zip(&gen.per_suffix)
-                .map(|(nc, n)| (nc.suffix.clone(), n.load(Ordering::Relaxed)))
-                .collect(),
+            per_suffix: self.shared.backend.per_suffix(),
         }
     }
 
@@ -385,7 +545,6 @@ const ERR_NOT_ADMIN: &str = "err\tadmin commands require a loopback peer\n";
 fn respond(request: &str, admin: bool, shared: &Shared) -> String {
     match request {
         "STATS" => {
-            let gen = shared.generation();
             let t = &shared.totals;
             format!(
                 "stats\thits={}\tmisses={}\terrors={}\tconns={}\tmodel={}\n",
@@ -393,18 +552,24 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
                 t.misses.load(Ordering::Relaxed),
                 t.errors.load(Ordering::Relaxed),
                 t.conns.load(Ordering::Relaxed),
-                gen.engine.len(),
+                shared.backend.model_len(),
             )
         }
         "STATS SUFFIX" => {
-            let gen = shared.generation();
             let mut out = String::new();
-            for (nc, n) in gen.engine.conventions().iter().zip(&gen.per_suffix) {
-                out.push_str(&format!("{}\t{}\n", nc.suffix, n.load(Ordering::Relaxed)));
+            for (suffix, n) in shared.backend.per_suffix() {
+                out.push_str(&format!("{suffix}\t{n}\n"));
             }
             out.push_str(".\n");
             out
         }
+        "STATS CLUSTER" => match shared.backend.cluster_stats() {
+            Some(body) => body,
+            None => {
+                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                "err\tnot a cluster backend\n".to_string()
+            }
+        },
         "SHUTDOWN" => {
             if !admin {
                 shared.totals.errors.fetch_add(1, Ordering::Relaxed);
@@ -418,15 +583,8 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
                 shared.totals.errors.fetch_add(1, Ordering::Relaxed);
                 return ERR_NOT_ADMIN.to_string();
             }
-            let path = request["RELOAD ".len()..].trim();
-            match Model::load(path) {
-                Ok(model) => {
-                    let engine = Arc::new(Engine::new(&model));
-                    let n = engine.len();
-                    *shared.live.write().expect("generation lock poisoned") =
-                        Generation::new(engine);
-                    format!("ok\treloaded\t{n}\n")
-                }
+            match shared.backend.reload(&request["RELOAD ".len()..]) {
+                Ok(msg) => format!("ok\t{msg}\n"),
                 Err(e) => {
                     shared.totals.errors.fetch_add(1, Ordering::Relaxed);
                     format!("err\t{e}\n")
@@ -434,24 +592,12 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
             }
         }
         hostname => {
-            let gen = shared.generation();
-            let x = gen.engine.extract(hostname);
-            if let Some(i) = x.nc {
-                gen.per_suffix[i].fetch_add(1, Ordering::Relaxed);
-            }
-            match x.asn {
+            let answer = shared.backend.query(hostname);
+            match answer.asn {
                 Some(_) => shared.totals.hits.fetch_add(1, Ordering::Relaxed),
                 None => shared.totals.misses.fetch_add(1, Ordering::Relaxed),
             };
-            let (suffix, class) = match x.nc {
-                Some(i) => {
-                    let nc = &gen.engine.conventions()[i];
-                    (nc.suffix.as_str(), nc.class.label())
-                }
-                None => ("-", "-"),
-            };
-            let asn = x.asn.map_or_else(|| "-".to_string(), |a| a.to_string());
-            format!("{hostname}\t{asn}\t{suffix}\t{class}\n")
+            format!("{hostname}\t{}\n", answer.render_fields())
         }
     }
 }
@@ -701,7 +847,7 @@ mod tests {
     fn admin_verbs_refused_for_non_loopback_peers() {
         let m = model("example.com", r"^as(\d+)\.example\.com$");
         let shared = Shared {
-            live: RwLock::new(Generation::new(Arc::new(Engine::new(&m)))),
+            backend: Arc::new(EngineBackend::new(Arc::new(Engine::new(&m)))),
             totals: Totals::default(),
             shutdown: AtomicBool::new(false),
         };

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Compare two devkit bench result files (BENCH_<name>.json) and flag
+# median-time regressions.
+#
+#   scripts/bench_diff.sh OLD.json NEW.json [threshold_pct]
+#
+# Benchmarks are matched by id; a benchmark whose median_ns grew by
+# more than threshold_pct (default 20) is reported as a REGRESSION and
+# the script exits nonzero. Ids present in only one file are listed but
+# never fail the diff (benches come and go across PRs).
+#
+# Relies on the devkit harness writing one result record per line —
+# that one-record-per-line shape is part of the documented schema
+# (DESIGN.md), which keeps this diff a plain awk job in the
+# dependency-free workspace.
+set -euo pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold_pct]" >&2
+    exit 2
+fi
+OLD=$1
+NEW=$2
+THRESHOLD=${3:-20}
+[ -f "$OLD" ] || { echo "bench_diff: no such file: $OLD" >&2; exit 2; }
+[ -f "$NEW" ] || { echo "bench_diff: no such file: $NEW" >&2; exit 2; }
+
+# Each result record sits on its own line: pull out (id, median_ns).
+extract() {
+    awk '
+        /"id":/ && /"median_ns":/ {
+            id = $0;    sub(/.*"id": "/, "", id);        sub(/".*/, "", id)
+            med = $0;   sub(/.*"median_ns": /, "", med); sub(/[,}].*/, "", med)
+            print id "\t" med
+        }
+    ' "$1"
+}
+
+extract "$OLD" | sort > "${TMPDIR:-/tmp}/bench_diff_old.$$"
+extract "$NEW" | sort > "${TMPDIR:-/tmp}/bench_diff_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$"' EXIT
+
+STATUS=0
+join -t "$(printf '\t')" \
+    "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$" |
+awk -F'\t' -v thr="$THRESHOLD" '
+    {
+        old = $2 + 0; new = $3 + 0
+        delta = old > 0 ? (new - old) * 100.0 / old : 0
+        mark = "ok        "
+        if (delta > thr)       { mark = "REGRESSION"; bad++ }
+        else if (delta < -thr) { mark = "improved  " }
+        printf "%s  %-40s  %12.1f -> %12.1f ns  %+7.1f%%\n", mark, $1, old, new, delta
+    }
+    END { exit bad > 0 ? 1 : 0 }
+' || STATUS=1
+
+# Ids only in one file: informational.
+comm -23 "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$" |
+    cut -f1 | while read -r id; do
+        grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_new.$$" || echo "removed     $id"
+    done
+comm -13 "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$" |
+    cut -f1 | while read -r id; do
+        grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_old.$$" || echo "added       $id"
+    done
+
+exit "$STATUS"

@@ -7,6 +7,10 @@
 #   4. A live smoke test of the serving subsystem: learn a model from a
 #      simulated snapshot, serve it over TCP, drive one query + STATS,
 #      and shut down cleanly.
+#   5. A live smoke test of the cluster tier: shard that model, serve it
+#      with --shards 2 plus a response cache, query hostnames landing on
+#      both shards, check STATS CLUSTER reports cache hits after a
+#      repeat, and shut down cleanly.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +45,39 @@ done
 
 "$SRV" send "$ADDR" smoke-test.invalid | grep -q "smoke-test.invalid"
 "$SRV" send "$ADDR" STATS | grep -q "^stats"
+"$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
+wait "$SRV_PID"
+SRV_PID=
+
+# --- cluster tier smoke ---
+"$SRV" shard "$SMOKE_DIR/model.hoiho" 2 "$SMOKE_DIR/shards" 2>/dev/null
+[ -f "$SMOKE_DIR/shards/shard.0.model" ]
+[ -f "$SMOKE_DIR/shards/shard.1.model" ]
+[ -f "$SMOKE_DIR/shards/shardmap.hoiho" ]
+
+"$SRV" serve "$SMOKE_DIR/model.hoiho" 127.0.0.1:0 2 --shards 2 --cache-capacity 64 \
+    2> "$SMOKE_DIR/cluster.log" &
+SRV_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.* on \([0-9.]*:[0-9]*\).*/\1/p' "$SMOKE_DIR/cluster.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$SMOKE_DIR/cluster.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "tier1: cluster server never reported its address" >&2; exit 1; }
+
+# One suffix from each shard (the manifest records the assignment), so
+# the queries below exercise both shards' engines.
+SUF0=$(awk -F'\t' '$1 == "A" && $3 == 0 { print $2; exit }' "$SMOKE_DIR/shards/shardmap.hoiho")
+SUF1=$(awk -F'\t' '$1 == "A" && $3 == 1 { print $2; exit }' "$SMOKE_DIR/shards/shardmap.hoiho")
+[ -n "$SUF0" ] && [ -n "$SUF1" ] || { echo "tier1: shard map has an empty shard" >&2; exit 1; }
+"$SRV" send "$ADDR" "test.$SUF0" | grep -q "test.$SUF0"
+"$SRV" send "$ADDR" "test.$SUF1" | grep -q "test.$SUF1"
+# Repeat one query: the second answer must come from the cache.
+"$SRV" send "$ADDR" "test.$SUF0" > /dev/null
+"$SRV" send "$ADDR" "STATS CLUSTER" | grep "^cache" | grep -vq "hits=0" \
+    || { echo "tier1: repeated query produced no cache hit" >&2; exit 1; }
 "$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
 wait "$SRV_PID"
 SRV_PID=

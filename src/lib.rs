@@ -6,6 +6,7 @@
 pub use hoiho;
 pub use hoiho_asdb as asdb;
 pub use hoiho_bdrmap as bdrmap;
+pub use hoiho_cluster as cluster;
 pub use hoiho_itdk as itdk;
 pub use hoiho_netsim as netsim;
 pub use hoiho_pdb as pdb;
