@@ -11,8 +11,8 @@
 //!                                                  bounded response cache
 //! hoiho-serve send <addr> <request...>             one protocol request, print reply
 //! hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]
-//!                                                  drive a server, report lookups/sec
-//!                                                  and p50/p99 latency
+//!                                                  drive a server, report lookups/sec,
+//!                                                  p50/p90/p99/max latency, error rate
 //! ```
 //!
 //! The training file is the `hoiho` CLI's format (`asn addr hostname`
@@ -20,16 +20,21 @@
 //! and trains on bdrmapIT-inferred ownership, the workspace's standard
 //! netsim→learner pipeline. The server speaks the line protocol
 //! documented in `hoiho_serve::server` (hostname per line, plus
-//! `STATS`, `STATS SUFFIX`, `SHUTDOWN`; single-engine servers take
-//! `RELOAD <path>`, cluster servers `RELOAD SHARD <k> <path>` and
-//! `STATS CLUSTER`). `shard` materializes the same partition the
-//! clustered server builds in memory, for inspection or distribution.
+//! `STATS`, `STATS SUFFIX`, `METRICS`, `EVENTS [n]`, `SHUTDOWN`;
+//! single-engine servers take `RELOAD <path>`, cluster servers
+//! `RELOAD SHARD <k> <path>` and `STATS CLUSTER`). A clustered server
+//! shares one observability context between the protocol layer and the
+//! shard router, so `METRICS` reports request counters, latency
+//! histograms, and per-shard cache traffic in one document. `shard`
+//! materializes the same partition the clustered server builds in
+//! memory, for inspection or distribution.
 
 use hoiho::learner::{learn_all, LearnConfig};
 use hoiho::training::{Observation, TrainingSet};
 use hoiho_cluster::{shard_file_name, split, ClusterBackend, ShardRouter, SHARDMAP_FILE_NAME};
 use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_netsim::SimConfig;
+use hoiho_obs::{Histogram, Obs};
 use hoiho_psl::PublicSuffixList;
 use hoiho_serve::server::Client;
 use hoiho_serve::{Engine, Model, ServerHandle};
@@ -255,11 +260,16 @@ fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result
     let srv = if flags.shards.is_some() || flags.cache_capacity.is_some() {
         let shards = flags.shards.unwrap_or(1);
         let capacity = flags.cache_capacity.unwrap_or(0);
+        // One observability context for both layers: the router's
+        // per-shard/cache series and the server's request series land
+        // in the same METRICS document.
+        let obs = Arc::new(Obs::new());
         let router = Arc::new(
-            ShardRouter::from_model(&model, shards, capacity).map_err(|e| e.to_string())?,
+            ShardRouter::from_model_obs(&model, shards, capacity, Arc::clone(&obs))
+                .map_err(|e| e.to_string())?,
         );
         let backend = Arc::new(ClusterBackend::new(router));
-        let srv = ServerHandle::start_with_backend(addr, backend, workers)
+        let srv = ServerHandle::start_with_backend_obs(addr, backend, workers, obs)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         eprintln!(
             "serving {} conventions across {shards} shards (cache capacity {capacity}) on {} \
@@ -285,15 +295,17 @@ fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result
 }
 
 /// Sends one protocol request line and prints the reply (including the
-/// extra lines of a multi-line `STATS SUFFIX` / `STATS CLUSTER`
-/// listing).
+/// extra lines of a multi-line `STATS SUFFIX` / `STATS CLUSTER` /
+/// `METRICS` / `EVENTS` listing).
 fn send(addr: &str, line: &str) -> Result<(), String> {
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let resp = client.request(line).map_err(|e| format!("request failed: {e}"))?;
     // Multi-line responses: the first line is already part of the
     // listing (or the lone `.` terminator on an empty listing).
-    let multiline = matches!(line.trim(), "STATS SUFFIX" | "STATS CLUSTER");
+    let trimmed = line.trim();
+    let multiline = matches!(trimmed, "STATS SUFFIX" | "STATS CLUSTER" | "METRICS" | "EVENTS")
+        || trimmed.strip_prefix("EVENTS ").is_some();
     if multiline && !resp.starts_with("err\t") {
         if resp == "." {
             return Ok(());
@@ -308,16 +320,20 @@ fn send(addr: &str, line: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Nearest-rank percentile of an already-sorted sample.
-fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
-    debug_assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+/// Per-connection loadgen tallies: answer outcomes plus a mergeable
+/// latency histogram (`hoiho_obs`'s log-scale buckets — exactly what
+/// the server's own `hoiho_request_latency_ns` uses, so loadgen-side
+/// and server-side quantiles are directly comparable).
+struct ConnTally {
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    lat: Histogram,
 }
 
 /// Fires `requests` round-robin queries per connection across `conns`
-/// parallel connections and reports aggregate lookups/sec plus p50/p99
-/// per-request latency.
+/// parallel connections and reports aggregate lookups/sec,
+/// p50/p90/p99/max per-request latency, and the protocol-error rate.
 fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Result<(), String> {
     let text = std::fs::read_to_string(hosts_path)
         .map_err(|e| format!("cannot read {hosts_path}: {e}"))?;
@@ -331,27 +347,39 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
     }
     let conns = conns.max(1);
     let t0 = Instant::now();
-    type ConnResult = Result<(u64, u64, Vec<u64>), String>;
-    let totals: Result<Vec<_>, String> = std::thread::scope(|scope| {
+    let totals: Result<Vec<ConnTally>, String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
             .map(|c| {
                 let hosts = &hosts;
-                scope.spawn(move || -> ConnResult {
+                scope.spawn(move || -> Result<ConnTally, String> {
                     let mut client = Client::connect(addr)
                         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-                    let (mut hits, mut misses) = (0u64, 0u64);
-                    let mut lat_ns: Vec<u64> = Vec::with_capacity(requests);
+                    let mut tally = ConnTally {
+                        hits: 0,
+                        misses: 0,
+                        errors: 0,
+                        lat: Histogram::unregistered(),
+                    };
                     for i in 0..requests {
                         let h = hosts[(c + i * conns) % hosts.len()];
                         let t = Instant::now();
-                        let asn = client.query(h).map_err(|e| format!("query failed: {e}"))?;
-                        lat_ns.push(t.elapsed().as_nanos() as u64);
-                        match asn {
-                            Some(_) => hits += 1,
-                            None => misses += 1,
+                        let resp =
+                            client.request(h).map_err(|e| format!("request failed: {e}"))?;
+                        tally.lat.observe(t.elapsed().as_nanos() as u64);
+                        if resp.starts_with("err\t") {
+                            tally.errors += 1;
+                        } else if resp
+                            .split('\t')
+                            .nth(1)
+                            .and_then(|a| a.parse::<u32>().ok())
+                            .is_some()
+                        {
+                            tally.hits += 1;
+                        } else {
+                            tally.misses += 1;
                         }
                     }
-                    Ok((hits, misses, lat_ns))
+                    Ok(tally)
                 })
             })
             .collect();
@@ -359,18 +387,25 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
     });
     let totals = totals?;
     let secs = t0.elapsed().as_secs_f64();
-    let hits: u64 = totals.iter().map(|t| t.0).sum();
-    let misses: u64 = totals.iter().map(|t| t.1).sum();
-    let total = hits + misses;
-    let mut lat_ns: Vec<u64> = totals.into_iter().flat_map(|t| t.2).collect();
-    lat_ns.sort_unstable();
-    let (p50, p99) = (percentile_ns(&lat_ns, 50.0), percentile_ns(&lat_ns, 99.0));
+    let hits: u64 = totals.iter().map(|t| t.hits).sum();
+    let misses: u64 = totals.iter().map(|t| t.misses).sum();
+    let errors: u64 = totals.iter().map(|t| t.errors).sum();
+    let total = hits + misses + errors;
+    let lat = Histogram::unregistered();
+    for t in &totals {
+        lat.merge_from(&t.lat);
+    }
+    let us = |ns: u64| ns as f64 / 1_000.0;
     println!(
         "{total} lookups over {conns} connections in {secs:.3}s = {:.0} lookups/sec \
-         (hits={hits} misses={misses} p50={:.1}us p99={:.1}us)",
+         (hits={hits} misses={misses} errors={errors} error-rate={:.2}% \
+         p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us)",
         total as f64 / secs,
-        p50 as f64 / 1_000.0,
-        p99 as f64 / 1_000.0,
+        if total == 0 { 0.0 } else { errors as f64 * 100.0 / total as f64 },
+        us(lat.quantile(0.5)),
+        us(lat.quantile(0.9)),
+        us(lat.quantile(0.99)),
+        us(lat.max()),
     );
     Ok(())
 }
@@ -434,12 +469,19 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ns(&sorted, 50.0), 50);
-        assert_eq!(percentile_ns(&sorted, 99.0), 99);
-        assert_eq!(percentile_ns(&sorted, 100.0), 100);
-        assert_eq!(percentile_ns(&[7], 50.0), 7);
-        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    fn conn_tallies_merge_into_one_histogram() {
+        let a = ConnTally { hits: 2, misses: 1, errors: 0, lat: Histogram::unregistered() };
+        let b = ConnTally { hits: 0, misses: 0, errors: 1, lat: Histogram::unregistered() };
+        for ns in [100u64, 200, 300] {
+            a.lat.observe(ns);
+        }
+        b.lat.observe(40_000);
+        let merged = Histogram::unregistered();
+        merged.merge_from(&a.lat);
+        merged.merge_from(&b.lat);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.max(), 40_000);
+        assert_eq!(merged.quantile(1.0), 40_000);
+        assert!(merged.quantile(0.5) >= 200, "p50 bucket bound covers the sample");
     }
 }

@@ -117,12 +117,14 @@ impl<V> Segment<V> {
         }
     }
 
-    /// Removes node `i` entirely, returning its slot to the free list.
-    fn remove(&mut self, i: usize) {
+    /// Removes node `i` entirely, returning its slot to the free list
+    /// and its value to the caller.
+    fn remove(&mut self, i: usize) -> V {
         self.unlink(i);
         let node = self.slab[i].take().expect("live slab index");
         self.map.remove(&node.key);
         self.free.push(i);
+        node.value
     }
 
     fn touch(&mut self, i: usize) {
@@ -132,22 +134,22 @@ impl<V> Segment<V> {
         }
     }
 
-    /// Inserts or overwrites; returns true when an eviction happened.
-    fn insert(&mut self, key: &str, value: V) -> bool {
+    /// Inserts or overwrites; returns the value displaced by capacity
+    /// pressure, if any (so the caller can attribute the eviction).
+    fn insert(&mut self, key: &str, value: V) -> Option<V> {
         if self.capacity == 0 {
-            return false;
+            return None;
         }
         if let Some(&i) = self.map.get(key) {
             self.node_mut(i).value = value;
             self.touch(i);
-            return false;
+            return None;
         }
-        let mut evicted = false;
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
-            self.remove(lru);
-            evicted = true;
+            evicted = Some(self.remove(lru));
         }
         let node = Node { key: key.to_string(), value, prev: NIL, next: NIL };
         let i = match self.free.pop() {
@@ -269,16 +271,19 @@ impl<V: Clone> ShardedLru<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the segment's LRU entry
-    /// if it is full. No-op at capacity 0.
-    pub fn insert(&self, key: &str, value: V) {
+    /// if it is full. Returns the evicted value, if any, so the caller
+    /// can attribute the eviction (the router charges it to the
+    /// evicted answer's shard). No-op (and `None`) at capacity 0.
+    pub fn insert(&self, key: &str, value: V) -> Option<V> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         let evicted = self.segment(key).lock().unwrap().insert(key, value);
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        if evicted {
+        if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        evicted
     }
 
     /// Removes every entry whose value matches `stale`, returning how
@@ -354,6 +359,15 @@ mod tests {
         c.insert("c", 3); // b is now LRU
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("a"), Some(10));
+    }
+
+    #[test]
+    fn insert_returns_the_evicted_value() {
+        let c = lru(2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        assert_eq!(c.insert("a", 10), None, "refresh displaces nothing");
+        assert_eq!(c.insert("c", 3), Some(2), "b was least recently used");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::plan::split;
+use hoiho_obs::{Counter, Gauge, Obs};
 use hoiho_psl::{label_suffixes, PublicSuffixList};
 use hoiho_serve::model::Model;
 use hoiho_serve::server::{Backend, Generation, QueryAnswer};
@@ -109,6 +110,67 @@ pub struct ShardStats {
     pub queries: u64,
 }
 
+/// Pre-registered per-shard metric handles. Series are labelled
+/// `shard="<k>"`, with `shard="none"` collecting cache traffic for
+/// miss-route entries (hostnames no shard covers — they are cached
+/// too, as negative answers).
+struct ShardMetrics {
+    queries: Counter,
+    reloads: Counter,
+    generation: Gauge,
+    suffixes: Gauge,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_stale: Counter,
+}
+
+/// The router's observability handles: one [`ShardMetrics`] per shard
+/// plus the `shard="none"` cache series, and the shared context for
+/// the `shard_reload` event stream.
+struct RouterObs {
+    obs: Arc<Obs>,
+    shards: Vec<ShardMetrics>,
+    /// Cache counters for miss-route (uncovered-hostname) entries.
+    none: ShardMetrics,
+}
+
+impl RouterObs {
+    fn register(obs: Arc<Obs>, nshards: usize, suffix_counts: &[usize]) -> RouterObs {
+        let series = |label: &str| {
+            let r = obs.registry();
+            let l = &[("shard", label)];
+            ShardMetrics {
+                queries: r.counter("hoiho_shard_queries_total", l),
+                reloads: r.counter("hoiho_shard_reloads_total", l),
+                generation: r.gauge("hoiho_shard_generation", l),
+                suffixes: r.gauge("hoiho_shard_suffixes", l),
+                cache_hits: r.counter("hoiho_cache_hits_total", l),
+                cache_misses: r.counter("hoiho_cache_misses_total", l),
+                cache_evictions: r.counter("hoiho_cache_evictions_total", l),
+                cache_stale: r.counter("hoiho_cache_stale_total", l),
+            }
+        };
+        let shards: Vec<ShardMetrics> =
+            (0..nshards).map(|k| series(&k.to_string())).collect();
+        for (m, &n) in shards.iter().zip(suffix_counts) {
+            m.suffixes.set(n as i64);
+        }
+        let none = series("none");
+        RouterObs { obs, shards, none }
+    }
+
+    /// The metrics bucket a route charges cache traffic to.
+    fn of_route(&self, route: &Route) -> &ShardMetrics {
+        match *route {
+            Route::Exact { shard, .. } | Route::Fallback { shard, .. } => {
+                &self.shards[shard as usize]
+            }
+            Route::Miss { .. } => &self.none,
+        }
+    }
+}
+
 /// The suffix-sharded serving tier: shard engines, the routing table,
 /// and the response cache.
 pub struct ShardRouter {
@@ -122,12 +184,34 @@ pub struct ShardRouter {
     cache: ShardedLru<CachedAnswer>,
     /// Serializes reloads so routing rebuilds never interleave.
     reload_lock: Mutex<()>,
+    /// Per-shard metrics and the shard-reload event stream, when the
+    /// router was built with an observability context. `None` keeps
+    /// the hot path free of even the relaxed counter increments.
+    obs: Option<RouterObs>,
 }
 
 impl ShardRouter {
     /// Builds a router over pre-split shard models. Fails if the same
     /// suffix appears in more than one shard.
     pub fn new(shard_models: &[Model], cache_capacity: usize) -> Result<ShardRouter, RouterError> {
+        ShardRouter::build(shard_models, cache_capacity, None)
+    }
+
+    /// Like [`ShardRouter::new`], but registers per-shard metrics in
+    /// `obs` and records `shard_reload` events to its event log.
+    pub fn new_obs(
+        shard_models: &[Model],
+        cache_capacity: usize,
+        obs: Arc<Obs>,
+    ) -> Result<ShardRouter, RouterError> {
+        ShardRouter::build(shard_models, cache_capacity, Some(obs))
+    }
+
+    fn build(
+        shard_models: &[Model],
+        cache_capacity: usize,
+        obs: Option<Arc<Obs>>,
+    ) -> Result<ShardRouter, RouterError> {
         if shard_models.is_empty() {
             return Err(RouterError("a cluster needs at least one shard".into()));
         }
@@ -150,6 +234,9 @@ impl ShardRouter {
                 queries: AtomicU64::new(0),
             })
             .collect();
+        let suffix_counts: Vec<usize> =
+            shard_models.iter().map(|m| m.entries.len()).collect();
+        let obs = obs.map(|o| RouterObs::register(o, shard_models.len(), &suffix_counts));
         Ok(ShardRouter {
             psl: PublicSuffixList::builtin(),
             slots,
@@ -157,6 +244,7 @@ impl ShardRouter {
             epoch: AtomicU64::new(0),
             cache: ShardedLru::new(cache_capacity),
             reload_lock: Mutex::new(()),
+            obs,
         })
     }
 
@@ -168,6 +256,18 @@ impl ShardRouter {
     ) -> Result<ShardRouter, RouterError> {
         let (models, _) = split(model, shards).map_err(|e| RouterError(e.to_string()))?;
         ShardRouter::new(&models, cache_capacity)
+    }
+
+    /// Plans, splits, and builds in one step, with observability (see
+    /// [`ShardRouter::new_obs`]).
+    pub fn from_model_obs(
+        model: &Model,
+        shards: u32,
+        cache_capacity: usize,
+        obs: Arc<Obs>,
+    ) -> Result<ShardRouter, RouterError> {
+        let (models, _) = split(model, shards).map_err(|e| RouterError(e.to_string()))?;
+        ShardRouter::new_obs(&models, cache_capacity, obs)
     }
 
     /// Number of shards.
@@ -193,13 +293,38 @@ impl ShardRouter {
     }
 
     /// Answers one hostname, through the cache.
+    ///
+    /// Cache accounting when observability is attached: a hit is
+    /// charged to the cached route's shard, a miss to the shard that
+    /// ends up computing the answer, a stale-generation rejection to
+    /// the rejected entry's shard (stale lookups then recompute, so
+    /// they also count as misses — per shard, `hits + misses` over all
+    /// series equals total lookups), and an eviction to the shard of
+    /// the answer that was pushed out.
     pub fn lookup(&self, hostname: &str) -> QueryAnswer {
         let lower = hostname.to_ascii_lowercase();
-        if let Some(hit) = self.cache.get_valid(&lower, |v| self.route_current(&v.route)) {
+        if let Some(hit) = self.cache.get_valid(&lower, |v| {
+            let current = self.route_current(&v.route);
+            if !current {
+                if let Some(o) = &self.obs {
+                    o.of_route(&v.route).cache_stale.inc();
+                }
+            }
+            current
+        }) {
+            if let Some(o) = &self.obs {
+                o.of_route(&hit.route).cache_hits.inc();
+            }
             return hit.answer;
         }
         let (route, answer) = self.compute(&lower);
-        self.cache.insert(&lower, CachedAnswer { route, answer: answer.clone() });
+        if let Some(o) = &self.obs {
+            o.of_route(&route).cache_misses.inc();
+        }
+        let evicted = self.cache.insert(&lower, CachedAnswer { route, answer: answer.clone() });
+        if let (Some(o), Some(ev)) = (&self.obs, evicted) {
+            o.of_route(&ev.route).cache_evictions.inc();
+        }
         answer
     }
 
@@ -238,6 +363,9 @@ impl ShardRouter {
     fn query_shard(&self, k: u32, lower: &str) -> QueryAnswer {
         let slot = &self.slots[k as usize];
         slot.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.shards[k as usize].queries.inc();
+        }
         let gen = Arc::clone(&slot.gen.read().unwrap());
         let x = gen.engine.extract_lower(lower);
         gen.answer_of(x)
@@ -281,6 +409,21 @@ impl ShardRouter {
         slot.generation_no.fetch_add(1, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::Release);
         self.cache.invalidate(|v| !self.route_current(&v.route));
+        if let Some(o) = &self.obs {
+            let m = &o.shards[k as usize];
+            m.reloads.inc();
+            let generation = slot.generation_no.load(Ordering::Acquire);
+            m.generation.set(generation as i64);
+            m.suffixes.set(n as i64);
+            o.obs.events().record(
+                "shard_reload",
+                &[
+                    ("shard", &k.to_string()),
+                    ("generation", &generation.to_string()),
+                    ("conventions", &n.to_string()),
+                ],
+            );
+        }
         Ok(n)
     }
 
@@ -567,6 +710,64 @@ mod tests {
             Ok(_) => panic!("duplicate suffix must be rejected"),
         };
         assert!(err.0.contains("owned by both"), "{err}");
+    }
+
+    #[test]
+    fn per_shard_metrics_account_exactly() {
+        let m = model();
+        let obs = Arc::new(Obs::new());
+        let router = ShardRouter::from_model_obs(&m, 2, 64, Arc::clone(&obs)).unwrap();
+        let routing = Arc::clone(&router.routing.read().unwrap());
+        let eq = routing["equinix.com"];
+        let s = eq.to_string();
+        let c = |name: &str, shard: &str| obs.registry().counter(name, &[("shard", shard)]).get();
+
+        let h = "a.b.as64500.equinix.com";
+        router.lookup(h); // compute on eq's shard
+        router.lookup(h); // cache hit
+        router.lookup(h); // cache hit
+        router.lookup("nothing.example.org"); // miss route → shard="none"
+        assert_eq!(c("hoiho_cache_misses_total", &s), 1);
+        assert_eq!(c("hoiho_cache_hits_total", &s), 2);
+        assert_eq!(c("hoiho_shard_queries_total", &s), 1, "hits must not reach the engine");
+        assert_eq!(c("hoiho_cache_misses_total", "none"), 1);
+        assert_eq!(c("hoiho_cache_hits_total", "none"), 0);
+        assert_eq!(obs.registry().gauge("hoiho_shard_suffixes", &[("shard", &s)]).get(), 2);
+
+        // A racing-insert survivor: an entry whose tag predates the
+        // live generation. Its rejection is charged to its shard as
+        // `stale`, and the recompute as a fresh miss.
+        router.cache().insert(
+            h,
+            CachedAnswer {
+                route: Route::Exact { shard: eq, generation: 999 },
+                answer: QueryAnswer::MISS,
+            },
+        );
+        assert_eq!(router.lookup(h).asn, Some(64500));
+        assert_eq!(c("hoiho_cache_stale_total", &s), 1);
+        assert_eq!(c("hoiho_cache_misses_total", &s), 2);
+
+        // Reload bumps the reload counter and the generation gauge and
+        // records a shard_reload event.
+        let own = Model {
+            entries: m.entries.iter().filter(|e| routing[&e.suffix] == eq).cloned().collect(),
+        };
+        router.reload_shard(eq, &own).unwrap();
+        assert_eq!(c("hoiho_shard_reloads_total", &s), 1);
+        assert_eq!(obs.registry().gauge("hoiho_shard_generation", &[("shard", &s)]).get(), 1);
+        let kinds: Vec<String> =
+            obs.events().tail(16).into_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"shard_reload".to_string()), "{kinds:?}");
+
+        // Per shard, hits + misses across all series == total lookups
+        // (the stale rejection became a miss, not a separate bucket).
+        let lookups = 5u64;
+        let total: u64 = [&s as &str, "none", &((eq + 1) % 2).to_string()]
+            .iter()
+            .map(|sh| c("hoiho_cache_hits_total", sh) + c("hoiho_cache_misses_total", sh))
+            .sum();
+        assert_eq!(total, lookups);
     }
 
     #[test]

@@ -3,8 +3,18 @@
 //!
 //! ```text
 //! hoiho learn <training-file>              learn conventions, print them
+//! hoiho learn --sim <seed>                 learn from a synthetic Internet
 //! hoiho apply <conventions-file> [file]    extract ASNs from hostnames
 //! ```
+//!
+//! `learn` additionally accepts `--trace <out.json>`: the learner then
+//! records one tracing span per pipeline phase per suffix (§3.2
+//! generate, §3.3 merge, §3.4 classes, §3.5 sets, §3.6 select, plus an
+//! enclosing `learn_suffix` span) and writes them as Chrome
+//! trace-event JSON loadable in `chrome://tracing` or Perfetto.
+//! `--sim <seed>` sidesteps the training file: it generates the tiny
+//! synthetic Internet from `hoiho-netsim` at that seed and trains on
+//! its named interfaces' ground truth.
 //!
 //! The training file has one observation per line:
 //!
@@ -20,25 +30,63 @@
 //! file or stdin) and prints `hostname<TAB>ASN` for every extraction.
 
 use hoiho::convention::parse_conventions;
-use hoiho::learner::{learn_all, LearnConfig};
+use hoiho::learner::{learn_all_traced, LearnConfig};
 use hoiho::training::{Observation, TrainingSet};
+use hoiho_obs::Tracer;
 use hoiho_psl::PublicSuffixList;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
+/// Where `learn` gets its observations.
+enum LearnSource {
+    /// A training file (`asn addr hostname` lines).
+    File(String),
+    /// The `hoiho-netsim` tiny synthetic Internet at this seed.
+    Sim(u64),
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!("usage: hoiho learn <training-file> [--trace <out.json>]");
+        eprintln!("       hoiho learn --sim <seed> [--trace <out.json>]");
+        eprintln!("       hoiho apply <conventions-file> [hostnames-file]");
+        eprintln!("(see crate docs for the file formats)");
+        ExitCode::from(2)
+    };
     let result = match args.first().map(|s| s.as_str()) {
-        Some("learn") if args.len() == 2 => learn(&args[1]),
+        Some("learn") => {
+            let trace_path = match take_flag_value(&mut args, "--trace") {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("hoiho: {e}");
+                    return usage();
+                }
+            };
+            let sim_seed = match take_flag_value(&mut args, "--sim") {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("hoiho: {e}");
+                    return usage();
+                }
+            };
+            let source = match (sim_seed, args.len()) {
+                (Some(seed), 1) => match seed.parse() {
+                    Ok(s) => LearnSource::Sim(s),
+                    Err(_) => {
+                        eprintln!("hoiho: --sim takes an integer seed, got {seed:?}");
+                        return usage();
+                    }
+                },
+                (None, 2) => LearnSource::File(args[1].clone()),
+                _ => return usage(),
+            };
+            learn(source, trace_path.as_deref())
+        }
         Some("apply") if args.len() == 2 || args.len() == 3 => {
             apply(&args[1], args.get(2).map(|s| s.as_str()))
         }
-        _ => {
-            eprintln!("usage: hoiho learn <training-file>");
-            eprintln!("       hoiho apply <conventions-file> [hostnames-file]");
-            eprintln!("(see crate docs for the file formats)");
-            return ExitCode::from(2);
-        }
+        _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -49,13 +97,41 @@ fn main() -> ExitCode {
     }
 }
 
-fn learn(path: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let training = parse_training(&text)?;
+/// Removes `flag <value>` from `args`; errors when the flag is last
+/// (no value) or repeated.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    if args.iter().any(|a| a == flag) {
+        return Err(format!("{flag} given twice"));
+    }
+    Ok(Some(value))
+}
+
+fn learn(source: LearnSource, trace_path: Option<&str>) -> Result<(), String> {
+    let training = match source {
+        LearnSource::File(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_training(&text)?
+        }
+        LearnSource::Sim(seed) => sim_training(seed),
+    };
     let psl = PublicSuffixList::builtin();
     let groups = training.by_suffix(&psl);
-    let learned = learn_all(&groups, &LearnConfig::default());
+    let tracer = trace_path.map(|_| Tracer::new());
+    let learned = learn_all_traced(&groups, &LearnConfig::default(), tracer.as_ref());
+    if let (Some(path), Some(tracer)) = (trace_path, &tracer) {
+        std::fs::write(path, tracer.to_chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("hoiho: wrote {} spans to {path}", tracer.len());
+    }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     writeln!(
@@ -119,6 +195,18 @@ fn apply(conv_path: &str, hosts_path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// Ground-truth training set from the tiny synthetic Internet: every
+/// named interface contributes `(hostname, addr, router owner)`.
+fn sim_training(seed: u64) -> TrainingSet {
+    let internet = hoiho_netsim::Internet::generate(&hoiho_netsim::SimConfig::tiny(seed));
+    let mut ts = TrainingSet::new();
+    for (iface, owner) in internet.named_interfaces() {
+        let hostname = iface.hostname.as_deref().expect("named interface has a hostname");
+        ts.push(Observation::new(hostname, iface.addr.to_be_bytes(), owner));
+    }
+    ts
+}
+
 /// Parses the training file format: `asn addr hostname` per line.
 fn parse_training(text: &str) -> Result<TrainingSet, String> {
     let mut ts = TrainingSet::new();
@@ -167,5 +255,30 @@ mod tests {
         assert!(parse_training("1 not-an-ip host").is_err());
         assert!(parse_training("1 192.0.2.1").is_err());
         assert!(parse_training("1 192.0.2.1 host extra").is_err());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let mut args: Vec<String> =
+            ["learn", "--sim", "7", "--trace", "t.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_flag_value(&mut args, "--trace").unwrap().as_deref(), Some("t.json"));
+        assert_eq!(take_flag_value(&mut args, "--sim").unwrap().as_deref(), Some("7"));
+        assert_eq!(args, vec!["learn".to_string()]);
+        assert_eq!(take_flag_value(&mut args, "--trace").unwrap(), None);
+
+        let mut dangling: Vec<String> = ["learn", "--trace"].iter().map(|s| s.to_string()).collect();
+        assert!(take_flag_value(&mut dangling, "--trace").is_err());
+        let mut twice: Vec<String> =
+            ["--sim", "1", "--sim", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(take_flag_value(&mut twice, "--sim").is_err());
+    }
+
+    #[test]
+    fn sim_training_is_deterministic_and_nonempty() {
+        let a = sim_training(7);
+        let b = sim_training(7);
+        assert!(a.len() > 0, "tiny sim must yield named interfaces");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.observations()[0].hostname, b.observations()[0].hostname);
     }
 }

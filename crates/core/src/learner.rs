@@ -68,22 +68,44 @@ pub struct LearnedConvention {
 /// Learns a naming convention for one suffix, or `None` when the suffix
 /// has too few apparent ASNs or no viable regex emerges.
 pub fn learn_suffix(st: &SuffixTraining, cfg: &LearnConfig) -> Option<LearnedConvention> {
+    learn_suffix_traced(st, cfg, None)
+}
+
+/// [`learn_suffix`] with optional tracing: when a tracer is given, each
+/// pipeline phase that runs is wrapped in a span named after it
+/// (`generate`, `merge`, `classes`, `sets`, `select`), all carrying a
+/// `suffix` argument and enclosed in a `learn_suffix` span. With
+/// `None`, the only cost over the untraced path is a handful of
+/// `Option` checks.
+pub fn learn_suffix_traced(
+    st: &SuffixTraining,
+    cfg: &LearnConfig,
+    tracer: Option<&hoiho_obs::Tracer>,
+) -> Option<LearnedConvention> {
+    let suffix = st.suffix.as_str();
+    let span = |name: &str| tracer.map(|t| t.span(name, &[("suffix", suffix)]));
+    let _outer = span("learn_suffix");
     if st.apparent_count() < cfg.min_apparent {
         return None;
     }
     // Phase 1: base regexes (§3.2).
-    let mut pool = base::generate(st, &cfg.base);
+    let mut pool = {
+        let _s = span("generate");
+        base::generate(st, &cfg.base)
+    };
     if pool.is_empty() {
         return None;
     }
     // Phase 2: merge near-identical regexes (§3.3). New regexes join the
     // pool; originals stay and compete on ATP.
     if cfg.enable_merge {
+        let _s = span("merge");
         pool.extend(merge(&pool));
         dedup(&mut pool);
     }
     // Phase 3: embed character classes (§3.4).
     if cfg.enable_classes {
+        let _s = span("classes");
         pool.extend(embed_classes(&pool, &st.hosts));
         dedup(&mut pool);
     }
@@ -93,8 +115,14 @@ pub fn learn_suffix(st: &SuffixTraining, cfg: &LearnConfig) -> Option<LearnedCon
     } else {
         SetsConfig { max_set_size: 1, max_starts: 0, ..cfg.sets }
     };
-    let candidates = build_sets(&pool, &st.hosts, &sets_cfg);
-    let best = select_best(&candidates)?;
+    let candidates = {
+        let _s = span("sets");
+        build_sets(&pool, &st.hosts, &sets_cfg)
+    };
+    let best = {
+        let _s = span("select");
+        select_best(&candidates)?
+    };
 
     let convention = NamingConvention::new(&st.suffix, best.regexes.clone());
     let counts = best.counts.clone();
@@ -111,6 +139,18 @@ pub fn learn_suffix(st: &SuffixTraining, cfg: &LearnConfig) -> Option<LearnedCon
 /// Learns conventions for many suffixes in parallel. Results come back
 /// sorted by suffix, independent of thread scheduling.
 pub fn learn_all(suffixes: &[SuffixTraining], cfg: &LearnConfig) -> Vec<LearnedConvention> {
+    learn_all_traced(suffixes, cfg, None)
+}
+
+/// [`learn_all`] with optional tracing. The tracer is shared by every
+/// worker thread; span *order* follows scheduling, but each suffix
+/// still gets its full set of phase spans (distinguishable by the
+/// `suffix` argument and nested by time containment per thread).
+pub fn learn_all_traced(
+    suffixes: &[SuffixTraining],
+    cfg: &LearnConfig,
+    tracer: Option<&hoiho_obs::Tracer>,
+) -> Vec<LearnedConvention> {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -119,7 +159,7 @@ pub fn learn_all(suffixes: &[SuffixTraining], cfg: &LearnConfig) -> Vec<LearnedC
     let threads = threads.max(1).min(suffixes.len().max(1));
 
     let mut out: Vec<LearnedConvention> = if threads <= 1 || suffixes.len() <= 1 {
-        suffixes.iter().filter_map(|st| learn_suffix(st, cfg)).collect()
+        suffixes.iter().filter_map(|st| learn_suffix_traced(st, cfg, tracer)).collect()
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results: Vec<std::sync::Mutex<Vec<LearnedConvention>>> =
@@ -130,7 +170,7 @@ pub fn learn_all(suffixes: &[SuffixTraining], cfg: &LearnConfig) -> Vec<LearnedC
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(st) = suffixes.get(i) else { break };
-                        if let Some(lc) = learn_suffix(st, cfg) {
+                        if let Some(lc) = learn_suffix_traced(st, cfg, tracer) {
                             slot.lock().unwrap().push(lc);
                         }
                     }
@@ -270,6 +310,44 @@ mod tests {
         .unwrap();
         assert_eq!(no_sets.convention.len(), 1);
         assert!(no_sets.counts.atp() < full.counts.atp());
+    }
+
+    #[test]
+    fn traced_run_emits_one_span_per_phase_per_suffix() {
+        use hoiho_obs::{ManualClock, Tracer};
+        use std::sync::Arc;
+        let mut ts = TrainingSet::new();
+        for &(h, a) in &[
+            ("as64500.border1.example.com", 64500u32),
+            ("as64501.border2.example.com", 64501),
+            ("as1000.a.zzz-example.net", 1000),
+            ("as2000.b.zzz-example.net", 2000),
+        ] {
+            ts.push(Observation::new(h, [192, 0, 2, 3], a));
+        }
+        let groups = ts.by_suffix(&PublicSuffixList::builtin());
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::with_clock(clock);
+        let learned =
+            learn_all_traced(&groups, &LearnConfig::default(), Some(&tracer));
+        assert_eq!(learned.len(), 2);
+        let spans = tracer.records();
+        for suffix in ["example.com", "zzz-example.net"] {
+            for phase in ["learn_suffix", "generate", "merge", "classes", "sets", "select"] {
+                let n = spans
+                    .iter()
+                    .filter(|s| {
+                        s.name == phase
+                            && s.args.iter().any(|(k, v)| k == "suffix" && v == suffix)
+                    })
+                    .count();
+                assert_eq!(n, 1, "expected exactly one {phase} span for {suffix}");
+            }
+        }
+        // Untraced runs stay untraced.
+        let silent = Tracer::new();
+        learn_all_traced(&groups, &LearnConfig::default(), None);
+        assert!(silent.is_empty());
     }
 
     #[test]

@@ -142,7 +142,19 @@ impl Harness {
     /// like a hit rate or a balance factor). Metrics land in a
     /// `"metrics"` array next to `"results"` — an append-compatible
     /// schema extension; absent when no metrics were recorded.
+    ///
+    /// # Panics
+    ///
+    /// On a duplicate `id` (each metric is one fact per run; silently
+    /// keeping both would make `scripts/bench_diff.sh`'s by-id join
+    /// ambiguous) and on non-finite values (NaN/∞ have no JSON
+    /// rendering, so the results document would be unparseable).
     pub fn metric(&mut self, id: &str, value: f64, unit: &str) {
+        assert!(value.is_finite(), "metric {id}: non-finite value {value} has no JSON rendering");
+        assert!(
+            !self.metrics.iter().any(|m| m.id == id),
+            "metric {id}: duplicate id — each metric may be recorded once per run"
+        );
         eprintln!("metric {id} = {value} {unit}");
         self.metrics.push(Metric { id: id.to_string(), value, unit: unit.to_string() });
     }
@@ -421,6 +433,21 @@ mod tests {
         // JSON parser in the dependency-free devkit.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn metric_rejects_duplicate_ids() {
+        let mut h = Harness::new("unit");
+        h.metric("cluster/hit_rate_pct", 87.5, "percent");
+        h.metric("cluster/hit_rate_pct", 88.0, "percent");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn metric_rejects_non_finite_values() {
+        let mut h = Harness::new("unit");
+        h.metric("cluster/hit_rate_pct", f64::NAN, "percent");
     }
 
     #[test]

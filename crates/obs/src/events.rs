@@ -1,0 +1,229 @@
+//! Structured event log: a bounded in-memory ring buffer of
+//! `(seq, ts, kind, fields)` records rendered as JSONL.
+//!
+//! Unlike metrics (aggregates) these are individual notable
+//! occurrences: a query slower than the configured threshold, a shard
+//! reload, a refused admin command. The ring keeps the most recent
+//! `capacity` events; the monotone sequence number survives eviction,
+//! so a reader can tell how many events it missed (`first_seq` of the
+//! tail jumping past the last seen `seq`).
+//!
+//! Rendering is one JSON object per line, fields flattened alongside
+//! the envelope:
+//!
+//! ```text
+//! {"seq":12,"ts_ns":48211375,"kind":"slow_query","verb":"query","dur_ns":"151923000"}
+//! ```
+
+use crate::json_str;
+use crate::trace::{Clock, WallClock};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-log sequence number, starting at 0; not reused
+    /// when the ring evicts.
+    pub seq: u64,
+    /// Clock nanoseconds at record time.
+    pub ts_ns: u64,
+    /// Event kind (e.g. `slow_query`, `shard_reload`,
+    /// `admin_refused`).
+    pub kind: String,
+    /// Flat string key/values.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline).
+    /// Envelope keys come first; field keys are emitted as-is, so
+    /// callers should avoid `seq`/`ts_ns`/`kind` as field names.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"ts_ns\":{},\"kind\":{}",
+            self.seq,
+            self.ts_ns,
+            json_str(&self.kind)
+        );
+        for (k, v) in &self.fields {
+            out.push(',');
+            out.push_str(&json_str(k));
+            out.push(':');
+            out.push_str(&json_str(v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// The bounded event ring. All methods are thread-safe; recording
+/// takes one short mutex (events are rare by design — the hot path
+/// only records when something notable happened).
+pub struct EventLog {
+    inner: Mutex<Ring>,
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+}
+
+impl EventLog {
+    /// A log keeping the most recent `capacity` events (capacity 0 is
+    /// clamped to 1), timestamped by the real monotonic clock.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog::with_clock(capacity, Arc::new(WallClock::new()))
+    }
+
+    /// A log on an injected clock (tests pass a
+    /// [`crate::ManualClock`]).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> EventLog {
+        EventLog {
+            inner: Mutex::new(Ring { buf: VecDeque::new(), next_seq: 0 }),
+            capacity: capacity.max(1),
+            clock,
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    /// Returns the assigned sequence number.
+    pub fn record(&self, kind: &str, fields: &[(&str, &str)]) -> u64 {
+        let ts_ns = self.clock.now_ns();
+        let mut ring = self.inner.lock().expect("event log lock poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(Event {
+            seq,
+            ts_ns,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+        seq
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event log lock poisoned").buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (= next sequence number).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("event log lock poisoned").next_seq
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let ring = self.inner.lock().expect("event log lock poisoned");
+        let skip = ring.buf.len().saturating_sub(n);
+        ring.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// The most recent `n` events as JSONL (one object per line,
+    /// oldest first, trailing newline after each line; empty string
+    /// when there are none).
+    pub fn render_jsonl(&self, n: usize) -> String {
+        let mut out = String::new();
+        for e in self.tail(n) {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ManualClock;
+
+    fn manual_log(capacity: usize) -> (Arc<ManualClock>, EventLog) {
+        let clock = Arc::new(ManualClock::new());
+        let log = EventLog::with_clock(capacity, clock.clone());
+        (clock, log)
+    }
+
+    #[test]
+    fn records_and_tails_in_order() {
+        let (clock, log) = manual_log(8);
+        assert_eq!(log.record("a", &[]), 0);
+        clock.advance(10);
+        assert_eq!(log.record("b", &[("k", "v")]), 1);
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind, "a");
+        assert_eq!(tail[0].ts_ns, 0);
+        assert_eq!(tail[1].kind, "b");
+        assert_eq!(tail[1].ts_ns, 10);
+        assert_eq!(tail[1].fields, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(log.tail(1).len(), 1);
+        assert_eq!(log.tail(1)[0].seq, 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_seq_survives() {
+        let (_clock, log) = manual_log(3);
+        for i in 0..5 {
+            log.record("e", &[("i", &i.to_string())]);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        let tail = log.tail(10);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_rendering() {
+        let (clock, log) = manual_log(8);
+        clock.advance(1_000);
+        log.record("slow_query", &[("verb", "query"), ("dur_ns", "151923000")]);
+        let jsonl = log.render_jsonl(10);
+        assert_eq!(
+            jsonl,
+            "{\"seq\":0,\"ts_ns\":1000,\"kind\":\"slow_query\",\
+             \"verb\":\"query\",\"dur_ns\":\"151923000\"}\n"
+        );
+        log.record("x", &[("msg", "a\"b")]);
+        let jsonl = log.render_jsonl(10);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"msg\":\"a\\\"b\""), "{jsonl}");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let (_clock, log) = manual_log(0);
+        log.record("a", &[]);
+        log.record("b", &[]);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.tail(5)[0].kind, "b");
+    }
+
+    #[test]
+    fn concurrent_recording_assigns_unique_seqs() {
+        let log = EventLog::new(1024);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        log.record("e", &[]);
+                    }
+                });
+            }
+        });
+        assert_eq!(log.recorded(), 400);
+        let mut seqs: Vec<u64> = log.tail(1024).iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400);
+    }
+}

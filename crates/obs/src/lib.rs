@@ -1,0 +1,164 @@
+//! # hoiho-obs — observability for the learner and the serving tier
+//!
+//! Std-only, dependency-free (per the workspace's hermetic-build
+//! policy), and cheap enough for the serving hot path:
+//!
+//! * [`metrics`] — a metrics registry of lock-free atomic counters,
+//!   gauges, and fixed-bucket log-scale latency histograms. Handles
+//!   are `Arc`-backed: registration takes a mutex once, after which
+//!   every update is a single relaxed atomic operation. The whole
+//!   registry renders to Prometheus-style text exposition
+//!   ([`Registry::render`]), which the serve protocol's `METRICS`
+//!   verb ships over the wire.
+//! * [`trace`] — hierarchical tracing spans over a seedable-clock
+//!   abstraction ([`Clock`]): production code uses [`WallClock`],
+//!   tests pin time with [`ManualClock`] so recorded durations are
+//!   deterministic. Finished spans render as Chrome trace-event JSON
+//!   ([`Tracer::to_chrome_json`]) loadable in `chrome://tracing` /
+//!   Perfetto; the learner emits one span per pipeline phase per
+//!   suffix through `hoiho learn --trace`.
+//! * [`events`] — a structured JSONL event log backed by a bounded
+//!   in-memory ring buffer: slow queries, shard reloads, admin
+//!   refusals. The serve protocol's `EVENTS [n]` verb dumps the tail.
+//!
+//! [`Obs`] bundles one registry, one event log, and the slow-query
+//! threshold into the unit the server, the shard router, and the
+//! binary share — so `METRICS` on a clustered server reports the
+//! protocol layer and the cache/shard layer out of one document.
+//!
+//! Overhead budget: an instrumented hot-path operation adds one or two
+//! relaxed atomic RMWs (&lt; ~5 ns each); nothing on the hot path takes
+//! a lock or allocates. The acceptance bar (DESIGN.md §7d) is ≤ 5% on
+//! the `serve/extract_large` and `cluster` bench medians.
+
+pub mod events;
+pub mod metrics;
+pub mod trace;
+
+pub use events::{Event, EventLog};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry};
+pub use trace::{Clock, ManualClock, SpanGuard, Tracer, WallClock};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Default slow-query threshold: requests slower than this land in the
+/// event log.
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Default event-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One observability context: a metrics registry, an event log, and
+/// the slow-query threshold. The server and the shard router each take
+/// an `Arc<Obs>`; handing them the *same* one merges their metrics
+/// into a single `METRICS` document (what the `hoiho-serve` binary
+/// does).
+pub struct Obs {
+    registry: Registry,
+    events: EventLog,
+    slow_ns: AtomicU64,
+}
+
+impl Obs {
+    /// A fresh context with the default event capacity and slow-query
+    /// threshold.
+    pub fn new() -> Obs {
+        Obs::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh context whose event ring holds at most `capacity`
+    /// events.
+    pub fn with_event_capacity(capacity: usize) -> Obs {
+        Obs {
+            registry: Registry::new(),
+            events: EventLog::new(capacity),
+            slow_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Requests at least this slow are recorded as `slow_query` events.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the slow-query threshold (settable live; the
+    /// serving loop reads it per request).
+    pub fn set_slow_threshold(&self, d: Duration) {
+        self.slow_ns.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new()
+    }
+}
+
+/// The process-global context, for call sites with no better scope
+/// (CLI one-shots). Servers and routers prefer an explicitly shared
+/// `Arc<Obs>` so tests can account for their traffic exactly.
+pub fn global() -> &'static Arc<Obs> {
+    static GLOBAL: OnceLock<Arc<Obs>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Obs::new()))
+}
+
+/// Renders `s` as a JSON string literal (shared by the trace and event
+/// renderers).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_defaults_and_threshold() {
+        let obs = Obs::new();
+        assert_eq!(obs.slow_threshold_ns(), DEFAULT_SLOW_THRESHOLD.as_nanos() as u64);
+        obs.set_slow_threshold(Duration::from_micros(5));
+        assert_eq!(obs.slow_threshold_ns(), 5_000);
+        assert_eq!(obs.events().len(), 0);
+    }
+
+    #[test]
+    fn global_is_one_instance() {
+        let a = Arc::clone(global());
+        let b = Arc::clone(global());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\n\t\u{1}"), "\"x\\n\\t\\u0001\"");
+    }
+}

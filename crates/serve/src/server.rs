@@ -13,6 +13,16 @@
 //!   live model, terminated by a lone `.` line.
 //! * `STATS CLUSTER` → per-shard and response-cache counters when the
 //!   server runs the cluster backend (`.`-terminated), `err` otherwise.
+//! * `METRICS` → the full metrics registry in Prometheus-style text
+//!   exposition (see `hoiho-obs`), terminated by a lone `.` line:
+//!   request counts by verb and outcome, the request latency
+//!   histogram, connection and protocol-error totals, plus whatever
+//!   the backend registered (engine dispatch outcomes, per-shard cache
+//!   counters). The rendered counters reflect traffic *before* the
+//!   `METRICS` request itself.
+//! * `EVENTS [n]` → the last `n` (default: all buffered) structured
+//!   events as JSONL, `.`-terminated: slow queries over the
+//!   configurable threshold, reloads, admin refusals.
 //! * `RELOAD <path>` → `ok\treloaded\t<n>` after atomically installing
 //!   the model at `<path>`, or `err\t<message>` (the old model keeps
 //!   serving on failure). The cluster backend takes
@@ -28,10 +38,13 @@
 //!
 //! The protocol is unauthenticated. Query lines are safe to expose, but
 //! `RELOAD` (which reads server-side filesystem paths and whose error
-//! messages reveal whether a path exists and parses) and `SHUTDOWN`
-//! (which terminates the server) are **admin verbs**: they are honoured
-//! only when the client's peer address is loopback, and answer
-//! `err\tadmin commands require a loopback peer` otherwise. Bind the
+//! messages reveal whether a path exists and parses), `SHUTDOWN`
+//! (which terminates the server), and `EVENTS` (whose slow-query log
+//! echoes other clients' request lines) are **admin verbs**: they are
+//! honoured only when the client's peer address is loopback, and answer
+//! `err\tadmin commands require a loopback peer` otherwise (each
+//! refusal is itself recorded as an `admin_refused` event). `METRICS`
+//! exposes only aggregates and stays open, like `STATS`. Bind the
 //! server to `127.0.0.1` unless every host on the bound network is
 //! trusted with the query surface.
 //!
@@ -60,9 +73,10 @@
 //! still waiting in the accept queue are closed without a response.
 //! The acceptor wakes itself with a loopback connection and joins.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineObs};
 use crate::model::Model;
 use hoiho::classify::NcClass;
+use hoiho_obs::{Counter, Histogram, Obs, Registry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -180,12 +194,23 @@ pub trait Backend: Send + Sync + 'static {
 /// hot-swappable as a whole.
 pub struct EngineBackend {
     live: RwLock<Arc<Generation>>,
+    /// Dispatch-outcome counters re-attached to every engine a
+    /// `RELOAD` builds, so the counters survive reloads.
+    engine_obs: Option<EngineObs>,
 }
 
 impl EngineBackend {
     /// Wraps an engine as generation zero.
     pub fn new(engine: Arc<Engine>) -> EngineBackend {
-        EngineBackend { live: RwLock::new(Generation::new(engine)) }
+        EngineBackend { live: RwLock::new(Generation::new(engine)), engine_obs: None }
+    }
+
+    /// Wraps an engine as generation zero and remembers `obs` so
+    /// engines built by [`Backend::reload`] keep counting into the
+    /// same dispatch-outcome series. The caller usually attaches the
+    /// same `obs` to `engine` itself first.
+    pub fn with_engine_obs(engine: Arc<Engine>, obs: EngineObs) -> EngineBackend {
+        EngineBackend { live: RwLock::new(Generation::new(engine)), engine_obs: Some(obs) }
     }
 
     /// Atomically installs a new engine: per-suffix counters restart,
@@ -221,7 +246,11 @@ impl Backend for EngineBackend {
 
     fn reload(&self, args: &str) -> Result<String, String> {
         let model = Model::load(args.trim()).map_err(|e| e.to_string())?;
-        let engine = Arc::new(Engine::new(&model));
+        let mut engine = Engine::new(&model);
+        if let Some(obs) = &self.engine_obs {
+            engine.attach_obs(obs.clone());
+        }
+        let engine = Arc::new(engine);
         let n = engine.len();
         self.install(engine);
         Ok(format!("reloaded\t{n}"))
@@ -253,11 +282,73 @@ pub struct StatsSnapshot {
     pub per_suffix: Vec<(String, u64)>,
 }
 
-/// Shared server state: the extraction backend and lifetime totals.
+/// Pre-registered hot-path metric handles (rare verbs register their
+/// counters on demand — a mutex-taking path, acceptable off the query
+/// fast path).
+struct ServerMetrics {
+    query_hit: Counter,
+    query_miss: Counter,
+    latency: Histogram,
+    connections: Counter,
+    protocol_errors: Counter,
+}
+
+impl ServerMetrics {
+    fn register(r: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            query_hit: r.counter("hoiho_requests_total", &[("verb", "query"), ("outcome", "hit")]),
+            query_miss: r
+                .counter("hoiho_requests_total", &[("verb", "query"), ("outcome", "miss")]),
+            latency: r.histogram("hoiho_request_latency_ns", &[]),
+            connections: r.counter("hoiho_connections_total", &[]),
+            protocol_errors: r.counter("hoiho_protocol_errors_total", &[]),
+        }
+    }
+}
+
+/// Shared server state: the extraction backend, lifetime totals, and
+/// the observability context.
 struct Shared {
     backend: Arc<dyn Backend>,
     totals: Totals,
     shutdown: AtomicBool,
+    obs: Arc<Obs>,
+    metrics: ServerMetrics,
+}
+
+impl Shared {
+    fn new(backend: Arc<dyn Backend>, obs: Arc<Obs>) -> Shared {
+        let metrics = ServerMetrics::register(obs.registry());
+        Shared {
+            backend,
+            totals: Totals::default(),
+            shutdown: AtomicBool::new(false),
+            obs,
+            metrics,
+        }
+    }
+
+    /// Counts one protocol error in both the legacy totals and the
+    /// metrics registry.
+    fn count_error(&self) {
+        self.totals.errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.protocol_errors.inc();
+    }
+}
+
+/// The protocol verb a request line is, for metric labels and the
+/// slow-query log.
+fn verb_of(request: &str) -> &'static str {
+    match request {
+        "STATS" => "stats",
+        "STATS SUFFIX" => "stats_suffix",
+        "STATS CLUSTER" => "stats_cluster",
+        "METRICS" => "metrics",
+        "SHUTDOWN" => "shutdown",
+        r if r.starts_with("RELOAD ") => "reload",
+        r if r == "EVENTS" || r.starts_with("EVENTS ") => "events",
+        _ => "query",
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -275,14 +366,34 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts the accept loop plus `workers` request threads
-    /// (0 = one per core) over a single hot-swappable engine.
+    /// (0 = one per core) over a single hot-swappable engine. Metrics
+    /// and events go to a fresh private [`Obs`] reachable through
+    /// [`ServerHandle::obs`].
     pub fn start(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
         workers: usize,
     ) -> std::io::Result<ServerHandle> {
-        let backend = Arc::new(EngineBackend::new(engine));
-        Self::start_inner(addr, backend.clone(), Some(backend), workers)
+        Self::start_obs(addr, engine, workers, Arc::new(Obs::new()))
+    }
+
+    /// [`ServerHandle::start`] with a caller-provided observability
+    /// context (to share one `METRICS` document with other components,
+    /// or to let a test account for traffic exactly). The engine gets
+    /// dispatch-outcome counters registered in `obs` attached — to a
+    /// private clone, so the caller's `engine` is not mutated.
+    pub fn start_obs(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        workers: usize,
+        obs: Arc<Obs>,
+    ) -> std::io::Result<ServerHandle> {
+        let engine_obs = EngineObs::register(obs.registry());
+        let mut counted = (*engine).clone();
+        counted.attach_obs(engine_obs.clone());
+        let backend =
+            Arc::new(EngineBackend::with_engine_obs(Arc::new(counted), engine_obs));
+        Self::start_inner(addr, backend.clone(), Some(backend), workers, obs)
     }
 
     /// Like [`ServerHandle::start`], but over a caller-provided backend
@@ -294,7 +405,20 @@ impl ServerHandle {
         backend: Arc<dyn Backend>,
         workers: usize,
     ) -> std::io::Result<ServerHandle> {
-        Self::start_inner(addr, backend, None, workers)
+        Self::start_inner(addr, backend, None, workers, Arc::new(Obs::new()))
+    }
+
+    /// [`ServerHandle::start_with_backend`] with a caller-provided
+    /// observability context. Pass the same `Arc<Obs>` the backend
+    /// registered its own metrics in (as the cluster router does) and
+    /// `METRICS` reports both layers in one document.
+    pub fn start_with_backend_obs(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        workers: usize,
+        obs: Arc<Obs>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(addr, backend, None, workers, obs)
     }
 
     fn start_inner(
@@ -302,6 +426,7 @@ impl ServerHandle {
         backend: Arc<dyn Backend>,
         engine_backend: Option<Arc<EngineBackend>>,
         workers: usize,
+        obs: Arc<Obs>,
     ) -> std::io::Result<ServerHandle> {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -310,11 +435,7 @@ impl ServerHandle {
         };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            backend,
-            totals: Totals::default(),
-            shutdown: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared::new(backend, obs));
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
@@ -337,6 +458,7 @@ impl ServerHandle {
                     }
                     let Ok(stream) = stream else { continue };
                     shared.totals.conns.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.connections.inc();
                     if tx.send(stream).is_err() {
                         break;
                     }
@@ -356,6 +478,12 @@ impl ServerHandle {
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The observability context the server records into (what
+    /// `METRICS` renders and `EVENTS` dumps).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Atomically installs a new engine. Requests already dispatched
@@ -480,7 +608,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
             let Ok(text) = std::str::from_utf8(&line) else {
                 // Non-UTF-8 input: count it and drop the connection (we
                 // cannot resynchronise a stream we cannot decode).
-                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                shared.count_error();
                 return;
             };
             if !serve_line(text, admin, &mut writer, shared) {
@@ -488,7 +616,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
             }
         }
         if buf.len() > MAX_LINE {
-            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            shared.count_error();
             return;
         }
         match stream.read(&mut chunk) {
@@ -500,7 +628,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                             serve_line(text, admin, &mut writer, shared);
                         }
                         Err(_) => {
-                            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                            shared.count_error();
                         }
                     }
                 }
@@ -525,12 +653,38 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
 
 /// Serves one framed request line; returns `false` when the connection
 /// should close (write failure, or the server is shutting down).
+///
+/// This is where per-request observability happens: every request is
+/// timed into the latency histogram, non-query verbs are counted by
+/// verb and ok/err outcome (queries count themselves by hit/miss
+/// inside [`respond`], where the answer is known), and anything slower
+/// than the configured threshold lands in the event log with its
+/// request line. The counting runs *after* `respond`, so a `METRICS`
+/// response reflects the traffic before the request itself.
 fn serve_line(text: &str, admin: bool, writer: &mut TcpStream, shared: &Shared) -> bool {
     let request = text.trim();
     if request.is_empty() {
         return true;
     }
+    let t0 = Instant::now();
     let response = respond(request, admin, shared);
+    let dur_ns = t0.elapsed().as_nanos() as u64;
+    shared.metrics.latency.observe(dur_ns);
+    let verb = verb_of(request);
+    if verb != "query" {
+        let outcome = if response.starts_with("err\t") { "err" } else { "ok" };
+        shared
+            .obs
+            .registry()
+            .counter("hoiho_requests_total", &[("verb", verb), ("outcome", outcome)])
+            .inc();
+    }
+    if dur_ns >= shared.obs.slow_threshold_ns() {
+        shared.obs.events().record(
+            "slow_query",
+            &[("verb", verb), ("request", request), ("dur_ns", &dur_ns.to_string())],
+        );
+    }
     if writer.write_all(response.as_bytes()).is_err() {
         return false;
     }
@@ -566,27 +720,60 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
         "STATS CLUSTER" => match shared.backend.cluster_stats() {
             Some(body) => body,
             None => {
-                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                shared.count_error();
                 "err\tnot a cluster backend\n".to_string()
             }
         },
+        "METRICS" => {
+            let mut out = shared.obs.registry().render();
+            out.push_str(".\n");
+            out
+        }
         "SHUTDOWN" => {
             if !admin {
-                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
-                return ERR_NOT_ADMIN.to_string();
+                return refuse_admin("shutdown", shared);
             }
             shared.shutdown.store(true, Ordering::SeqCst);
             "ok\tbye\n".to_string()
         }
+        _ if request == "EVENTS" || request.starts_with("EVENTS ") => {
+            if !admin {
+                return refuse_admin("events", shared);
+            }
+            let n = match request.strip_prefix("EVENTS").map(str::trim) {
+                Some("") => usize::MAX,
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        shared.count_error();
+                        return format!("err\tEVENTS takes a count, got {arg:?}\n");
+                    }
+                },
+                None => unreachable!("guarded by the match arm"),
+            };
+            let mut out = shared.obs.events().render_jsonl(n);
+            out.push_str(".\n");
+            out
+        }
         _ if request.starts_with("RELOAD ") => {
             if !admin {
-                shared.totals.errors.fetch_add(1, Ordering::Relaxed);
-                return ERR_NOT_ADMIN.to_string();
+                return refuse_admin("reload", shared);
             }
-            match shared.backend.reload(&request["RELOAD ".len()..]) {
-                Ok(msg) => format!("ok\t{msg}\n"),
+            let args = &request["RELOAD ".len()..];
+            match shared.backend.reload(args) {
+                Ok(msg) => {
+                    shared
+                        .obs
+                        .events()
+                        .record("reload", &[("args", args.trim()), ("result", &msg)]);
+                    format!("ok\t{msg}\n")
+                }
                 Err(e) => {
-                    shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.count_error();
+                    shared
+                        .obs
+                        .events()
+                        .record("reload_failed", &[("args", args.trim()), ("error", &e)]);
                     format!("err\t{e}\n")
                 }
             }
@@ -594,12 +781,25 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
         hostname => {
             let answer = shared.backend.query(hostname);
             match answer.asn {
-                Some(_) => shared.totals.hits.fetch_add(1, Ordering::Relaxed),
-                None => shared.totals.misses.fetch_add(1, Ordering::Relaxed),
+                Some(_) => {
+                    shared.totals.hits.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.query_hit.inc();
+                }
+                None => {
+                    shared.totals.misses.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.query_miss.inc();
+                }
             };
             format!("{hostname}\t{}\n", answer.render_fields())
         }
     }
+}
+
+/// Counts and logs a refused admin verb, returning the refusal line.
+fn refuse_admin(verb: &str, shared: &Shared) -> String {
+    shared.count_error();
+    shared.obs.events().record("admin_refused", &[("verb", verb)]);
+    ERR_NOT_ADMIN.to_string()
 }
 
 /// A minimal blocking client for the line protocol — used by the
@@ -846,18 +1046,85 @@ mod tests {
     #[test]
     fn admin_verbs_refused_for_non_loopback_peers() {
         let m = model("example.com", r"^as(\d+)\.example\.com$");
-        let shared = Shared {
-            backend: Arc::new(EngineBackend::new(Arc::new(Engine::new(&m)))),
-            totals: Totals::default(),
-            shutdown: AtomicBool::new(false),
-        };
+        let shared = Shared::new(
+            Arc::new(EngineBackend::new(Arc::new(Engine::new(&m)))),
+            Arc::new(Obs::new()),
+        );
         assert_eq!(respond("SHUTDOWN", false, &shared), ERR_NOT_ADMIN);
         assert!(!shared.shutdown.load(Ordering::SeqCst), "non-admin SHUTDOWN must not stop the server");
         assert_eq!(respond("RELOAD /etc/passwd", false, &shared), ERR_NOT_ADMIN);
-        assert_eq!(shared.totals.errors.load(Ordering::Relaxed), 2);
+        assert_eq!(respond("EVENTS 5", false, &shared), ERR_NOT_ADMIN);
+        assert_eq!(shared.totals.errors.load(Ordering::Relaxed), 3);
+        // Each refusal was recorded as an event.
+        let refusals = shared.obs.events().tail(10);
+        assert_eq!(refusals.len(), 3);
+        assert!(refusals.iter().all(|e| e.kind == "admin_refused"));
         // Plain queries are served regardless of peer.
         let resp = respond("as9.example.com", false, &shared);
         assert_eq!(resp, "as9.example.com\t9\texample.com\tgood\n");
+    }
+
+    #[test]
+    fn metrics_verb_renders_exposition_over_tcp() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(c.query("as1.example.com").unwrap(), Some(1));
+        assert_eq!(c.query("as2.example.com").unwrap(), Some(2));
+        assert_eq!(c.query("nothing.example.org").unwrap(), None);
+        let first = c.request("METRICS").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        let text = lines.join("\n");
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"hit\",verb=\"query\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"miss\",verb=\"query\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("hoiho_connections_total 1"), "{text}");
+        assert!(text.contains("hoiho_request_latency_ns_count 3"), "{text}");
+        assert!(
+            text.contains("hoiho_engine_extractions_total{dispatch=\"exact\"} 2"),
+            "{text}"
+        );
+        // A second METRICS shows the first (counted after rendering).
+        let first = c.request("METRICS").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        let text = lines.join("\n");
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"ok\",verb=\"metrics\"} 1"),
+            "{text}"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn events_verb_dumps_ring_tail() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        // Everything is a "slow query" at a zero threshold.
+        srv.obs().set_slow_threshold(Duration::from_nanos(0));
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        c.query("as1.example.com").unwrap();
+        c.query("as2.example.com").unwrap();
+        let first = c.request("EVENTS 1").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("\"kind\":\"slow_query\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"request\":\"as2.example.com\""), "{}", lines[0]);
+        // Bare EVENTS dumps the whole ring (two queries + the first
+        // EVENTS, which was itself slow at threshold zero).
+        let first = c.request("EVENTS").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        // Malformed count is an error.
+        let resp = c.request("EVENTS many").unwrap();
+        assert!(resp.starts_with("err\t"), "{resp}");
+        srv.shutdown();
     }
 
     #[test]

@@ -9,6 +9,13 @@
 # the script exits nonzero. Ids present in only one file are listed but
 # never fail the diff (benches come and go across PRs).
 #
+# Scalar metrics (the optional "metrics" array: hit rates, balance
+# factors — goodness measures where DOWN is bad) are matched by id too:
+# a metric whose value dropped by more than threshold_pct is a
+# REGRESSION; growth beyond the threshold is reported as "changed" but
+# never fails, since the sign convention only guarantees that lower is
+# worse.
+#
 # Relies on the devkit harness writing one result record per line —
 # that one-record-per-line shape is part of the documented schema
 # (DESIGN.md), which keeps this diff a plain awk job in the
@@ -63,6 +70,44 @@ comm -23 "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$"
 comm -13 "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$" |
     cut -f1 | while read -r id; do
         grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_old.$$" || echo "added       $id"
+    done
+
+# Scalar metric records carry "value" instead of "median_ns".
+extract_metrics() {
+    awk '
+        /"id":/ && /"value":/ && !/"median_ns":/ {
+            id = $0;   sub(/.*"id": "/, "", id);      sub(/".*/, "", id)
+            val = $0;  sub(/.*"value": /, "", val);   sub(/[,}].*/, "", val)
+            print id "\t" val
+        }
+    ' "$1"
+}
+
+extract_metrics "$OLD" | sort > "${TMPDIR:-/tmp}/bench_diff_mold.$$"
+extract_metrics "$NEW" | sort > "${TMPDIR:-/tmp}/bench_diff_mnew.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$" \
+            "${TMPDIR:-/tmp}/bench_diff_mold.$$" "${TMPDIR:-/tmp}/bench_diff_mnew.$$"' EXIT
+
+join -t "$(printf '\t')" \
+    "${TMPDIR:-/tmp}/bench_diff_mold.$$" "${TMPDIR:-/tmp}/bench_diff_mnew.$$" |
+awk -F'\t' -v thr="$THRESHOLD" '
+    {
+        old = $2 + 0; new = $3 + 0
+        delta = old > 0 ? (new - old) * 100.0 / old : 0
+        mark = "ok        "
+        if (delta < -thr)      { mark = "REGRESSION"; bad++ }
+        else if (delta > thr)  { mark = "changed   " }
+        printf "%s  %-40s  %12.1f -> %12.1f      %+7.1f%%\n", mark, $1, old, new, delta
+    }
+    END { exit bad > 0 ? 1 : 0 }
+' || STATUS=1
+comm -23 "${TMPDIR:-/tmp}/bench_diff_mold.$$" "${TMPDIR:-/tmp}/bench_diff_mnew.$$" |
+    cut -f1 | while read -r id; do
+        grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_mnew.$$" || echo "removed     $id (metric)"
+    done
+comm -13 "${TMPDIR:-/tmp}/bench_diff_mold.$$" "${TMPDIR:-/tmp}/bench_diff_mnew.$$" |
+    cut -f1 | while read -r id; do
+        grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_mold.$$" || echo "added       $id (metric)"
     done
 
 exit "$STATUS"

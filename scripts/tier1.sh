@@ -11,6 +11,12 @@
 #      with --shards 2 plus a response cache, query hostnames landing on
 #      both shards, check STATS CLUSTER reports cache hits after a
 #      repeat, and shut down cleanly.
+#   6. An observability smoke over the same live cluster server: METRICS
+#      must expose the scripted query-miss counter and a nonzero
+#      per-shard cache-hit counter.
+#   7. A learner-tracing smoke: `hoiho learn --sim --trace` must write
+#      Chrome trace JSON that parses (validated with python3 when
+#      available) and contains one span per learner phase.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -78,8 +84,45 @@ SUF1=$(awk -F'\t' '$1 == "A" && $3 == 1 { print $2; exit }' "$SMOKE_DIR/shards/s
 "$SRV" send "$ADDR" "test.$SUF0" > /dev/null
 "$SRV" send "$ADDR" "STATS CLUSTER" | grep "^cache" | grep -vq "hits=0" \
     || { echo "tier1: repeated query produced no cache hit" >&2; exit 1; }
+
+# --- observability smoke: METRICS over the live cluster server ---
+"$SRV" send "$ADDR" METRICS > "$SMOKE_DIR/metrics.txt"
+# The scripted queries above were extraction misses; their counter must
+# be present and nonzero (labels render in sorted key order).
+grep -F 'hoiho_requests_total{outcome="miss",verb="query"}' "$SMOKE_DIR/metrics.txt" \
+    | grep -vq ' 0$' \
+    || { echo "tier1: METRICS missing a nonzero query-miss counter" >&2; exit 1; }
+# The repeated query above hit the cache on some shard.
+grep '^hoiho_cache_hits_total{' "$SMOKE_DIR/metrics.txt" | grep -vq ' 0$' \
+    || { echo "tier1: METRICS missing a nonzero per-shard cache-hit counter" >&2; exit 1; }
+grep -q '^# TYPE hoiho_request_latency_ns histogram' "$SMOKE_DIR/metrics.txt" \
+    || { echo "tier1: METRICS missing the latency histogram" >&2; exit 1; }
+
 "$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
 wait "$SRV_PID"
 SRV_PID=
+
+# --- learner tracing smoke: hoiho learn --sim --trace ---
+HOIHO=target/release/hoiho
+"$HOIHO" learn --sim 2020 --trace "$SMOKE_DIR/trace.json" > /dev/null 2>&1
+[ -s "$SMOKE_DIR/trace.json" ] || { echo "tier1: --trace wrote no file" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+names = {e["name"] for e in events}
+for phase in ("generate", "merge", "classes", "sets", "select", "learn_suffix"):
+    assert phase in names, f"trace missing {phase} spans: {sorted(names)}"
+for e in events:
+    assert e["ph"] == "X" and e["dur"] >= 0 and "suffix" in e["args"], e
+print(f"tier1: trace OK ({len(events)} spans)")
+EOF
+else
+    # No python3: at least require the Chrome trace envelope.
+    grep -q '^{"traceEvents":\[' "$SMOKE_DIR/trace.json" \
+        || { echo "tier1: --trace output lacks the traceEvents envelope" >&2; exit 1; }
+fi
 
 echo "tier1: OK"

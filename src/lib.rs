@@ -9,6 +9,7 @@ pub use hoiho_bdrmap as bdrmap;
 pub use hoiho_cluster as cluster;
 pub use hoiho_itdk as itdk;
 pub use hoiho_netsim as netsim;
+pub use hoiho_obs as obs;
 pub use hoiho_pdb as pdb;
 pub use hoiho_psl as psl;
 pub use hoiho_serve as serve;

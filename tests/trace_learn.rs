@@ -1,0 +1,281 @@
+//! Learner tracing integration: the `hoiho learn --trace` pipeline —
+//! synthetic Internet → training set → traced learner → Chrome
+//! trace-event JSON — validated by a strict in-test JSON parse. Every
+//! learned suffix must contribute exactly one complete-duration span
+//! (`ph:"X"`) per learner phase (§3.2 generate, §3.3 merge, §3.4
+//! classes, §3.5 sets, §3.6 select), nested inside its `learn_suffix`
+//! span by time containment, and the whole document must parse as JSON
+//! with the `traceEvents` shape `chrome://tracing` / Perfetto load.
+
+use hoiho_repro::hoiho::learner::{learn_all_traced, LearnConfig};
+use hoiho_repro::hoiho::training::{Observation, TrainingSet};
+use hoiho_repro::netsim::{Internet, SimConfig};
+use hoiho_repro::obs::Tracer;
+use hoiho_repro::psl::PublicSuffixList;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// A small strict JSON parser (objects, arrays, strings, numbers — the
+// grammar subset trace documents use). Any malformed input panics.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Object(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object with {key:?}, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::String(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn as_f64(&self) -> f64 {
+        match self {
+            Json::Number(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_array(&self) -> &[Json] {
+        match self {
+            Json::Array(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON document");
+        v
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.bytes.get(self.pos), Some(&b), "expected {:?} at {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        self.skip_ws();
+        match *self.bytes.get(self.pos).expect("unexpected end of JSON") {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::String(self.string()),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Json::Object(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.skip_ws();
+            self.expect(b':');
+            let prev = map.insert(key.clone(), self.value());
+            assert!(prev.is_none(), "duplicate key {key:?}");
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Json::Object(map);
+                }
+                other => panic!("expected , or }} in object, got {other:?}"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Json::Array(items);
+        }
+        loop {
+            items.push(self.value());
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Json::Array(items);
+                }
+                other => panic!("expected , or ] in array, got {other:?}"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.pos).expect("unterminated string") {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match *self.bytes.get(self.pos).expect("dangling escape") {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .expect("bad \\u escape");
+                            let cp = u32::from_str_radix(hex, 16).expect("bad \\u escape");
+                            out.push(char::from_u32(cp).expect("bad \\u codepoint"));
+                            self.pos += 4;
+                        }
+                        other => panic!("unknown escape \\{}", other as char),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("invalid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Json::Number(s.parse().unwrap_or_else(|_| panic!("bad number {s:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The `hoiho learn --sim` training path: every named interface of the
+/// tiny synthetic Internet contributes ground truth.
+fn sim_training(seed: u64) -> TrainingSet {
+    let internet = Internet::generate(&SimConfig::tiny(seed));
+    let mut ts = TrainingSet::new();
+    for (iface, owner) in internet.named_interfaces() {
+        let hostname = iface.hostname.as_deref().expect("named interface has a hostname");
+        ts.push(Observation::new(hostname, iface.addr.to_be_bytes(), owner));
+    }
+    ts
+}
+
+const PHASES: [&str; 5] = ["generate", "merge", "classes", "sets", "select"];
+
+/// The acceptance test: a traced `--sim` learner run emits valid
+/// Chrome trace JSON with one span per learner phase per learned
+/// suffix.
+#[test]
+fn traced_sim_learn_emits_valid_chrome_trace_json() {
+    let groups = sim_training(7).by_suffix(&PublicSuffixList::builtin());
+    let tracer = Tracer::new();
+    let learned = learn_all_traced(&groups, &LearnConfig::default(), Some(&tracer));
+    assert!(!learned.is_empty(), "the seed must learn at least one convention");
+
+    let doc = Parser::parse(&tracer.to_chrome_json());
+    let events = doc.get("traceEvents").as_array();
+    assert!(!events.is_empty(), "trace must contain events");
+
+    // Shape: every event is a complete-duration span with the fields
+    // chrome://tracing requires, tagged with its suffix.
+    // (suffix, name) → (ts, dur) for the containment check below.
+    let mut spans: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+    let mut count: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for e in events {
+        assert_eq!(e.get("ph").as_str(), "X", "only complete-duration events");
+        assert_eq!(e.get("cat").as_str(), "hoiho");
+        let (ts, dur) = (e.get("ts").as_f64(), e.get("dur").as_f64());
+        assert!(ts >= 0.0 && dur >= 0.0, "ts/dur must be nonnegative");
+        e.get("pid").as_f64();
+        e.get("tid").as_f64();
+        let name = e.get("name").as_str().to_string();
+        let suffix = e.get("args").get("suffix").as_str().to_string();
+        let key = (suffix, name);
+        *count.entry(key.clone()).or_insert(0) += 1;
+        spans.insert(key, (ts, dur));
+    }
+
+    // Accounting: exactly one span per phase per learned suffix, each
+    // contained in that suffix's learn_suffix span.
+    for l in &learned {
+        let suffix = &l.convention.suffix;
+        let outer_key = ("learn_suffix".to_string(), suffix.clone());
+        let (outer_ts, outer_dur) = spans
+            .get(&(suffix.clone(), "learn_suffix".to_string()))
+            .unwrap_or_else(|| panic!("no learn_suffix span for {suffix}: {outer_key:?}"));
+        for phase in PHASES {
+            let key = (suffix.clone(), phase.to_string());
+            assert_eq!(
+                count.get(&key).copied().unwrap_or(0),
+                1,
+                "suffix {suffix} must have exactly one {phase} span"
+            );
+            let (ts, dur) = spans[&key];
+            assert!(
+                *outer_ts <= ts && ts + dur <= outer_ts + outer_dur + 1e-6,
+                "{phase} span of {suffix} must nest inside learn_suffix \
+                 ({ts}+{dur} vs {outer_ts}+{outer_dur})"
+            );
+        }
+    }
+    let phase_spans = events
+        .iter()
+        .filter(|e| PHASES.contains(&e.get("name").as_str()))
+        .count();
+    assert_eq!(
+        phase_spans,
+        PHASES.len() * learned.len(),
+        "phase spans must exist only for suffixes that completed the pipeline"
+    );
+}
