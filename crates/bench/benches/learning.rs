@@ -7,6 +7,7 @@
 
 use hoiho::learner::{learn_all, learn_suffix, LearnConfig};
 use hoiho::phases::base::{self, BaseConfig};
+use hoiho::phases::sets::{build_sets, SetsConfig};
 use hoiho::phases::{classes, merge};
 use hoiho::training::{Observation, SuffixTraining, TrainingSet};
 use hoiho_devkit::bench::{Harness, Throughput};
@@ -75,12 +76,26 @@ fn bench_phases(h: &mut Harness) {
     });
 }
 
+fn bench_sets(h: &mut Harness) {
+    // The sets phase in isolation, on the pool the real pipeline would
+    // hand it (generate + merge + classes, deduped).
+    let st = figure4();
+    let mut pool = base::generate(&st, &BaseConfig::default());
+    pool.extend(merge::merge(&pool));
+    pool.extend(classes::embed_classes(&pool, &st.hosts));
+    let mut seen = std::collections::BTreeSet::new();
+    pool.retain(|r| seen.insert(r.to_string()));
+    h.bench_function("learn/sets_figure4", |b| {
+        b.iter(|| black_box(build_sets(black_box(&pool), &st.hosts, &SetsConfig::default())))
+    });
+}
+
 fn bench_learn_suffix(h: &mut Harness) {
     let fig4 = figure4();
     h.bench_function("learn/suffix_figure4", |b| {
         b.iter(|| black_box(learn_suffix(black_box(&fig4), &LearnConfig::default())))
     });
-    for n in [100usize, 400] {
+    for n in [100usize, 400, 800] {
         let st = big_suffix(n);
         let mut g = h.benchmark_group("learn/suffix_scale");
         g.throughput(Throughput::Elements(n as u64));
@@ -119,6 +134,7 @@ fn main() {
     let mut h = Harness::new("learning");
     bench_base_generation(&mut h);
     bench_phases(&mut h);
+    bench_sets(&mut h);
     bench_learn_suffix(&mut h);
     bench_learn_snapshot(&mut h);
     h.finish();

@@ -4,6 +4,7 @@
 //! Runs on the devkit micro-benchmark harness; results land in
 //! `BENCH_regex_match.json` at the workspace root.
 
+use hoiho::regex::CompiledRegex;
 use hoiho::Regex;
 use hoiho_devkit::bench::{BatchSize, Harness, Throughput};
 use std::hint::black_box;
@@ -41,6 +42,15 @@ fn bench_parse(h: &mut Harness) {
             }
         })
     });
+    // One-time lowering cost the compiled hot paths amortise.
+    let regexes: Vec<Regex> = REGEXES.iter().map(|s| Regex::parse(s).unwrap()).collect();
+    h.bench_function("regex/compile_paper_set", |b| {
+        b.iter(|| {
+            for r in &regexes {
+                black_box(CompiledRegex::compile(black_box(r)));
+            }
+        })
+    });
 }
 
 fn bench_match(h: &mut Harness) {
@@ -61,6 +71,20 @@ fn bench_match(h: &mut Harness) {
             black_box(hits)
         })
     });
+    let programs: Vec<CompiledRegex> = regexes.iter().map(CompiledRegex::compile).collect();
+    g.bench_function("find_all_pairs_compiled", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &programs {
+                for h in &hosts {
+                    if p.find(black_box(h)).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
     g.finish();
 }
 
@@ -74,6 +98,18 @@ fn bench_extract(h: &mut Harness) {
             let mut sum = 0u64;
             for h in &hosts {
                 if let Some(d) = r.extract(black_box(h)) {
+                    sum += d.len() as u64;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    let p = CompiledRegex::compile(&r);
+    g.bench_function("single_regex_corpus_compiled", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for h in &hosts {
+                if let Some(d) = p.extract(black_box(h)) {
                     sum += d.len() as u64;
                 }
             }

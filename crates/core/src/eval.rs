@@ -17,7 +17,7 @@
 
 use crate::apparent::congruence;
 use crate::iputil::overlaps_any;
-use crate::regex::Regex;
+use crate::regex::{CompiledRegex, MatchResult, Regex};
 use crate::training::HostObs;
 use std::collections::BTreeSet;
 
@@ -89,7 +89,7 @@ impl Counts {
         self.tp + self.fp + self.fnn + self.tn
     }
 
-    fn record(&mut self, host: &HostObs, outcome: Outcome) {
+    pub(crate) fn record(&mut self, host: &HostObs, outcome: Outcome) {
         match outcome {
             Outcome::TruePositive(v) => {
                 self.tp += 1;
@@ -106,25 +106,32 @@ impl Counts {
     }
 }
 
-/// Classifies one hostname against an ordered list of regexes
-/// (first-match-wins, the semantics of a convention set).
-pub fn classify_host(regexes: &[Regex], host: &HostObs) -> Outcome {
-    for r in regexes {
-        let Some(m) = r.find(&host.hostname) else { continue };
-        let Some(&(s, e)) = m.captures.first() else { continue };
-        let digits = &host.hostname[s..e];
-        // Extracted numbers longer than an u32 can never be ASNs; treat
-        // them as incongruent extractions.
-        let value = digits.parse::<u64>().unwrap_or(u64::MAX);
-        let value32 = u32::try_from(value.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
-        if overlaps_any(&host.ip_spans, s, e) {
-            return Outcome::FalsePositive(value32);
-        }
-        if congruence(digits, host.training_asn).is_congruent() {
-            return Outcome::TruePositive(value32);
-        }
+/// The §3.1 outcome once a regex has matched `host` with a capture at
+/// byte range `s..e`.
+fn classify_capture(host: &HostObs, s: usize, e: usize) -> Outcome {
+    let digits = &host.hostname[s..e];
+    // Extracted numbers longer than an u32 can never be ASNs; treat
+    // them as incongruent extractions.
+    let value = digits.parse::<u64>().unwrap_or(u64::MAX);
+    let value32 = u32::try_from(value.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+    if overlaps_any(&host.ip_spans, s, e) {
         return Outcome::FalsePositive(value32);
     }
+    if congruence(digits, host.training_asn).is_congruent() {
+        return Outcome::TruePositive(value32);
+    }
+    Outcome::FalsePositive(value32)
+}
+
+/// A match decides the host's outcome only if it captured something; a
+/// captureless match falls through to the next regex in the set.
+fn capture_outcome(m: &MatchResult, host: &HostObs) -> Option<Outcome> {
+    let &(s, e) = m.captures.first()?;
+    Some(classify_capture(host, s, e))
+}
+
+/// The outcome of a hostname no regex in the set claimed.
+pub fn negative_outcome(host: &HostObs) -> Outcome {
     if host.has_apparent() {
         Outcome::FalseNegative
     } else {
@@ -132,11 +139,50 @@ pub fn classify_host(regexes: &[Regex], host: &HostObs) -> Outcome {
     }
 }
 
+/// Classifies one hostname against an ordered list of regexes
+/// (first-match-wins, the semantics of a convention set).
+pub fn classify_host(regexes: &[Regex], host: &HostObs) -> Outcome {
+    for r in regexes {
+        let Some(m) = r.find(&host.hostname) else { continue };
+        if let Some(o) = capture_outcome(&m, host) {
+            return o;
+        }
+    }
+    negative_outcome(host)
+}
+
+/// [`classify_host`] over compiled programs.
+pub fn classify_host_compiled(programs: &[CompiledRegex], host: &HostObs) -> Outcome {
+    for p in programs {
+        let Some(m) = p.find(&host.hostname) else { continue };
+        if let Some(o) = capture_outcome(&m, host) {
+            return o;
+        }
+    }
+    negative_outcome(host)
+}
+
+/// The per-regex "column cell" of the learner's outcome matrix: `Some`
+/// exactly when `program` would decide this host's outcome in a set
+/// (matched with a capture), `None` when the set falls through.
+pub fn regex_hit(program: &CompiledRegex, host: &HostObs) -> Option<Outcome> {
+    capture_outcome(&program.find(&host.hostname)?, host)
+}
+
 /// Evaluates an ordered regex list over a hostname set.
 pub fn evaluate(regexes: &[Regex], hosts: &[HostObs]) -> Counts {
     let mut c = Counts::default();
     for h in hosts {
         c.record(h, classify_host(regexes, h));
+    }
+    c
+}
+
+/// [`evaluate`] over compiled programs.
+pub fn evaluate_compiled(programs: &[CompiledRegex], hosts: &[HostObs]) -> Counts {
+    let mut c = Counts::default();
+    for h in hosts {
+        c.record(h, classify_host_compiled(programs, h));
     }
     c
 }

@@ -116,7 +116,16 @@ pub fn learn_suffix_traced(
         SetsConfig { max_set_size: 1, max_starts: 0, ..cfg.sets }
     };
     let candidates = {
-        let _s = span("sets");
+        // The sets span also records the workload size, so `--trace`
+        // output shows what the outcome matrix amortised.
+        let pool_size = pool.len().to_string();
+        let host_count = st.hosts.len().to_string();
+        let _s = tracer.map(|t| {
+            t.span(
+                "sets",
+                &[("suffix", suffix), ("pool_size", &pool_size), ("hosts", &host_count)],
+            )
+        });
         build_sets(&pool, &st.hosts, &sets_cfg)
     };
     let best = {
@@ -343,6 +352,11 @@ mod tests {
                     .count();
                 assert_eq!(n, 1, "expected exactly one {phase} span for {suffix}");
             }
+        }
+        // The sets span also records its workload size.
+        for s in spans.iter().filter(|s| s.name == "sets") {
+            assert!(s.args.iter().any(|(k, v)| k == "pool_size" && v.parse::<usize>().is_ok()));
+            assert!(s.args.iter().any(|(k, v)| k == "hosts" && v.parse::<usize>().is_ok()));
         }
         // Untraced runs stay untraced.
         let silent = Tracer::new();

@@ -8,10 +8,31 @@
 //! improves. Unlike the 2019 router-name work, a combination is kept even
 //! if it lowers PPV — discrepancies between training and embedded ASNs
 //! are the signal §5 consumes, so coverage wins (§3.5).
+//!
+//! ## The outcome matrix
+//!
+//! Set semantics are first-match-wins per hostname, so a trial set's
+//! `Counts` is fully determined by each member regex's *individual*
+//! per-host outcome. The default fast path therefore evaluates every
+//! pooled regex exactly once per host — through its compiled program
+//! ([`crate::regex::CompiledRegex`]) — into a column of
+//! `Option<Outcome>` cells (`Some` iff the regex matched with a
+//! capture, which is when it would claim the host in a set). Ranking
+//! folds each column into `Counts`, and greedy extension becomes an
+//! incremental merge: only hosts the current set leaves unresolved are
+//! consulted when scoring a trial, and the trial's ATP is the current
+//! set's resolved tally plus the candidate column's contribution on
+//! those hosts. No matcher runs during greedy extension at all.
+//!
+//! The direct path (`outcome_matrix: false`) re-evaluates every trial
+//! set with the interpreter, exactly as before; the equivalence test in
+//! `tests/compiled_equiv.rs` pins both paths to identical output.
 
-use crate::eval::{evaluate, evaluate_one, Counts};
-use crate::regex::Regex;
+use crate::eval::{evaluate, evaluate_one, negative_outcome, regex_hit, Counts, Outcome};
+use crate::regex::{CompiledRegex, Regex};
 use crate::training::HostObs;
+use hoiho_obs::Counter;
+use std::sync::OnceLock;
 
 /// A candidate naming convention: an ordered regex list with its
 /// evaluation over the suffix's hostnames.
@@ -32,12 +53,31 @@ pub struct SetsConfig {
     pub max_set_size: usize,
     /// Cap on ranked regexes considered for extension.
     pub max_pool: usize,
+    /// Use the memoized outcome-matrix fast path (default). The slow
+    /// direct path re-evaluates every greedy trial with the
+    /// interpreter; both produce identical output.
+    pub outcome_matrix: bool,
 }
 
 impl Default for SetsConfig {
     fn default() -> Self {
-        SetsConfig { max_starts: 12, max_set_size: 6, max_pool: 200 }
+        SetsConfig { max_starts: 12, max_set_size: 6, max_pool: 200, outcome_matrix: true }
     }
+}
+
+/// Process-global `hoiho_learn_evaluations_total{phase}` counters:
+/// `rank` counts one evaluation per pooled regex (one column build on
+/// the fast path), `greedy` one per trial-set scoring. Visible over the
+/// serving `METRICS` verb and summarised by `hoiho learn --trace`.
+fn eval_counters() -> &'static (Counter, Counter) {
+    static COUNTERS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = hoiho_obs::global().registry();
+        (
+            reg.counter("hoiho_learn_evaluations_total", &[("phase", "rank")]),
+            reg.counter("hoiho_learn_evaluations_total", &[("phase", "greedy")]),
+        )
+    })
 }
 
 /// Ranks `pool` by ATP and returns candidate conventions: every ranked
@@ -46,12 +86,28 @@ impl Default for SetsConfig {
 /// Regexes that never achieve a true positive are dropped before
 /// ranking — they cannot contribute to any convention.
 pub fn build_sets(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
-    // Evaluate and rank individual regexes.
-    let mut ranked: Vec<(Regex, Counts)> = pool
-        .iter()
-        .map(|r| (r.clone(), evaluate_one(r, hosts)))
-        .filter(|(_, c)| c.tp > 0)
-        .collect();
+    eval_counters().0.add(pool.len() as u64);
+    let mut out = if cfg.outcome_matrix {
+        build_sets_matrix(pool, hosts, cfg)
+    } else {
+        build_sets_direct(pool, hosts, cfg)
+    };
+
+    // Dedup identical conventions (two seeds can converge).
+    out.sort_by(|a, b| {
+        rank_order(&a.counts, &b.counts)
+            .then_with(|| a.regexes.len().cmp(&b.regexes.len()))
+            .then_with(|| memorised(&a.regexes).cmp(&memorised(&b.regexes)))
+            .then_with(|| strength(&b.regexes).cmp(&strength(&a.regexes)))
+            .then_with(|| key(&a.regexes).cmp(&key(&b.regexes)))
+    });
+    out.dedup_by(|a, b| a.regexes == b.regexes);
+    out
+}
+
+/// Rank-sorts evaluated candidates, in place, with the anti-over-fitting
+/// tie-breaks, then applies the pool cap and drops duplicates.
+fn rank_and_prune<T>(ranked: &mut Vec<(Regex, Counts, T)>, cfg: &SetsConfig) {
     ranked.sort_by(|a, b| {
         rank_order(&a.1, &b.1)
             // Anti-over-fitting tie-breaks: less memorised text, then
@@ -62,20 +118,112 @@ pub fn build_sets(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<Ca
     });
     ranked.truncate(cfg.max_pool);
     ranked.dedup_by(|a, b| a.0 == b.0);
+}
+
+/// Fast path: one compiled evaluation per (regex, host), then pure
+/// column composition.
+fn build_sets_matrix(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
+    let greedy_evals = &eval_counters().1;
+
+    // Layer 1: compile each pooled regex once. Layer 2: evaluate it
+    // exactly once per host into its outcome column.
+    let columns: Vec<Vec<Option<Outcome>>> = pool
+        .iter()
+        .map(|r| {
+            let p = CompiledRegex::compile(r);
+            hosts.iter().map(|h| regex_hit(&p, h)).collect()
+        })
+        .collect();
+
+    let mut ranked: Vec<(Regex, Counts, usize)> = pool
+        .iter()
+        .enumerate()
+        .map(|(ci, r)| (r.clone(), column_counts(&columns[ci], hosts), ci))
+        .filter(|(_, c, _)| c.tp > 0)
+        .collect();
+    rank_and_prune(&mut ranked, cfg);
 
     let mut out: Vec<CandidateNc> = ranked
         .iter()
-        .map(|(r, c)| CandidateNc { regexes: vec![r.clone()], counts: c.clone() })
+        .map(|(r, c, _)| CandidateNc { regexes: vec![r.clone()], counts: c.clone() })
+        .collect();
+
+    // Greedy combination from each of the top `max_starts` seeds,
+    // merging candidate columns over the still-unresolved hosts only.
+    for i in 0..ranked.len().min(cfg.max_starts) {
+        let mut cur: Vec<Regex> = vec![ranked[i].0.clone()];
+        let mut cur_counts = ranked[i].1.clone();
+        // First-match-wins state: resolved cells are the TP/FP hosts
+        // some member already claims; everything else is still open.
+        let mut resolved: Vec<Option<Outcome>> = columns[ranked[i].2].clone();
+        let mut unresolved: Vec<usize> =
+            (0..hosts.len()).filter(|&hi| resolved[hi].is_none()).collect();
+        let mut res_tp = i64::from(cur_counts.tp);
+        let mut res_fp = i64::from(cur_counts.fp);
+        for (r, _, cj) in ranked.iter().skip(i + 1) {
+            if cur.len() >= cfg.max_set_size {
+                break;
+            }
+            greedy_evals.inc();
+            let col = &columns[*cj];
+            let (mut tp, mut fp, mut fnn) = (res_tp, res_fp, 0i64);
+            for &hi in &unresolved {
+                match col[hi] {
+                    Some(Outcome::TruePositive(_)) => tp += 1,
+                    Some(Outcome::FalsePositive(_)) => fp += 1,
+                    _ => {
+                        if hosts[hi].has_apparent() {
+                            fnn += 1;
+                        }
+                    }
+                }
+            }
+            if tp - (fp + fnn) > cur_counts.atp() {
+                cur.push(r.clone());
+                for &hi in &unresolved {
+                    if col[hi].is_some() {
+                        resolved[hi] = col[hi];
+                    }
+                }
+                unresolved.retain(|&hi| resolved[hi].is_none());
+                cur_counts = column_counts(&resolved, hosts);
+                res_tp = i64::from(cur_counts.tp);
+                res_fp = i64::from(cur_counts.fp);
+            }
+        }
+        if cur.len() > 1 {
+            out.push(CandidateNc { regexes: cur, counts: cur_counts });
+        }
+    }
+    out
+}
+
+/// Direct path: the pre-matrix algorithm, re-evaluating each trial set
+/// with the interpreter. Kept verbatim as the equivalence oracle.
+fn build_sets_direct(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
+    let greedy_evals = &eval_counters().1;
+
+    let mut ranked: Vec<(Regex, Counts, ())> = pool
+        .iter()
+        .map(|r| (r.clone(), evaluate_one(r, hosts), ()))
+        .filter(|(_, c, _)| c.tp > 0)
+        .collect();
+    rank_and_prune(&mut ranked, cfg);
+
+    let mut out: Vec<CandidateNc> = ranked
+        .iter()
+        .map(|(r, c, _)| CandidateNc { regexes: vec![r.clone()], counts: c.clone() })
         .collect();
 
     // Greedy combination from each of the top `max_starts` seeds.
     for i in 0..ranked.len().min(cfg.max_starts) {
         let mut cur: Vec<Regex> = vec![ranked[i].0.clone()];
         let mut cur_counts = ranked[i].1.clone();
-        for (r, _) in ranked.iter().skip(i + 1) {
+        for (r, _, ()) in ranked.iter().skip(i + 1) {
             if cur.len() >= cfg.max_set_size {
                 break;
             }
+            greedy_evals.inc();
             let mut trial = cur.clone();
             trial.push(r.clone());
             let c = evaluate(&trial, hosts);
@@ -88,17 +236,17 @@ pub fn build_sets(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<Ca
             out.push(CandidateNc { regexes: cur, counts: cur_counts });
         }
     }
-
-    // Dedup identical conventions (two seeds can converge).
-    out.sort_by(|a, b| {
-        rank_order(&a.counts, &b.counts)
-            .then_with(|| a.regexes.len().cmp(&b.regexes.len()))
-            .then_with(|| memorised(&a.regexes).cmp(&memorised(&b.regexes)))
-            .then_with(|| strength(&b.regexes).cmp(&strength(&a.regexes)))
-            .then_with(|| key(&a.regexes).cmp(&key(&b.regexes)))
-    });
-    out.dedup_by(|a, b| a.regexes == b.regexes);
     out
+}
+
+/// Folds a first-match-wins outcome column into `Counts`, filling
+/// unresolved hosts with their negative outcome (FN/TN).
+fn column_counts(col: &[Option<Outcome>], hosts: &[HostObs]) -> Counts {
+    let mut c = Counts::default();
+    for (hi, h) in hosts.iter().enumerate() {
+        c.record(h, col[hi].unwrap_or_else(|| negative_outcome(h)));
+    }
+    c
 }
 
 fn memorised(regexes: &[Regex]) -> usize {
@@ -228,5 +376,42 @@ mod tests {
         let cands = build_sets(&pool, &hs, &cfg);
         assert!(cands.iter().all(|c| c.regexes.len() <= 3));
         assert!(cands.iter().any(|c| c.regexes.len() == 3));
+    }
+
+    /// The matrix and direct paths are interchangeable on Figure 4
+    /// data: identical regex lists and identical full `Counts`.
+    #[test]
+    fn matrix_path_equals_direct_path() {
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.equinix\.com$"),
+            rx(r"^(\d+)\.sgw\.equinix\.com$"),
+            rx(r"^p(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"(\d+)-[a-z\d]+-ix\.equinix\.com$"),
+        ];
+        let hs = figure4_hosts();
+        let on = build_sets(&pool, &hs, &SetsConfig::default());
+        let off =
+            build_sets(&pool, &hs, &SetsConfig { outcome_matrix: false, ..SetsConfig::default() });
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.regexes, b.regexes);
+            assert_eq!(a.counts, b.counts);
+        }
+    }
+
+    /// The `hoiho_learn_evaluations_total` counters move when sets are
+    /// built (>= because other tests share the process-global registry).
+    #[test]
+    fn evaluation_counters_are_incremented() {
+        let (rank, greedy) = eval_counters();
+        let (rank0, greedy0) = (rank.get(), greedy.get());
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.equinix\.com$"),
+        ];
+        build_sets(&pool, &figure4_hosts(), &SetsConfig::default());
+        assert!(rank.get() >= rank0 + 2, "rank evals should count each pooled regex");
+        assert!(greedy.get() > greedy0, "greedy evals should count trial sets");
     }
 }

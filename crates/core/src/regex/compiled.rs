@@ -1,0 +1,542 @@
+//! Compiled form of a dialect regex: a flat program with precomputed
+//! byte-class bitmask tables and cheap pre-match rejects.
+//!
+//! The interpreter in [`super::matcher`] re-derives per-element facts on
+//! every call: `NotIn` used to copy its excluded set into a fresh `Vec`,
+//! classes re-test three range predicates per byte, and an unanchored
+//! regex blindly tries every start offset. Compilation hoists all of
+//! that to construction time:
+//!
+//! * every variable-width component (`\d+`, `[^X]+`, `[...]+`, `.+`,
+//!   and the `(\d+)` capture) lowers to a 256-bit [`ByteSet`] — one
+//!   shift+mask membership test per byte;
+//! * the **longest mandatory literal** becomes a prefilter: a hostname
+//!   that does not contain it cannot match, and is rejected by a
+//!   memchr-style first-byte scan before the matcher runs;
+//! * a regex ending `lit$` rejects hostnames that do not end with
+//!   `lit`;
+//! * an unanchored scan only tries start offsets whose first byte could
+//!   begin a match (the first body element's admissible byte set).
+//!
+//! All four are pure rejects or skip-aheads of starts that provably
+//! fail, so the compiled program is **bit-identical** to the
+//! interpreter: same leftmost match, same captures, same
+//! [`find_trace`](CompiledRegex::find_trace) spans. The property suite
+//! in `tests/properties.rs` and the equivalence tests in
+//! `tests/compiled_equiv.rs` pin this down.
+
+use super::ast::{Elem, Regex};
+use super::matcher::MatchResult;
+
+/// A 256-bit byte membership table: one bit per byte value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ByteSet([u64; 4]);
+
+impl ByteSet {
+    pub(crate) const EMPTY: ByteSet = ByteSet([0; 4]);
+
+    fn insert(&mut self, b: u8) {
+        self.0[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    fn from_pred(pred: impl Fn(u8) -> bool) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        let mut b = 0u16;
+        while b <= 255 {
+            if pred(b as u8) {
+                s.insert(b as u8);
+            }
+            b += 1;
+        }
+        s
+    }
+
+    /// The ASCII digit set (`\d`).
+    fn digits() -> ByteSet {
+        ByteSet::from_pred(|b| b.is_ascii_digit())
+    }
+
+    /// True when every byte value is a member.
+    fn is_full(&self) -> bool {
+        self.0 == [u64::MAX; 4]
+    }
+
+    #[inline(always)]
+    pub(crate) fn contains(&self, b: u8) -> bool {
+        (self.0[(b >> 6) as usize] >> (b & 63)) & 1 != 0
+    }
+}
+
+/// One instruction of the flat program. Ops align one-to-one with the
+/// source [`Elem`] list so trace spans keep the same indices.
+#[derive(Debug, Clone)]
+enum COp {
+    /// `^` (only meaningful at index 0; elsewhere matches only pos 0).
+    Start,
+    /// `$`.
+    End,
+    /// A literal byte string.
+    Lit(Box<[u8]>),
+    /// `(?:a|b)` / `(?:a|b)?`, options in the AST's sorted order.
+    Alt { opts: Box<[Box<[u8]>]>, optional: bool },
+    /// `(\d+)` — greedy one-or-more over the digit set, capturing.
+    Capture(ByteSet),
+    /// `\d+` / `[^X]+` / `[...]+` / `.+` — greedy one-or-more over a
+    /// precomputed byte set.
+    Set(ByteSet),
+}
+
+impl COp {
+    fn lower(e: &Elem) -> COp {
+        match e {
+            Elem::StartAnchor => COp::Start,
+            Elem::EndAnchor => COp::End,
+            Elem::Lit(l) => COp::Lit(l.as_bytes().into()),
+            Elem::Alt(a) => COp::Alt {
+                opts: a.opts.iter().map(|o| Box::<[u8]>::from(o.as_bytes())).collect(),
+                optional: a.optional,
+            },
+            Elem::CaptureDigits => COp::Capture(ByteSet::digits()),
+            Elem::Digits => COp::Set(ByteSet::digits()),
+            Elem::NotIn(set) => {
+                let excluded = set.as_bytes();
+                COp::Set(ByteSet::from_pred(|b| !excluded.contains(&b)))
+            }
+            Elem::Class(cls) => COp::Set(ByteSet::from_pred(|b| cls.contains(b))),
+            Elem::Any => COp::Set(ByteSet::from_pred(|_| true)),
+        }
+    }
+}
+
+/// A [`Regex`] lowered to a flat program, ready for the hot path.
+///
+/// Compile once (e.g. at model load, or once per pooled candidate in
+/// the learner), then call [`find`](CompiledRegex::find) /
+/// [`extract`](CompiledRegex::extract) as often as needed.
+#[derive(Debug, Clone)]
+pub struct CompiledRegex {
+    ops: Vec<COp>,
+    /// True when the program must match from offset 0 (`^`).
+    must_start: bool,
+    /// Longest mandatory literal; a hostname not containing it cannot
+    /// match.
+    prefilter: Option<Box<[u8]>>,
+    /// Literal immediately before a final `$`; a hostname not ending
+    /// with it cannot match.
+    suffix_lit: Option<Box<[u8]>>,
+    /// Admissible first byte of an unanchored match; `None` means any
+    /// offset must be tried (optional first element, `$`-only body, or
+    /// an empty program).
+    start_set: Option<ByteSet>,
+}
+
+impl CompiledRegex {
+    /// Lowers `regex` into a compiled program.
+    pub fn compile(regex: &Regex) -> CompiledRegex {
+        let elems = regex.elems();
+        let ops: Vec<COp> = elems.iter().map(COp::lower).collect();
+        let must_start = matches!(elems.first(), Some(Elem::StartAnchor));
+
+        // Longest mandatory literal anywhere in the element list. Every
+        // element is consumed in sequence, so each `Lit` must appear in
+        // any matching hostname. Only worth it for unanchored programs,
+        // where the reject replaces a scan over every start offset; a
+        // `^`-anchored program fails its single attempt at least as
+        // cheaply as the prefilter scan itself.
+        let prefilter = if must_start {
+            None
+        } else {
+            elems
+                .iter()
+                .filter_map(|e| match e {
+                    Elem::Lit(l) if !l.is_empty() => Some(l.as_bytes()),
+                    _ => None,
+                })
+                .max_by_key(|l| l.len())
+                .map(Box::<[u8]>::from)
+        };
+
+        // `lit$` tail: the match must consume `lit` through the end.
+        let suffix_lit = match elems {
+            [.., Elem::Lit(l), Elem::EndAnchor] if !l.is_empty() => {
+                Some(Box::<[u8]>::from(l.as_bytes()))
+            }
+            _ => None,
+        };
+
+        // First-byte set of the first body element, when it is
+        // mandatory and consuming (then a match cannot begin at a byte
+        // outside the set, and cannot begin at end-of-string either).
+        let body_first = if must_start { None } else { elems.first() };
+        let start_set = match body_first {
+            Some(Elem::Lit(l)) => {
+                let mut s = ByteSet::EMPTY;
+                s.insert(l.as_bytes()[0]);
+                Some(s)
+            }
+            Some(Elem::Alt(a)) if !a.optional => {
+                let mut s = ByteSet::EMPTY;
+                for o in &a.opts {
+                    s.insert(o.as_bytes()[0]);
+                }
+                Some(s)
+            }
+            Some(e @ (Elem::CaptureDigits
+            | Elem::Digits
+            | Elem::NotIn(_)
+            | Elem::Class(_)
+            | Elem::Any)) => match COp::lower(e) {
+                COp::Capture(s) | COp::Set(s) if !s.is_full() => Some(s),
+                _ => None,
+            },
+            _ => None,
+        };
+
+        CompiledRegex { ops, must_start, prefilter, suffix_lit, start_set }
+    }
+
+    /// Matches `hostname` — same leftmost-start semantics as
+    /// [`Regex::find`].
+    pub fn find(&self, hostname: &str) -> Option<MatchResult> {
+        self.find_impl(hostname, None)
+    }
+
+    /// Like [`Regex::find_trace`]: also reports the byte span each
+    /// element consumed, aligned with the source element list.
+    pub fn find_trace(&self, hostname: &str) -> Option<(MatchResult, Vec<(usize, usize)>)> {
+        let mut trace = vec![(0usize, 0usize); self.ops.len()];
+        let m = self.find_impl(hostname, Some(&mut trace))?;
+        Some((m, trace))
+    }
+
+    /// True if the program matches `hostname` at all.
+    pub fn is_match(&self, hostname: &str) -> bool {
+        self.find(hostname).is_some()
+    }
+
+    /// The text of the first capture of the first match.
+    pub fn extract<'h>(&self, hostname: &'h str) -> Option<&'h str> {
+        let m = self.find(hostname)?;
+        m.captures.first().map(|&(s, e)| &hostname[s..e])
+    }
+
+    fn find_impl(
+        &self,
+        hostname: &str,
+        mut trace: Option<&mut [(usize, usize)]>,
+    ) -> Option<MatchResult> {
+        let h = hostname.as_bytes();
+        // Pure rejects: each only skips hostnames the program provably
+        // cannot match, keeping results identical to the interpreter.
+        if let Some(lit) = &self.prefilter {
+            if !contains_lit(h, lit) {
+                return None;
+            }
+        }
+        if let Some(tail) = &self.suffix_lit {
+            if h.len() < tail.len() || h[h.len() - tail.len()..] != tail[..] {
+                return None;
+            }
+        }
+        let mut caps: Vec<(usize, usize)> = Vec::new();
+        if self.must_start {
+            let tr = trace.as_deref_mut();
+            if let Some(end) = match_ops(&self.ops[1..], 1, h, 0, &mut caps, tr) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t[0] = (0, 0);
+                }
+                return Some(MatchResult { span: (0, end), captures: caps });
+            }
+            return None;
+        }
+        if let Some(set) = &self.start_set {
+            // The first element consumes a byte from `set`, so only
+            // such offsets (and never end-of-string) can start a match.
+            for start in 0..h.len() {
+                if !set.contains(h[start]) {
+                    continue;
+                }
+                caps.clear();
+                let tr = trace.as_deref_mut();
+                if let Some(end) = match_ops(&self.ops, 0, h, start, &mut caps, tr) {
+                    return Some(MatchResult { span: (start, end), captures: caps });
+                }
+            }
+            return None;
+        }
+        for start in 0..=h.len() {
+            caps.clear();
+            let tr = trace.as_deref_mut();
+            if let Some(end) = match_ops(&self.ops, 0, h, start, &mut caps, tr) {
+                return Some(MatchResult { span: (start, end), captures: caps });
+            }
+        }
+        None
+    }
+}
+
+impl Regex {
+    /// Lowers this regex into its compiled form (see [`CompiledRegex`]).
+    pub fn compiled(&self) -> CompiledRegex {
+        CompiledRegex::compile(self)
+    }
+}
+
+/// Substring search specialised for short needles: scan for the first
+/// byte (the iterator `position` vectorises), then verify the rest.
+fn contains_lit(h: &[u8], lit: &[u8]) -> bool {
+    let n = lit.len();
+    if n == 0 {
+        return true;
+    }
+    if n > h.len() {
+        return false;
+    }
+    let first = lit[0];
+    let last_start = h.len() - n;
+    let mut base = 0usize;
+    while base <= last_start {
+        match h[base..=last_start].iter().position(|&b| b == first) {
+            Some(off) => {
+                let i = base + off;
+                if h[i..i + n] == lit[..] {
+                    return true;
+                }
+                base = i + 1;
+            }
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Length of the run of bytes from `set` starting at `pos`.
+#[inline]
+fn run_len(h: &[u8], pos: usize, set: &ByteSet) -> usize {
+    h[pos..].iter().take_while(|&&c| set.contains(c)).count()
+}
+
+/// Mirrors `matcher::match_seq` over the flat program: a walk with
+/// greedy one-or-more components and backtracking on failure. `idx`
+/// addresses `ops[0]` within the full program for trace writes.
+fn match_ops(
+    ops: &[COp],
+    idx: usize,
+    h: &[u8],
+    pos: usize,
+    caps: &mut Vec<(usize, usize)>,
+    mut trace: Option<&mut [(usize, usize)]>,
+) -> Option<usize> {
+    let Some((first, rest)) = ops.split_first() else {
+        return Some(pos);
+    };
+    // Records this op's span on success and propagates the end.
+    macro_rules! ok {
+        ($consumed_end:expr, $end:expr) => {{
+            if let Some(t) = trace.as_deref_mut() {
+                t[idx] = (pos, $consumed_end);
+            }
+            return Some($end);
+        }};
+    }
+    match first {
+        COp::Start => {
+            if pos == 0 {
+                if let Some(end) = match_ops(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        COp::End => {
+            if pos == h.len() {
+                if let Some(end) = match_ops(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        COp::Lit(l) => {
+            if h.len() - pos >= l.len() && h[pos..pos + l.len()] == l[..] {
+                let np = pos + l.len();
+                if let Some(end) = match_ops(rest, idx + 1, h, np, caps, trace.as_deref_mut()) {
+                    ok!(np, end);
+                }
+            }
+            None
+        }
+        COp::Alt { opts, optional } => {
+            for opt in opts.iter() {
+                if h.len() - pos >= opt.len() && h[pos..pos + opt.len()] == opt[..] {
+                    let np = pos + opt.len();
+                    if let Some(end) = match_ops(rest, idx + 1, h, np, caps, trace.as_deref_mut())
+                    {
+                        ok!(np, end);
+                    }
+                }
+            }
+            if *optional {
+                if let Some(end) = match_ops(rest, idx + 1, h, pos, caps, trace.as_deref_mut()) {
+                    ok!(pos, end);
+                }
+            }
+            None
+        }
+        COp::Capture(set) => {
+            let max = run_len(h, pos, set);
+            for take in (1..=max).rev() {
+                caps.push((pos, pos + take));
+                if let Some(end) =
+                    match_ops(rest, idx + 1, h, pos + take, caps, trace.as_deref_mut())
+                {
+                    ok!(pos + take, end);
+                }
+                caps.pop();
+            }
+            None
+        }
+        COp::Set(set) => {
+            let max = run_len(h, pos, set);
+            for take in (1..=max).rev() {
+                let mark = caps.len();
+                if let Some(end) =
+                    match_ops(rest, idx + 1, h, pos + take, caps, trace.as_deref_mut())
+                {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t[idx] = (pos, pos + take);
+                    }
+                    return Some(end);
+                }
+                caps.truncate(mark);
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    /// Interpreter and compiled program agree on find, trace, extract.
+    fn assert_agrees(r: &Regex, host: &str) {
+        let c = CompiledRegex::compile(r);
+        assert_eq!(c.find(host), r.find(host), "{r} on {host:?}");
+        assert_eq!(c.find_trace(host), r.find_trace(host), "{r} on {host:?} (trace)");
+        assert_eq!(c.extract(host), r.extract(host), "{r} on {host:?} (extract)");
+        assert_eq!(c.is_match(host), r.is_match(host), "{r} on {host:?} (is_match)");
+    }
+
+    #[test]
+    fn byteset_membership() {
+        let digits = ByteSet::digits();
+        for b in 0..=255u8 {
+            assert_eq!(digits.contains(b), b.is_ascii_digit(), "byte {b}");
+        }
+        assert!(ByteSet::from_pred(|_| true).is_full());
+        assert!(!ByteSet::EMPTY.is_full());
+    }
+
+    #[test]
+    fn paper_regexes_agree_on_corpus() {
+        let regexes = [
+            r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$",
+            r"^(\d+)-.+\.equinix\.com$",
+            r"as(\d+)\.nts\.ch$",
+            r"^(\d+)\.[a-z]+\d+\.example\.com$",
+            r"^(\d+)-[^-]+-[^-]+\.equinix\.com$",
+            r"[a-z\d]+\.as(\d+)\.example\.com$",
+        ];
+        let hosts = [
+            "p714.sgw.equinix.com",
+            "s24115.tyo.equinix.com",
+            "24482-fr5-ix.equinix.com",
+            "ge0-2.01.p.ost.ch.as15576.nts.ch",
+            "netflix.zh2.corp.eu.equinix.com",
+            "605.pop7.example.com",
+            "abc1.as100.example.com",
+            "",
+            "equinix.com",
+            "x.y",
+        ];
+        for r in &regexes {
+            let r = rx(r);
+            for h in &hosts {
+                assert_agrees(&r, h);
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_rejects_without_running_the_program() {
+        let c = CompiledRegex::compile(&rx(r"as(\d+)\.nts\.ch$"));
+        assert_eq!(c.prefilter.as_deref(), Some(&b".nts.ch"[..]));
+        assert!(c.find("core1.example.org").is_none());
+        assert!(c.find("as100.nts.ch").is_some());
+    }
+
+    #[test]
+    fn suffix_reject_respects_end_anchor() {
+        let c = CompiledRegex::compile(&rx(r"^(\d+)\.x\.com$"));
+        assert_eq!(c.suffix_lit.as_deref(), Some(&b".x.com"[..]));
+        assert!(c.find("714.x.com").is_some());
+        assert!(c.find("714.x.com.evil.net").is_none());
+    }
+
+    #[test]
+    fn start_set_prunes_only_impossible_offsets() {
+        // `as(\d+)` can only start at an `a`.
+        let r = rx(r"as(\d+)");
+        let c = CompiledRegex::compile(&r);
+        assert!(c.start_set.is_some());
+        for host in ["xxas123yy", "as1", "bs2", "aas5", "a", ""] {
+            assert_agrees(&r, host);
+        }
+    }
+
+    #[test]
+    fn optional_first_element_scans_every_offset() {
+        // An optional alternation first: zero-width at any offset, so
+        // no start pruning is sound.
+        let r = rx(r"(?:p|s)?(\d+)");
+        let c = CompiledRegex::compile(&r);
+        assert!(c.start_set.is_none() || !matches!(r.elems()[0], Elem::Alt(_)));
+        for host in ["p714", "714", "x714", "sp12", ""] {
+            assert_agrees(&r, host);
+        }
+    }
+
+    #[test]
+    fn empty_regex_matches_empty_at_zero() {
+        let r = Regex::new(vec![]);
+        assert_agrees(&r, "");
+        assert_agrees(&r, "abc");
+    }
+
+    #[test]
+    fn contains_lit_cases() {
+        assert!(contains_lit(b"abcdef", b"cde"));
+        assert!(contains_lit(b"abcdef", b"abcdef"));
+        assert!(!contains_lit(b"abcdef", b"abcdefg"));
+        assert!(!contains_lit(b"abcdef", b"xyz"));
+        assert!(contains_lit(b"aab", b"ab"));
+        assert!(contains_lit(b"", b""));
+        assert!(contains_lit(b"x", b""));
+    }
+
+    #[test]
+    fn backtracking_and_captures_identical() {
+        // Digit run split across capture and literal backtracks the
+        // same way in both engines.
+        for r in [r"(\d+)1\.x$", r"^[^\.]+(\d+)$", r"(\d+)(\d+)x"] {
+            let r = rx(r);
+            for host in ["12341.x", "abc123", "1231x", "11x", "1x"] {
+                assert_agrees(&r, host);
+            }
+        }
+    }
+}

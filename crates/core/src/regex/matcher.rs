@@ -54,13 +54,10 @@ impl Regex {
             Some(Elem::StartAnchor) => (&elems[1..], 1usize, true),
             _ => (elems, 0usize, false),
         };
-        let starts: Box<dyn Iterator<Item = usize>> = if must_start {
-            Box::new(std::iter::once(0))
-        } else {
-            Box::new(0..=h.len())
-        };
+        // With `^` only offset 0 is tried; otherwise scan leftmost-first.
+        let last_start = if must_start { 0 } else { h.len() };
         let mut caps: Vec<(usize, usize)> = Vec::new();
-        for start in starts {
+        for start in 0..=last_start {
             caps.clear();
             let tr = trace.as_deref_mut();
             if let Some(end) = match_seq(body, base, h, start, &mut caps, tr) {
@@ -177,8 +174,8 @@ fn match_seq(
             backtrack_component(rest, idx, h, pos, caps, trace, |c| c.is_ascii_digit())
         }
         Elem::NotIn(set) => {
-            let set = set.as_bytes().to_vec();
-            backtrack_component(rest, idx, h, pos, caps, trace, move |c| !set.contains(&c))
+            let set = set.as_bytes();
+            backtrack_component(rest, idx, h, pos, caps, trace, |c| !set.contains(&c))
         }
         Elem::Class(cls) => {
             let cls = *cls;

@@ -21,11 +21,19 @@
 //! The AST round-trips through the textual form ([`Regex::parse`] /
 //! `Display`), which the property tests pin down.
 
+//!
+//! For hot paths (learner candidate evaluation, the serving tier) the
+//! AST can be lowered once into a [`CompiledRegex`] — a flat program
+//! with precomputed byte-class bitmasks and literal prefilters that is
+//! bit-identical to the interpreter but allocation-free per call.
+
 mod ast;
+mod compiled;
 mod matcher;
 mod parse;
 
 pub use ast::{AltGroup, CharClass, Elem, Regex};
+pub use compiled::CompiledRegex;
 pub use matcher::MatchResult;
 pub use parse::ParseError;
 

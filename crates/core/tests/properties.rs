@@ -8,7 +8,7 @@ use hoiho::apparent::{congruence, Congruence};
 use hoiho::editdist::damerau_levenshtein;
 use hoiho::eval::{evaluate, Counts};
 use hoiho::learner::{learn_all, LearnConfig};
-use hoiho::regex::{AltGroup, CharClass, Elem, Regex};
+use hoiho::regex::{AltGroup, CharClass, CompiledRegex, Elem, Regex};
 use hoiho::training::{HostObs, Observation, TrainingSet};
 use hoiho_devkit::prop::{any, just, one_of, string_of, vec_of, Gen};
 use hoiho_devkit::{prop_assert, prop_assert_eq, props};
@@ -147,6 +147,46 @@ props! {
             "{} failed to match its own instance {host:?}",
             r
         );
+    }
+
+    /// The compiled program is bit-identical to the interpreter — same
+    /// leftmost match, same captures, same trace spans — on the regex's
+    /// own sampled instances, on random noise, on noise-flanked
+    /// instances, and on the tricky fixed corpus (typo-congruent and
+    /// embedded-IP hostnames, oversized digit runs).
+    fn compiled_engine_equals_interpreter(
+        r in regex(),
+        seed in any::<u64>(),
+        noise in string_of("abcxyz0189.-", 0..=12usize),
+    ) {
+        let c = CompiledRegex::compile(&r);
+        let instance: String = r
+            .elems()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| instance_of(e, seed.wrapping_add(i as u64 * 131)))
+            .collect();
+        let flanked_front = format!("{noise}{instance}");
+        let flanked_back = format!("{instance}{noise}");
+        let hosts = [
+            instance.as_str(),
+            noise.as_str(),
+            flanked_front.as_str(),
+            flanked_back.as_str(),
+            // Typo-congruence corpus host (as24940 vs training 20940).
+            "as24940.akl-ix.nz",
+            // Embedded-IP overlap corpus host (Figure 3b).
+            "50-236-216-122-static.hfc.comcastbusiness.net",
+            // Digit run longer than any ASN.
+            "as99999999999.pop1.example.com",
+            "",
+        ];
+        for host in hosts {
+            prop_assert_eq!(c.find(host), r.find(host));
+            prop_assert_eq!(c.find_trace(host), r.find_trace(host));
+            prop_assert_eq!(c.extract(host), r.extract(host));
+            prop_assert_eq!(c.is_match(host), r.is_match(host));
+        }
     }
 
     /// Captures are digit runs inside the match span.

@@ -17,7 +17,7 @@
 
 use crate::model::Model;
 use hoiho::classify::NcClass;
-use hoiho::regex::Regex;
+use hoiho::regex::{CompiledRegex, Regex};
 use hoiho_obs::{Counter, Registry};
 use hoiho_psl::PublicSuffixList;
 use std::collections::HashMap;
@@ -30,7 +30,9 @@ use std::collections::HashMap;
 /// single-threaded on a 213-hostname batch before this floor existed.
 pub const MIN_BATCH_CHUNK: usize = 1024;
 
-/// One compiled convention, ready to serve lookups.
+/// One compiled convention, ready to serve lookups. The regex ASTs are
+/// kept for introspection; queries run the matcher programs, lowered
+/// once at engine construction (model load).
 #[derive(Debug, Clone)]
 pub struct CompiledNc {
     /// The suffix the convention is keyed under.
@@ -41,17 +43,24 @@ pub struct CompiledNc {
     pub single: bool,
     /// The regexes, in rank order.
     pub regexes: Vec<Regex>,
+    /// The compiled form of `regexes`, same order.
+    programs: Vec<CompiledRegex>,
 }
 
 impl CompiledNc {
+    fn new(suffix: String, class: NcClass, single: bool, regexes: Vec<Regex>) -> CompiledNc {
+        let programs = regexes.iter().map(CompiledRegex::compile).collect();
+        CompiledNc { suffix, class, single, regexes, programs }
+    }
+
     /// Runs the convention on an already-lowercased hostname —
     /// first-match-wins, mirroring [`hoiho::NamingConvention::extract`]:
     /// the first matching regex provides the digits, and digits that
     /// overflow the 32-bit ASN space yield `None` without trying later
     /// regexes.
     pub fn extract_lower(&self, lower: &str) -> Option<u32> {
-        for r in &self.regexes {
-            if let Some(digits) = r.extract(lower) {
+        for p in &self.programs {
+            if let Some(digits) = p.extract(lower) {
                 return digits.parse::<u32>().ok();
             }
         }
@@ -127,12 +136,7 @@ impl Engine {
         let ncs: Vec<CompiledNc> = model
             .entries
             .iter()
-            .map(|e| CompiledNc {
-                suffix: e.suffix.clone(),
-                class: e.class,
-                single: e.single,
-                regexes: e.regexes.clone(),
-            })
+            .map(|e| CompiledNc::new(e.suffix.clone(), e.class, e.single, e.regexes.clone()))
             .collect();
         let by_suffix =
             ncs.iter().enumerate().map(|(i, nc)| (nc.suffix.clone(), i)).collect();

@@ -17,6 +17,10 @@
 #   7. A learner-tracing smoke: `hoiho learn --sim --trace` must write
 #      Chrome trace JSON that parses (validated with python3 when
 #      available) and contains one span per learner phase.
+#   8. Advisory (warn-only): the learning bench against the committed
+#      BENCH_learning.json baseline via scripts/bench_diff.sh. This
+#      1-core host is too noisy to gate on, but a >20% median regression
+#      should be seen before merge, not after.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -123,6 +127,22 @@ else
     # No python3: at least require the Chrome trace envelope.
     grep -q '^{"traceEvents":\[' "$SMOKE_DIR/trace.json" \
         || { echo "tier1: --trace output lacks the traceEvents envelope" >&2; exit 1; }
+fi
+
+# --- advisory: learning bench vs the committed baseline (warn-only) ---
+# BENCH_OUT_DIR redirects the fresh results into the smoke dir so the
+# committed baseline at the repo root is never clobbered by the gate.
+if BENCH_OUT_DIR="$SMOKE_DIR" cargo bench --offline -p hoiho-bench --bench learning \
+    > "$SMOKE_DIR/bench.log" 2>&1; then
+    if ./scripts/bench_diff.sh BENCH_learning.json "$SMOKE_DIR/BENCH_learning.json" \
+        > "$SMOKE_DIR/bench_diff.log" 2>&1; then
+        echo "tier1: learning bench within threshold of the committed baseline"
+    else
+        cat "$SMOKE_DIR/bench_diff.log" >&2
+        echo "tier1: WARNING: learning bench regressed vs committed baseline (advisory on this 1-core host)" >&2
+    fi
+else
+    echo "tier1: WARNING: learning bench failed to run (advisory)" >&2
 fi
 
 echo "tier1: OK"
