@@ -10,9 +10,13 @@
 //!       [--shards N] [--cache-capacity K]          ... as an N-shard cluster with a
 //!                                                  bounded response cache
 //! hoiho-serve send <addr> <request...>             one protocol request, print reply
-//! hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]
+//! hoiho-serve batch <addr> [hostname ...]          one pipelined BATCH (args or stdin),
+//!                                                  print the answer lines
+//! hoiho-serve loadgen <addr> <hosts-file> [conns] [requests] [--batch N]
 //!                                                  drive a server, report lookups/sec,
-//!                                                  p50/p90/p99/max latency, error rate
+//!                                                  p50/p90/p99/max latency, error rate;
+//!                                                  --batch sends N hostnames per BATCH
+//!                                                  request instead of one per line
 //! ```
 //!
 //! The training file is the `hoiho` CLI's format (`asn addr hostname`
@@ -20,8 +24,8 @@
 //! and trains on bdrmapIT-inferred ownership, the workspace's standard
 //! netsim→learner pipeline. The server speaks the line protocol
 //! documented in `hoiho_serve::server` (hostname per line, plus
-//! `STATS`, `STATS SUFFIX`, `METRICS`, `EVENTS [n]`, `SHUTDOWN`;
-//! single-engine servers take `RELOAD <path>`, cluster servers
+//! `BATCH <n>`, `STATS`, `STATS SUFFIX`, `METRICS`, `EVENTS [n]`,
+//! `SHUTDOWN`; single-engine servers take `RELOAD <path>`, cluster servers
 //! `RELOAD SHARD <k> <path>` and `STATS CLUSTER`). A clustered server
 //! shares one observability context between the protocol layer and the
 //! shard router, so `METRICS` reports request counters, latency
@@ -43,15 +47,18 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Cluster flags accepted by `serve`, extracted before the positional
-/// match so they may appear anywhere after the subcommand.
+/// Flags extracted before the positional match so they may appear
+/// anywhere after the subcommand: `--shards`/`--cache-capacity` for
+/// `serve`, `--batch` for `loadgen`.
 #[derive(Default)]
 struct ClusterFlags {
     shards: Option<u32>,
     cache_capacity: Option<usize>,
+    batch: Option<usize>,
 }
 
-/// Splits `--shards N` / `--cache-capacity K` out of the argument list.
+/// Splits `--shards N` / `--cache-capacity K` / `--batch N` out of the
+/// argument list.
 fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), String> {
     let mut flags = ClusterFlags::default();
     let mut rest = Vec::new();
@@ -75,6 +82,19 @@ fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), Stri
                 it.next();
                 flags.cache_capacity =
                     Some(v.parse().map_err(|_| format!("bad --cache-capacity value {v:?}"))?);
+            }
+            "--batch" => {
+                let v = value("--batch")?;
+                it.next();
+                let n: usize =
+                    v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
+                if n == 0 || n > hoiho_serve::MAX_BATCH {
+                    return Err(format!(
+                        "--batch must be in 1..={}",
+                        hoiho_serve::MAX_BATCH
+                    ));
+                }
+                flags.batch = Some(n);
             }
             other => rest.push(other),
         }
@@ -100,6 +120,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if clustered && strs.first() != Some(&"serve") {
         return Err("--shards/--cache-capacity only apply to serve".into());
     }
+    if flags.batch.is_some() && strs.first() != Some(&"loadgen") {
+        return Err("--batch only applies to loadgen".into());
+    }
     match strs.as_slice() {
         ["save", "--sim", seed, out] => save_sim(seed, out),
         ["save", training, out] => save_file(training, out),
@@ -115,13 +138,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Err(_) => usage(),
         },
         ["send", addr, words @ ..] if !words.is_empty() => send(addr, &words.join(" ")),
-        ["loadgen", addr, hosts] => loadgen(addr, hosts, 4, 20_000),
+        ["batch", addr, hosts @ ..] => batch_cmd(addr, hosts),
+        ["loadgen", addr, hosts] => loadgen(addr, hosts, 4, 20_000, flags.batch),
         ["loadgen", addr, hosts, conns] => match conns.parse() {
-            Ok(c) => loadgen(addr, hosts, c, 20_000),
+            Ok(c) => loadgen(addr, hosts, c, 20_000, flags.batch),
             Err(_) => usage(),
         },
         ["loadgen", addr, hosts, conns, reqs] => match (conns.parse(), reqs.parse()) {
-            (Ok(c), Ok(r)) => loadgen(addr, hosts, c, r),
+            (Ok(c), Ok(r)) => loadgen(addr, hosts, c, r, flags.batch),
             _ => usage(),
         },
         _ => usage(),
@@ -137,7 +161,8 @@ fn usage() -> Result<(), String> {
     eprintln!("       hoiho-serve serve <model-file> <addr> [workers]");
     eprintln!("                         [--shards N] [--cache-capacity K]");
     eprintln!("       hoiho-serve send <addr> <request...>");
-    eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]");
+    eprintln!("       hoiho-serve batch <addr> [hostname ...]");
+    eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests] [--batch N]");
     Err("bad arguments".into())
 }
 
@@ -320,6 +345,42 @@ fn send(addr: &str, line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Sends the hostnames (args, or stdin when none) to a running server
+/// as pipelined `BATCH` requests and prints the answer lines. Inputs
+/// larger than the protocol's per-request cap are split into several
+/// `BATCH` requests transparently.
+fn batch_cmd(addr: &str, hosts: &[&str]) -> Result<(), String> {
+    let stdin_hosts: Vec<String>;
+    let hosts: Vec<&str> = if hosts.is_empty() {
+        let mut collected = Vec::new();
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| format!("read error: {e}"))?;
+            let h = line.trim();
+            if !h.is_empty() && !h.starts_with('#') {
+                collected.push(h.to_string());
+            }
+        }
+        stdin_hosts = collected;
+        stdin_hosts.iter().map(String::as_str).collect()
+    } else {
+        hosts.to_vec()
+    };
+    if hosts.is_empty() {
+        return Err("no hostnames to send".into());
+    }
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for chunk in hosts.chunks(hoiho_serve::MAX_BATCH) {
+        let lines = client.batch(chunk).map_err(|e| format!("batch failed: {e}"))?;
+        for l in lines {
+            writeln!(out, "{l}").ok();
+        }
+    }
+    Ok(())
+}
+
 /// Per-connection loadgen tallies: answer outcomes plus a mergeable
 /// latency histogram (`hoiho_obs`'s log-scale buckets — exactly what
 /// the server's own `hoiho_request_latency_ns` uses, so loadgen-side
@@ -333,8 +394,18 @@ struct ConnTally {
 
 /// Fires `requests` round-robin queries per connection across `conns`
 /// parallel connections and reports aggregate lookups/sec,
-/// p50/p90/p99/max per-request latency, and the protocol-error rate.
-fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Result<(), String> {
+/// p50/p90/p99/max latency, and the protocol-error rate. With
+/// `batch = Some(n)`, hostnames go `n` per `BATCH` request instead of
+/// one per line (lookups/sec still counts individual hostnames; the
+/// latency histogram then observes whole batches, so its quantiles are
+/// per-batch, not per-hostname).
+fn loadgen(
+    addr: &str,
+    hosts_path: &str,
+    conns: usize,
+    requests: usize,
+    batch: Option<usize>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(hosts_path)
         .map_err(|e| format!("cannot read {hosts_path}: {e}"))?;
     let hosts: Vec<&str> = text
@@ -360,12 +431,7 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
                         errors: 0,
                         lat: Histogram::unregistered(),
                     };
-                    for i in 0..requests {
-                        let h = hosts[(c + i * conns) % hosts.len()];
-                        let t = Instant::now();
-                        let resp =
-                            client.request(h).map_err(|e| format!("request failed: {e}"))?;
-                        tally.lat.observe(t.elapsed().as_nanos() as u64);
+                    let score = |tally: &mut ConnTally, resp: &str| {
                         if resp.starts_with("err\t") {
                             tally.errors += 1;
                         } else if resp
@@ -377,6 +443,39 @@ fn loadgen(addr: &str, hosts_path: &str, conns: usize, requests: usize) -> Resul
                             tally.hits += 1;
                         } else {
                             tally.misses += 1;
+                        }
+                    };
+                    match batch {
+                        Some(size) => {
+                            let mut sent = 0usize;
+                            let mut req = Vec::with_capacity(size);
+                            while sent < requests {
+                                let n = size.min(requests - sent);
+                                req.clear();
+                                req.extend(
+                                    (0..n).map(|j| hosts[(c + (sent + j) * conns) % hosts.len()]),
+                                );
+                                let t = Instant::now();
+                                let lines = client
+                                    .batch(&req)
+                                    .map_err(|e| format!("batch failed: {e}"))?;
+                                tally.lat.observe(t.elapsed().as_nanos() as u64);
+                                for l in &lines {
+                                    score(&mut tally, l);
+                                }
+                                sent += n;
+                            }
+                        }
+                        None => {
+                            for i in 0..requests {
+                                let h = hosts[(c + i * conns) % hosts.len()];
+                                let t = Instant::now();
+                                let resp = client
+                                    .request(h)
+                                    .map_err(|e| format!("request failed: {e}"))?;
+                                tally.lat.observe(t.elapsed().as_nanos() as u64);
+                                score(&mut tally, &resp);
+                            }
                         }
                     }
                     Ok(tally)

@@ -333,6 +333,14 @@ impl ShardRouter {
         self.compute(&hostname.to_ascii_lowercase()).1
     }
 
+    /// Answers a `BATCH` of hostnames in order. Each item goes through
+    /// the same cached [`ShardRouter::lookup`] path as a single query,
+    /// so cache accounting, route tags, and reload safety are identical
+    /// item for item.
+    pub fn lookup_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
+        hostnames.iter().map(|h| self.lookup(h)).collect()
+    }
+
     /// The routed compute path. Sampling order matters (module docs):
     /// epoch, then routing, then the shard's generation, then its
     /// engine — a racing reload leaves the tag stale, never the answer
@@ -489,6 +497,10 @@ impl ClusterBackend {
 impl Backend for ClusterBackend {
     fn query(&self, hostname: &str) -> QueryAnswer {
         self.router.lookup(hostname)
+    }
+
+    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
+        self.router.lookup_batch(hostnames)
     }
 
     fn model_len(&self) -> usize {

@@ -141,9 +141,26 @@ pub fn negative_outcome(host: &HostObs) -> Outcome {
 
 /// Classifies one hostname against an ordered list of regexes
 /// (first-match-wins, the semantics of a convention set).
+///
+/// `Regex::find` runs each regex's cached compiled program, so this no
+/// longer falls back to the tree-walking interpreter; the interpreter
+/// path survives as [`classify_host_interpreted`] for differential tests.
 pub fn classify_host(regexes: &[Regex], host: &HostObs) -> Outcome {
     for r in regexes {
         let Some(m) = r.find(&host.hostname) else { continue };
+        if let Some(o) = capture_outcome(&m, host) {
+            return o;
+        }
+    }
+    negative_outcome(host)
+}
+
+/// [`classify_host`] on the tree-walking interpreter. Exists only as the
+/// differential oracle for the compiled engine; production callers want
+/// [`classify_host`].
+pub fn classify_host_interpreted(regexes: &[Regex], host: &HostObs) -> Outcome {
+    for r in regexes {
+        let Some(m) = r.find_interpreted(&host.hostname) else { continue };
         if let Some(o) = capture_outcome(&m, host) {
             return o;
         }
@@ -174,6 +191,15 @@ pub fn evaluate(regexes: &[Regex], hosts: &[HostObs]) -> Counts {
     let mut c = Counts::default();
     for h in hosts {
         c.record(h, classify_host(regexes, h));
+    }
+    c
+}
+
+/// [`evaluate`] on the interpreter oracle ([`classify_host_interpreted`]).
+pub fn evaluate_interpreted(regexes: &[Regex], hosts: &[HostObs]) -> Counts {
+    let mut c = Counts::default();
+    for h in hosts {
+        c.record(h, classify_host_interpreted(regexes, h));
     }
     c
 }

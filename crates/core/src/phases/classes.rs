@@ -16,7 +16,7 @@
 //!
 //! The specialised regex is added to the pool; the original stays.
 
-use crate::regex::{CharClass, CompiledRegex, Elem, Regex};
+use crate::regex::{CharClass, Elem, Regex};
 use crate::training::HostObs;
 
 /// Maximum run-sequence length worth emitting; longer sequences are
@@ -46,9 +46,10 @@ pub fn specialise(regex: &Regex, hosts: &[HostObs]) -> Option<Regex> {
     // Collected matched substrings per element index.
     let mut matched: Vec<Vec<String>> = vec![Vec::new(); elems.len()];
     let mut any = false;
-    // One compile amortised over the whole hostname set; compiled
-    // traces are bit-identical to the interpreter's.
-    let program = CompiledRegex::compile(regex);
+    // The cached program amortises the compile over the whole hostname
+    // set (and across phases); compiled traces are bit-identical to the
+    // interpreter's.
+    let program = regex.program();
     for h in hosts {
         let Some((_, trace)) = program.find_trace(&h.hostname) else { continue };
         any = true;

@@ -29,7 +29,7 @@
 //! `tests/compiled_equiv.rs` pins both paths to identical output.
 
 use crate::eval::{evaluate, evaluate_one, negative_outcome, regex_hit, Counts, Outcome};
-use crate::regex::{CompiledRegex, Regex};
+use crate::regex::Regex;
 use crate::training::HostObs;
 use hoiho_obs::Counter;
 use std::sync::OnceLock;
@@ -125,13 +125,13 @@ fn rank_and_prune<T>(ranked: &mut Vec<(Regex, Counts, T)>, cfg: &SetsConfig) {
 fn build_sets_matrix(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
     let greedy_evals = &eval_counters().1;
 
-    // Layer 1: compile each pooled regex once. Layer 2: evaluate it
-    // exactly once per host into its outcome column.
+    // Layer 1: each pooled regex compiles once into its on-`Regex` cache.
+    // Layer 2: evaluate it exactly once per host into its outcome column.
     let columns: Vec<Vec<Option<Outcome>>> = pool
         .iter()
         .map(|r| {
-            let p = CompiledRegex::compile(r);
-            hosts.iter().map(|h| regex_hit(&p, h)).collect()
+            let p = r.program();
+            hosts.iter().map(|h| regex_hit(p, h)).collect()
         })
         .collect();
 

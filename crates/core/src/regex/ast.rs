@@ -1,7 +1,9 @@
 //! Element AST for the Hoiho regex dialect, plus rendering to the textual
 //! form. Parsing lives in [`super::parse`], matching in [`super::matcher`].
 
+use super::compiled::CompiledRegex;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A character class over the hostname alphabet.
 ///
@@ -152,9 +154,53 @@ impl Elem {
 /// * `StartAnchor` appears only at index 0; `EndAnchor` only at the end;
 /// * adjacent `Lit` elements are coalesced;
 /// * at most one `Any` element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The compiled program cache is identity-invisible: two regexes with
+/// equal `elems` are equal, hash alike, and order alike whether or not
+/// either has compiled yet, and a clone starts with a cold cache.
 pub struct Regex {
     pub(crate) elems: Vec<Elem>,
+    /// Lazily compiled bitmask program, filled on first match call (see
+    /// [`Regex::program`]). Excluded from all derived-trait semantics.
+    program: OnceLock<CompiledRegex>,
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Regex").field("elems", &self.elems).finish()
+    }
+}
+
+impl Clone for Regex {
+    fn clone(&self) -> Regex {
+        Regex { elems: self.elems.clone(), program: OnceLock::new() }
+    }
+}
+
+impl PartialEq for Regex {
+    fn eq(&self, other: &Regex) -> bool {
+        self.elems == other.elems
+    }
+}
+
+impl Eq for Regex {}
+
+impl std::hash::Hash for Regex {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.elems.hash(state);
+    }
+}
+
+impl PartialOrd for Regex {
+    fn partial_cmp(&self, other: &Regex) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Regex {
+    fn cmp(&self, other: &Regex) -> std::cmp::Ordering {
+        self.elems.cmp(&other.elems)
+    }
 }
 
 impl Regex {
@@ -168,7 +214,18 @@ impl Regex {
                 _ => out.push(e),
             }
         }
-        Regex { elems: out }
+        Regex { elems: out, program: OnceLock::new() }
+    }
+
+    /// The compiled bitmask program for this regex, compiled on first use
+    /// and cached for the regex's lifetime. Every matching entry point
+    /// ([`Regex::find`], [`Regex::find_trace`], [`Regex::is_match`],
+    /// [`Regex::extract`]) routes through this cache, so no caller can
+    /// fall back to the tree-walking interpreter by forgetting to
+    /// compile; the interpreter survives only as the explicitly named
+    /// differential oracle ([`Regex::find_interpreted`]).
+    pub fn program(&self) -> &CompiledRegex {
+        self.program.get_or_init(|| CompiledRegex::compile(self))
     }
 
     /// The element sequence.

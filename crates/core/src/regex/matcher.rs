@@ -28,8 +28,12 @@ impl Regex {
     ///
     /// Anchoring follows the element list: with `^` only offset 0 is
     /// tried; with `$` the match must consume through the end.
+    ///
+    /// Runs on the cached compiled program ([`Regex::program`]), which is
+    /// bit-identical to the interpreter; the tree-walking path survives
+    /// only as [`Regex::find_interpreted`].
     pub fn find(&self, hostname: &str) -> Option<MatchResult> {
-        self.find_impl(hostname, None)
+        self.program().find(hostname)
     }
 
     /// Like [`Regex::find`], but also reports the byte span each element
@@ -38,6 +42,23 @@ impl Regex {
     /// its position). The char-class phase (§3.4) uses this to see which
     /// substrings a `[^\.]+` component actually matched.
     pub fn find_trace(&self, hostname: &str) -> Option<(MatchResult, Vec<(usize, usize)>)> {
+        self.program().find_trace(hostname)
+    }
+
+    /// The tree-walking interpreter's answer for `hostname`. This is the
+    /// differential oracle the compiled engine is tested against — it
+    /// never touches the program cache. Production callers want
+    /// [`Regex::find`].
+    pub fn find_interpreted(&self, hostname: &str) -> Option<MatchResult> {
+        self.find_impl(hostname, None)
+    }
+
+    /// Interpreter counterpart of [`Regex::find_trace`], for differential
+    /// tests; see [`Regex::find_interpreted`].
+    pub fn find_trace_interpreted(
+        &self,
+        hostname: &str,
+    ) -> Option<(MatchResult, Vec<(usize, usize)>)> {
         let mut trace = vec![(0usize, 0usize); self.elems().len()];
         let m = self.find_impl(hostname, Some(&mut trace))?;
         Some((m, trace))

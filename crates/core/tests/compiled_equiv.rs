@@ -9,7 +9,8 @@
 //!   fixed-seed determinism check on the default (matrix) path.
 
 use hoiho::eval::{
-    classify_host, classify_host_compiled, evaluate, evaluate_compiled, regex_hit,
+    classify_host, classify_host_compiled, classify_host_interpreted, evaluate, evaluate_compiled,
+    evaluate_interpreted, regex_hit,
 };
 use hoiho::learner::{learn_all, LearnConfig, LearnedConvention};
 use hoiho::regex::{CompiledRegex, Regex};
@@ -69,14 +70,21 @@ fn compiled_classification_equals_interpreter_on_tricky_corpora() {
     for set in tricky_sets() {
         let programs: Vec<CompiledRegex> = set.iter().map(CompiledRegex::compile).collect();
         for h in &hosts {
+            // `classify_host` itself runs cached compiled programs now, so
+            // the tree-walking interpreter (`classify_host_interpreted`)
+            // is the real oracle; the default path must agree with both.
+            let oracle = classify_host_interpreted(&set, h);
             assert_eq!(
-                classify_host(&set, h),
+                oracle,
                 classify_host_compiled(&programs, h),
                 "set {set:?} on {:?}",
                 h.hostname
             );
+            assert_eq!(oracle, classify_host(&set, h), "set {set:?} on {:?}", h.hostname);
         }
-        assert_eq!(evaluate(&set, &hosts), evaluate_compiled(&programs, &hosts), "{set:?}");
+        let oracle_counts = evaluate_interpreted(&set, &hosts);
+        assert_eq!(oracle_counts, evaluate_compiled(&programs, &hosts), "{set:?}");
+        assert_eq!(oracle_counts, evaluate(&set, &hosts), "{set:?}");
     }
 }
 

@@ -182,10 +182,15 @@ props! {
             "",
         ];
         for host in hosts {
-            prop_assert_eq!(c.find(host), r.find(host));
-            prop_assert_eq!(c.find_trace(host), r.find_trace(host));
-            prop_assert_eq!(c.extract(host), r.extract(host));
-            prop_assert_eq!(c.is_match(host), r.is_match(host));
+            // `find_interpreted` is the oracle: `Regex::find` itself now
+            // runs the cached compiled program.
+            let oracle = r.find_interpreted(host);
+            let oracle_extract =
+                oracle.as_ref().and_then(|m| m.captures.first().map(|&(s, e)| &host[s..e]));
+            prop_assert_eq!(c.find(host), oracle.clone());
+            prop_assert_eq!(c.find_trace(host), r.find_trace_interpreted(host));
+            prop_assert_eq!(c.extract(host), oracle_extract);
+            prop_assert_eq!(c.is_match(host), oracle.is_some());
         }
     }
 

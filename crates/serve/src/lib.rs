@@ -11,9 +11,11 @@
 //! * [`engine`] — a read-optimized in-memory index keyed by PSL-derived
 //!   suffix that dispatches hostnames to their convention and runs the
 //!   compiled regexes; single and thread-scoped batch APIs.
-//! * [`server`] — a `std::net` TCP line-protocol server with a fixed
-//!   worker pool, hit/miss/error/per-suffix counters, a `STATS`
-//!   command, atomic hot model reload, and graceful shutdown.
+//! * [`server`] — a `std::net` TCP line-protocol server running a small
+//!   set of epoll readiness event loops ([`sys`] holds the in-tree
+//!   syscall shims), with protocol pipelining, a multi-hostname `BATCH`
+//!   verb, hit/miss/error/per-suffix counters, a `STATS` command,
+//!   atomic hot model reload, and graceful shutdown.
 //!
 //! The `hoiho-serve` binary wires these into the workspace pipeline:
 //! `save` (learn → artifact, from a training file or a synthetic
@@ -27,9 +29,11 @@
 pub mod engine;
 pub mod model;
 pub mod server;
+pub mod sys;
 
 pub use engine::{CompiledNc, Engine, Extraction, MIN_BATCH_CHUNK};
 pub use model::{EvalCounts, Model, ModelEntry, ModelError};
 pub use server::{
     Backend, Client, EngineBackend, Generation, QueryAnswer, ServerHandle, StatsSnapshot,
+    MAX_BATCH,
 };

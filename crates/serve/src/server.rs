@@ -28,6 +28,16 @@
 //!   serving on failure). The cluster backend takes
 //!   `RELOAD SHARD <k> <path>` instead.
 //! * `SHUTDOWN` → `ok\tbye`, then the whole server drains and stops.
+//!   Requests already received on the same connection when the
+//!   `SHUTDOWN` line is processed are answered before the close.
+//! * `BATCH <n>` followed by `n` hostname lines → `ok\tbatch\t<n>`
+//!   followed by `n` answer lines in the single-query format, so one
+//!   socket round-trip carries hundreds of lookups. Every batch line
+//!   is treated strictly as a hostname query (verbs cannot be smuggled
+//!   through a batch), `n` is capped at [`MAX_BATCH`], and each line
+//!   is subject to [`MAX_LINE`] like any other. Items count into the
+//!   query hit/miss totals; the batch itself counts once under
+//!   `verb="batch"` and observes the latency histogram once.
 //!
 //! The protocol loop is backend-agnostic: extraction, reload, and the
 //! stats listings go through the [`Backend`] trait, so the same server
@@ -50,14 +60,21 @@
 //!
 //! ## Concurrency
 //!
-//! A fixed worker pool pulls accepted connections from a shared queue,
-//! and **each worker serves one connection until it closes**: at most
-//! `workers` connections are served concurrently, and further accepted
-//! connections wait in the queue until a worker frees up. To keep idle
-//! keep-alive clients from pinning workers forever, a connection that
-//! completes no request for [`IDLE_DISCONNECT`] is closed. Workloads
-//! with many long-lived concurrent clients should raise `workers` (the
-//! ROADMAP's readiness-based I/O backend lifts the limit properly).
+//! The server runs `workers` **readiness event loops** (0 = one per
+//! core), each owning a private epoll instance (raw in-tree FFI, see
+//! [`crate::sys`]) with the shared nonblocking listener registered in
+//! every loop. A connection lives entirely on the loop that accepted
+//! it: per-connection read/write buffers, level-triggered `EPOLLIN`
+//! interest, and `EPOLLOUT` armed only while a response remains
+//! unflushed. Each readable event drains *every* complete line in the
+//! buffer and coalesces all responses into one write, so pipelined
+//! clients pay one syscall round-trip per burst instead of one per
+//! request. No thread is ever pinned by a connection — thousands of
+//! idle keep-alives cost one epoll registration each — but a
+//! connection that completes no request for [`IDLE_DISCONNECT`] is
+//! still closed. Line length is enforced against *each framed line*
+//! before it is served (and against the residual unterminated buffer),
+//! so [`MAX_LINE`] cannot be exceeded regardless of how reads chunk.
 //!
 //! In the default backend the live engine sits behind
 //! `RwLock<Arc<Generation>>`: each request clones the `Arc` under a
@@ -68,37 +85,52 @@
 //! engine generation and travel with it, so a reload resets them while
 //! the lifetime totals keep counting.
 //!
-//! Shutdown is graceful for connections being served: workers finish
-//! the request they are on, then close their connections. Connections
-//! still waiting in the accept queue are closed without a response.
-//! The acceptor wakes itself with a loopback connection and joins.
+//! Shutdown is graceful: each loop answers every request already
+//! buffered on its connections (including requests pipelined behind
+//! the `SHUTDOWN` line itself), flushes pending responses for a short
+//! grace period, closes, and joins. A per-loop eventfd wakes sleeping
+//! `epoll_wait`s so shutdown is prompt from any thread.
 
 use crate::engine::{Engine, EngineObs};
 use crate::model::Model;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use hoiho::classify::NcClass;
 use hoiho_obs::{Counter, Histogram, Obs, Registry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a worker blocks on an idle connection before re-checking
-/// the shutdown flag. Small enough that shutdown is prompt, large
-/// enough to be invisible in steady state.
+/// Upper bound on one `epoll_wait` sleep, so idle-disconnect sweeps
+/// and the shutdown flag are checked regularly even without traffic.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// A connection that completes no request for this long is closed, so
-/// idle keep-alive clients cannot pin a worker forever (each worker
-/// serves one connection at a time — see the module docs).
+/// idle keep-alive clients cannot hold registrations forever.
 pub const IDLE_DISCONNECT: Duration = Duration::from_secs(60);
 
-/// Hard cap on one request line. A client that exceeds it is counted
-/// as a protocol error and disconnected — the stream cannot be
-/// resynchronised without trusting the oversized line's framing.
+/// Hard cap on one request line, enforced per framed line *before*
+/// serving it and against the residual unterminated buffer. A client
+/// that exceeds it is counted as a protocol error and disconnected —
+/// the stream cannot be resynchronised without trusting the oversized
+/// line's framing.
 const MAX_LINE: usize = 64 * 1024;
+
+/// Hard cap on the item count of one `BATCH` request.
+pub const MAX_BATCH: usize = 4096;
+
+/// How many events one `epoll_wait` call can report.
+const EVENT_BATCH: usize = 256;
+
+/// Read size per `read` call on a readable connection.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// After shutdown, how long loops keep trying to flush pending
+/// responses before closing connections regardless.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// One engine generation: the compiled model plus its per-suffix
 /// query counters (index-aligned with [`Engine::conventions`]).
@@ -165,6 +197,36 @@ impl QueryAnswer {
             self.class.map_or("-", |c| c.label()),
         )
     }
+
+    /// Appends the full answer line `<hostname>\t<fields>\n` to `out`
+    /// without intermediate `String`s — the `BATCH` hot path renders
+    /// hundreds of answers per request.
+    pub fn render_line_into(&self, hostname: &str, out: &mut Vec<u8>) {
+        out.extend_from_slice(hostname.as_bytes());
+        out.push(b'\t');
+        match self.asn {
+            Some(a) => {
+                let mut digits = [0u8; 10];
+                let mut i = digits.len();
+                let mut v = a;
+                loop {
+                    i -= 1;
+                    digits[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                out.extend_from_slice(&digits[i..]);
+            }
+            None => out.push(b'-'),
+        }
+        out.push(b'\t');
+        out.extend_from_slice(self.suffix.as_deref().unwrap_or("-").as_bytes());
+        out.push(b'\t');
+        out.extend_from_slice(self.class.map_or("-", |c| c.label()).as_bytes());
+        out.push(b'\n');
+    }
 }
 
 /// What the TCP server needs from an extraction backend. The default
@@ -187,6 +249,13 @@ pub trait Backend: Send + Sync + 'static {
     /// terminating `.\n`, or `None` when the backend is not a cluster.
     fn cluster_stats(&self) -> Option<String> {
         None
+    }
+    /// Answers a `BATCH` of hostnames, one answer per input in order.
+    /// The default maps [`Backend::query`]; backends override it to
+    /// amortise per-query setup across the batch (the engine backend
+    /// resolves its live generation once).
+    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
+        hostnames.iter().map(|h| self.query(h)).collect()
     }
 }
 
@@ -255,6 +324,14 @@ impl Backend for EngineBackend {
         self.install(engine);
         Ok(format!("reloaded\t{n}"))
     }
+
+    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
+        // One generation resolution (read lock + Arc clone) per batch
+        // instead of per item; in-flight batches finish on the
+        // generation they started with, like single queries.
+        let gen = self.generation();
+        hostnames.iter().map(|h| gen.query(h)).collect()
+    }
 }
 
 /// Counters shared by all workers for the server's lifetime.
@@ -288,6 +365,8 @@ pub struct StatsSnapshot {
 struct ServerMetrics {
     query_hit: Counter,
     query_miss: Counter,
+    batch_ok: Counter,
+    batch_err: Counter,
     latency: Histogram,
     connections: Counter,
     protocol_errors: Counter,
@@ -299,6 +378,8 @@ impl ServerMetrics {
             query_hit: r.counter("hoiho_requests_total", &[("verb", "query"), ("outcome", "hit")]),
             query_miss: r
                 .counter("hoiho_requests_total", &[("verb", "query"), ("outcome", "miss")]),
+            batch_ok: r.counter("hoiho_requests_total", &[("verb", "batch"), ("outcome", "ok")]),
+            batch_err: r.counter("hoiho_requests_total", &[("verb", "batch"), ("outcome", "err")]),
             latency: r.histogram("hoiho_request_latency_ns", &[]),
             connections: r.counter("hoiho_connections_total", &[]),
             protocol_errors: r.counter("hoiho_protocol_errors_total", &[]),
@@ -314,6 +395,10 @@ struct Shared {
     shutdown: AtomicBool,
     obs: Arc<Obs>,
     metrics: ServerMetrics,
+    /// One wake eventfd per event loop, so a shutdown requested from
+    /// any thread (a client's `SHUTDOWN`, or the handle) interrupts
+    /// every sleeping `epoll_wait` immediately.
+    wakes: Mutex<Vec<Arc<EventFd>>>,
 }
 
 impl Shared {
@@ -325,6 +410,7 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             obs,
             metrics,
+            wakes: Mutex::new(Vec::new()),
         }
     }
 
@@ -333,6 +419,14 @@ impl Shared {
     fn count_error(&self) {
         self.totals.errors.fetch_add(1, Ordering::Relaxed);
         self.metrics.protocol_errors.inc();
+    }
+
+    /// Sets the shutdown flag and wakes every event loop.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.wakes.lock().expect("wake list poisoned").iter() {
+            w.signal();
+        }
     }
 }
 
@@ -347,6 +441,7 @@ fn verb_of(request: &str) -> &'static str {
         "SHUTDOWN" => "shutdown",
         r if r.starts_with("RELOAD ") => "reload",
         r if r == "EVENTS" || r.starts_with("EVENTS ") => "events",
+        r if r == "BATCH" || r.starts_with("BATCH ") => "batch",
         _ => "query",
     }
 }
@@ -359,16 +454,14 @@ pub struct ServerHandle {
     /// Present when the server was started over a single engine;
     /// [`ServerHandle::install`] needs it.
     engine_backend: Option<Arc<EngineBackend>>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the accept loop plus `workers` request threads
-    /// (0 = one per core) over a single hot-swappable engine. Metrics
-    /// and events go to a fresh private [`Obs`] reachable through
-    /// [`ServerHandle::obs`].
+    /// starts `workers` readiness event loops (0 = one per core) over
+    /// a single hot-swappable engine. Metrics and events go to a fresh
+    /// private [`Obs`] reachable through [`ServerHandle::obs`].
     pub fn start(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
@@ -434,45 +527,24 @@ impl ServerHandle {
             workers
         };
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared::new(backend, obs));
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-        let rx = Arc::new(Mutex::new(rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&rx, &shared))
-            })
-            .collect();
-
-        let acceptor = {
+        // Every loop gets a dup of the listener fd (accept is atomic
+        // across dups — a wakeup lost to a sibling resolves as
+        // `WouldBlock`) and a wake eventfd registered with `Shared` so
+        // shutdown can interrupt its `epoll_wait`.
+        let mut loop_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let listener = listener.try_clone()?;
+            let wake = Arc::new(EventFd::new()?);
+            shared.wakes.lock().expect("wake list poisoned").push(Arc::clone(&wake));
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                // `tx` is moved in and dropped on exit, which closes the
-                // queue and lets idle workers finish.
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    shared.totals.conns.fetch_add(1, Ordering::Relaxed);
-                    shared.metrics.connections.inc();
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-            })
-        };
+            loop_handles.push(std::thread::spawn(move || event_loop(&listener, &wake, &shared)));
+        }
 
-        Ok(ServerHandle {
-            addr,
-            shared,
-            engine_backend,
-            acceptor: Some(acceptor),
-            workers: worker_handles,
-        })
+        Ok(ServerHandle { addr, shared, engine_backend, loops: loop_handles })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -530,129 +602,406 @@ impl ServerHandle {
         self.join_inner();
     }
 
-    /// Requests a graceful stop and waits: in-flight requests complete,
-    /// connections still waiting in the accept queue are closed without
-    /// a response, and all threads join.
+    /// Requests a graceful stop and waits: requests already received
+    /// are answered, pending responses flush (within a grace period),
+    /// and all loops join.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.join_inner();
     }
 
     fn join_inner(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.shared.request_shutdown();
+        for l in self.loops.drain(..) {
+            let _ = l.join();
         }
     }
 }
 
-/// Pulls connections off the queue until the queue closes.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            drain_queue(rx);
-            return;
-        }
-        // Hold the lock only to poll, so workers share the queue fairly
-        // and notice shutdown even while idle.
-        let next = {
-            let guard = rx.lock().expect("queue lock poisoned");
-            guard.recv_timeout(IDLE_POLL)
-        };
-        match next {
-            Ok(stream) => handle_conn(stream, shared),
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+/// Token reported for the shared listener in every loop's epoll.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token reported for a loop's wake eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// How often a loop sweeps its connections for [`IDLE_DISCONNECT`].
+const SWEEP_EVERY: Duration = Duration::from_secs(1);
+
+/// Reads per readable event before yielding back to the loop, so one
+/// fast client cannot starve its loop's other connections (the
+/// level-triggered registration re-reports whatever remains).
+const READS_PER_EVENT: usize = 4;
+
+/// An in-progress `BATCH <n>`: collected hostnames until `expected`.
+struct BatchState {
+    expected: usize,
+    hosts: Vec<String>,
+}
+
+/// One connection's state on its event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Peer is loopback: admin verbs honoured (module docs).
+    admin: bool,
+    /// Received-but-unframed bytes (at most one partial line after a
+    /// drain).
+    buf: Vec<u8>,
+    /// Coalesced responses not yet written, from `out_pos` on.
+    out: Vec<u8>,
+    out_pos: usize,
+    last_request: Instant,
+    /// Close once `out` drains; no further reads.
+    closing: bool,
+    /// Peer closed its write half (EOF seen).
+    eof: bool,
+    /// Interest mask currently armed in the epoll.
+    interest: u32,
+    batch: Option<BatchState>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, admin: bool) -> Conn {
+        Conn {
+            stream,
+            admin,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            last_request: Instant::now(),
+            closing: false,
+            eof: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+            batch: None,
         }
     }
-}
 
-/// Closes accepted-but-unserved connections on shutdown: dropping the
-/// streams sends FIN, so queued clients see EOF promptly instead of
-/// hanging on a queue no worker will ever service again.
-fn drain_queue(rx: &Mutex<Receiver<TcpStream>>) {
-    let guard = rx.lock().expect("queue lock poisoned");
-    while guard.try_recv().is_ok() {}
-}
+    fn out_flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
 
-/// Serves one connection until the client closes it, an I/O error
-/// occurs, the connection idles past [`IDLE_DISCONNECT`], or the
-/// server shuts down.
-fn handle_conn(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_nodelay(true);
-    // Admin verbs are honoured only from loopback peers (module docs).
-    let admin = stream.peer_addr().map(|a| a.ip().is_loopback()).unwrap_or(false);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    // Framing is by hand rather than `BufReader::read_line`: a read
-    // timeout must preserve partially-received bytes (`read_line`
-    // consumes them from the reader before reporting the error, so a
-    // request straddling the idle poll would be truncated), and a
-    // multi-byte UTF-8 character split across TCP segments must not be
-    // mistaken for invalid data.
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut last_request = Instant::now();
-    loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            last_request = Instant::now();
-            let Ok(text) = std::str::from_utf8(&line) else {
+    /// Reacts to one readiness report. Returns `false` when the
+    /// connection must close now (error, or done and fully flushed).
+    fn handle_event(&mut self, readiness: u32, shared: &Shared) -> bool {
+        if readiness & EPOLLERR != 0 {
+            return false;
+        }
+        if readiness & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !self.closing && !self.eof {
+            if !self.read_ready(shared) {
+                return false;
+            }
+        }
+        if !self.out_flushed() && self.flush().is_err() {
+            return false;
+        }
+        // A finished connection lingers only while a response drains.
+        !((self.closing || self.eof) && self.out_flushed())
+    }
+
+    /// Reads available bytes (bounded per event), frames and serves
+    /// every complete line, and handles EOF. Returns `false` on a
+    /// protocol or I/O error that must drop the connection.
+    fn read_ready(&mut self, shared: &Shared) -> bool {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..READS_PER_EVENT {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if !self.drain_lines(shared) {
+            return false;
+        }
+        if self.eof {
+            // Serve a final unterminated line by completing its frame —
+            // this also lets it finish an in-progress batch.
+            if !self.buf.is_empty() {
+                self.buf.push(b'\n');
+                if !self.drain_lines(shared) {
+                    return false;
+                }
+            }
+            if self.batch.take().is_some() {
+                shared.count_error();
+                shared.metrics.batch_err.inc();
+                self.out.extend_from_slice(b"err\tbatch truncated by eof\n");
+            }
+            self.closing = true;
+        }
+        true
+    }
+
+    /// Frames and serves every complete line in `buf`, enforcing
+    /// [`MAX_LINE`] against each line *before* serving it and against
+    /// the residual partial line after the drain. All responses are
+    /// coalesced into `out`; the caller flushes once.
+    fn drain_lines(&mut self, shared: &Shared) -> bool {
+        // The buffer is taken out of `self` so served line slices and
+        // `self.out` can be borrowed simultaneously.
+        let mut buf = std::mem::take(&mut self.buf);
+        let mut start = 0usize;
+        while let Some(rel) = buf[start..].iter().position(|&b| b == b'\n') {
+            let end = start + rel;
+            let line = &buf[start..end];
+            start = end + 1;
+            if line.len() > MAX_LINE {
+                // The framing bug this rewrite fixes: the cap must bind
+                // even when the newline arrives in the same read chunk
+                // that pushed the buffer past it.
+                shared.count_error();
+                return false;
+            }
+            self.last_request = Instant::now();
+            let Ok(text) = std::str::from_utf8(line) else {
                 // Non-UTF-8 input: count it and drop the connection (we
                 // cannot resynchronise a stream we cannot decode).
                 shared.count_error();
-                return;
+                return false;
             };
-            if !serve_line(text, admin, &mut writer, shared) {
-                return;
-            }
+            self.serve_text(text, shared);
         }
-        if buf.len() > MAX_LINE {
+        if buf.len() - start > MAX_LINE {
             shared.count_error();
+            return false;
+        }
+        buf.drain(..start);
+        self.buf = buf;
+        true
+    }
+
+    /// Routes one framed line: a batch item, a `BATCH` header, or an
+    /// ordinary request.
+    fn serve_text(&mut self, text: &str, shared: &Shared) {
+        if let Some(b) = self.batch.as_mut() {
+            b.hosts.push(text.trim().to_string());
+            if b.hosts.len() == b.expected {
+                let b = self.batch.take().expect("batch state just observed");
+                serve_batch(&b.hosts, &mut self.out, shared);
+            }
             return;
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                // Client closed; serve a final unterminated line, if any.
-                if !buf.is_empty() {
-                    match std::str::from_utf8(&buf) {
-                        Ok(text) => {
-                            serve_line(text, admin, &mut writer, shared);
-                        }
-                        Err(_) => {
-                            shared.count_error();
-                        }
+        let request = text.trim();
+        if request == "BATCH" || request.starts_with("BATCH ") {
+            self.serve_batch_header(request, shared);
+            return;
+        }
+        serve_line(text, self.admin, &mut self.out, shared);
+    }
+
+    /// Parses a `BATCH <n>` header: arms collection, or answers the
+    /// degenerate/invalid forms immediately. Needs no admin privilege —
+    /// batch lines are strictly hostname queries, so a batch can smuggle
+    /// no verb.
+    fn serve_batch_header(&mut self, request: &str, shared: &Shared) {
+        let t0 = Instant::now();
+        let arg = request.strip_prefix("BATCH").unwrap_or_default().trim();
+        let response = match arg.parse::<usize>() {
+            Ok(0) => Some("ok\tbatch\t0\n".to_string()),
+            Ok(n) if n <= MAX_BATCH => {
+                self.batch = Some(BatchState { expected: n, hosts: Vec::with_capacity(n) });
+                None
+            }
+            Ok(n) => {
+                shared.count_error();
+                Some(format!("err\tBATCH count {n} exceeds the cap of {MAX_BATCH}\n"))
+            }
+            Err(_) => {
+                shared.count_error();
+                Some(format!("err\tBATCH takes a hostname count, got {arg:?}\n"))
+            }
+        };
+        if let Some(resp) = response {
+            shared.metrics.latency.observe(t0.elapsed().as_nanos() as u64);
+            if resp.starts_with("err\t") {
+                shared.metrics.batch_err.inc();
+            } else {
+                shared.metrics.batch_ok.inc();
+            }
+            self.out.extend_from_slice(resp.as_bytes());
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts.
+    fn flush(&mut self) -> std::io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_flushed() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Re-arms epoll interest to match the connection's state: readable
+    /// while the request side is open, writable only while responses
+    /// remain unflushed. No-op (no syscall) when nothing changed.
+    fn rearm(&mut self, epoll: &Epoll, token: u64) -> std::io::Result<()> {
+        let mut want = 0u32;
+        if !self.closing && !self.eof {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if !self.out_flushed() {
+            want |= EPOLLOUT;
+        }
+        if want != self.interest {
+            epoll.modify(self.stream.as_raw_fd(), want, token)?;
+            self.interest = want;
+        }
+        Ok(())
+    }
+}
+
+/// One readiness event loop: accepts from the shared listener, serves
+/// its own connections, and drains gracefully on shutdown.
+fn event_loop(listener: &TcpListener, wake: &EventFd, shared: &Shared) {
+    let Ok(epoll) = Epoll::new() else { return };
+    if epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER).is_err()
+        || epoll.add(wake.fd(), EPOLLIN, TOKEN_WAKE).is_err()
+    {
+        return;
+    }
+    // Connection slab: the epoll token is the slot index. Freed slots
+    // are reused only after the event batch that freed them, so a stale
+    // event can never reach a different connection.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = vec![EpollEvent::EMPTY; EVENT_BATCH];
+    let mut last_sweep = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let n = match epoll.wait(&mut events, IDLE_POLL.as_millis() as i32) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        let mut freed: Vec<usize> = Vec::new();
+        for ev in &events[..n] {
+            match ev.token() {
+                TOKEN_LISTENER => {
+                    if drain_deadline.is_none() {
+                        accept_ready(listener, &epoll, &mut conns, &mut free, shared);
                     }
                 }
-                return;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst)
-                    || last_request.elapsed() >= IDLE_DISCONNECT
-                {
-                    return;
+                TOKEN_WAKE => wake.drain(),
+                token => {
+                    let slot = token as usize;
+                    // Stale event for a slot freed earlier in this batch.
+                    let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    let keep = conn.handle_event(ev.readiness(), shared)
+                        && conn.rearm(&epoll, token).is_ok();
+                    if !keep {
+                        close_slot(&epoll, &mut conns, slot);
+                        freed.push(slot);
+                    }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+        }
+        free.extend(freed);
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if drain_deadline.is_none() {
+                // Entering drain mode: stop accepting, stop reading, and
+                // keep only connections with responses still in flight.
+                drain_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+                let _ = epoll.delete(listener.as_raw_fd());
+                for slot in 0..conns.len() {
+                    let Some(conn) = conns[slot].as_mut() else { continue };
+                    conn.closing = true;
+                    let gone = conn.flush().is_err() || conn.out_flushed();
+                    if gone {
+                        close_slot(&epoll, &mut conns, slot);
+                        free.push(slot);
+                    } else {
+                        let _ = conn.rearm(&epoll, slot as u64);
+                    }
+                }
+            }
+            let deadline = drain_deadline.expect("set above");
+            if conns.iter().all(Option::is_none) || Instant::now() >= deadline {
+                return;
+            }
+            continue;
+        }
+
+        if last_sweep.elapsed() >= SWEEP_EVERY {
+            last_sweep = Instant::now();
+            for slot in 0..conns.len() {
+                let idle = conns[slot]
+                    .as_ref()
+                    .is_some_and(|c| c.last_request.elapsed() >= IDLE_DISCONNECT);
+                if idle {
+                    close_slot(&epoll, &mut conns, slot);
+                    free.push(slot);
+                }
+            }
+        }
+    }
+}
+
+/// Drops the connection in `slot` (closing its socket, which also
+/// removes it from the epoll; the explicit delete keeps the interest
+/// table exact even with the fd dup'd elsewhere).
+fn close_slot(epoll: &Epoll, conns: &mut [Option<Conn>], slot: usize) {
+    if let Some(conn) = conns[slot].take() {
+        let _ = epoll.delete(conn.stream.as_raw_fd());
+    }
+}
+
+/// Accepts until `WouldBlock`, registering each connection in this
+/// loop's epoll. Sibling loops share the listener; a wakeup raced away
+/// by another loop simply accepts nothing here.
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    shared: &Shared,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                shared.totals.conns.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.inc();
+                let conn = Conn::new(stream, peer.ip().is_loopback());
+                let slot = free.pop().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                if epoll.add(conn.stream.as_raw_fd(), conn.interest, slot as u64).is_ok() {
+                    conns[slot] = Some(conn);
+                } else {
+                    free.push(slot);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return,
         }
     }
 }
 
-/// Serves one framed request line; returns `false` when the connection
-/// should close (write failure, or the server is shutting down).
+/// Serves one framed request line into `out`.
 ///
 /// This is where per-request observability happens: every request is
 /// timed into the latency histogram, non-query verbs are counted by
@@ -661,10 +1010,10 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
 /// than the configured threshold lands in the event log with its
 /// request line. The counting runs *after* `respond`, so a `METRICS`
 /// response reflects the traffic before the request itself.
-fn serve_line(text: &str, admin: bool, writer: &mut TcpStream, shared: &Shared) -> bool {
+fn serve_line(text: &str, admin: bool, out: &mut Vec<u8>, shared: &Shared) {
     let request = text.trim();
     if request.is_empty() {
-        return true;
+        return;
     }
     let t0 = Instant::now();
     let response = respond(request, admin, shared);
@@ -685,10 +1034,49 @@ fn serve_line(text: &str, admin: bool, writer: &mut TcpStream, shared: &Shared) 
             &[("verb", verb), ("request", request), ("dur_ns", &dur_ns.to_string())],
         );
     }
-    if writer.write_all(response.as_bytes()).is_err() {
-        return false;
+    out.extend_from_slice(response.as_bytes());
+}
+
+/// Executes a completed `BATCH`: answers every collected hostname in
+/// order, rendering straight into the connection's output buffer.
+///
+/// Accounting: each item counts into the query hit/miss totals (bulk
+/// adds — exact, just cheaper), the batch itself counts once under
+/// `verb="batch"`, and the latency histogram observes the batch once.
+fn serve_batch(hosts: &[String], out: &mut Vec<u8>, shared: &Shared) {
+    let t0 = Instant::now();
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let answers = shared.backend.query_batch(&refs);
+    debug_assert_eq!(answers.len(), hosts.len(), "backend must answer every batch item");
+    // ~48 bytes per answer line in practice; one reservation, no
+    // per-answer allocations.
+    out.reserve(hosts.len() * 48 + 16);
+    out.extend_from_slice(b"ok\tbatch\t");
+    out.extend_from_slice(hosts.len().to_string().as_bytes());
+    out.push(b'\n');
+    let mut hits = 0u64;
+    for (h, a) in hosts.iter().zip(&answers) {
+        hits += u64::from(a.asn.is_some());
+        a.render_line_into(h, out);
     }
-    !shared.shutdown.load(Ordering::SeqCst)
+    let misses = hosts.len() as u64 - hits;
+    shared.totals.hits.fetch_add(hits, Ordering::Relaxed);
+    shared.totals.misses.fetch_add(misses, Ordering::Relaxed);
+    shared.metrics.query_hit.add(hits);
+    shared.metrics.query_miss.add(misses);
+    let dur_ns = t0.elapsed().as_nanos() as u64;
+    shared.metrics.latency.observe(dur_ns);
+    shared.metrics.batch_ok.inc();
+    if dur_ns >= shared.obs.slow_threshold_ns() {
+        shared.obs.events().record(
+            "slow_query",
+            &[
+                ("verb", "batch"),
+                ("items", &hosts.len().to_string()),
+                ("dur_ns", &dur_ns.to_string()),
+            ],
+        );
+    }
 }
 
 /// Refusal sent to non-loopback peers issuing admin verbs.
@@ -733,7 +1121,7 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
             if !admin {
                 return refuse_admin("shutdown", shared);
             }
-            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.request_shutdown();
             "ok\tbye\n".to_string()
         }
         _ if request == "EVENTS" || request.starts_with("EVENTS ") => {
@@ -838,6 +1226,50 @@ impl Client {
         let mut fields = resp.split('\t');
         let (_echo, asn) = (fields.next(), fields.next());
         Ok(asn.and_then(|a| a.parse::<u32>().ok()))
+    }
+
+    /// Sends one `BATCH` request for `hostnames` and returns the answer
+    /// lines (one per hostname, in order, `\t`-separated fields, no
+    /// echo-line framing beyond the hostname itself).
+    pub fn batch<S: AsRef<str>>(&mut self, hostnames: &[S]) -> std::io::Result<Vec<String>> {
+        let mut req = String::with_capacity(16 + hostnames.len() * 32);
+        req.push_str("BATCH ");
+        req.push_str(&hostnames.len().to_string());
+        req.push('\n');
+        for h in hostnames {
+            req.push_str(h.as_ref());
+            req.push('\n');
+        }
+        self.writer.write_all(req.as_bytes())?;
+        let mut header = String::new();
+        if self.reader.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before the batch header",
+            ));
+        }
+        let header = header.trim_end();
+        let n: usize = match header.strip_prefix("ok\tbatch\t").map(str::parse) {
+            Some(Ok(n)) => n,
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected batch header: {header:?}"),
+                ))
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-batch",
+                ));
+            }
+            out.push(line.trim_end().to_string());
+        }
+        Ok(out)
     }
 
     /// Reads the remaining lines of a multi-line response (after
@@ -1124,6 +1556,118 @@ mod tests {
         // Malformed count is an error.
         let resp = c.request("EVENTS many").unwrap();
         assert!(resp.starts_with("err\t"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_even_with_its_newline_buffered() {
+        // Regression: the MAX_LINE cap must bind on the *line*, not on
+        // the residual bytes left after draining. A line in
+        // (MAX_LINE, MAX_LINE + 4096] whose newline arrives in the same
+        // read chunk that pushed the buffer past the cap was served by
+        // the old framing loop (the residual check never saw it).
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        let mut line = vec![b'a'; MAX_LINE + 1000];
+        line.push(b'\n');
+        // The server may drop the connection before the write drains.
+        let _ = s.write_all(&line);
+        let mut resp = String::new();
+        let res = BufReader::new(s).read_line(&mut resp);
+        assert!(
+            matches!(res, Ok(0) | Err(_)),
+            "an oversized line must close the connection unanswered, got {resp:?}"
+        );
+        assert!(resp.is_empty(), "{resp:?}");
+        // The protocol violation is counted (poll: the close races us).
+        let t0 = Instant::now();
+        while srv.stats().errors == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "error never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_around_shutdown_are_answered_before_close() {
+        // Regression: a client pipelining queries with SHUTDOWN in one
+        // segment must get every response; the old worker dropped
+        // whatever was buffered behind the SHUTDOWN line.
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"as1.example.com\nSHUTDOWN\nas2.example.com\n").unwrap();
+        let mut r = BufReader::new(s);
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut l = String::new();
+            r.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_string());
+        }
+        assert_eq!(
+            lines,
+            vec![
+                "as1.example.com\t1\texample.com\tgood".to_string(),
+                "ok\tbye".to_string(),
+                "as2.example.com\t2\texample.com\tgood".to_string(),
+            ]
+        );
+        // Then the server closes the connection and stops.
+        let mut l = String::new();
+        assert_eq!(r.read_line(&mut l).unwrap(), 0, "expected EOF, got {l:?}");
+        srv.join();
+    }
+
+    #[test]
+    fn batch_answers_match_single_queries() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 2);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        let hosts = ["as1.example.com", "core1.example.com", "as2.example.com"];
+        let singles: Vec<String> =
+            hosts.iter().map(|h| c.request(h).unwrap()).collect();
+        let batched = c.batch(&hosts).unwrap();
+        assert_eq!(batched, singles);
+        // Items count into the query totals; the batch counts once.
+        let s = srv.stats();
+        assert_eq!((s.hits, s.misses), (4, 2));
+        let first = c.request("METRICS").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        let text = lines.join("\n");
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"ok\",verb=\"batch\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"hit\",verb=\"query\"} 4"),
+            "{text}"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn batch_header_edge_cases() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(c.request("BATCH 0").unwrap(), "ok\tbatch\t0");
+        let resp = c.request("BATCH nope").unwrap();
+        assert!(resp.starts_with("err\tBATCH takes a hostname count"), "{resp}");
+        let resp = c.request(&format!("BATCH {}", MAX_BATCH + 1)).unwrap();
+        assert!(resp.starts_with("err\tBATCH count"), "{resp}");
+        // The connection survives header errors.
+        assert_eq!(c.query("as3.example.com").unwrap(), Some(3));
+        assert_eq!(srv.stats().errors, 2);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn batch_truncated_by_eof_is_an_error() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"BATCH 3\nas1.example.com\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        BufReader::new(s).read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "err\tbatch truncated by eof");
         srv.shutdown();
     }
 

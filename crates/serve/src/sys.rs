@@ -1,0 +1,254 @@
+//! Minimal in-tree Linux readiness syscalls for the event-loop server.
+//!
+//! The workspace is hermetic (no `libc`/`mio` crates), so the handful
+//! of calls the server needs — `epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `eventfd`, and `read`/`write`/`close` on the eventfd —
+//! are declared here directly against the C library every Rust `std`
+//! binary already links. Everything is wrapped in two RAII types:
+//!
+//! * [`Epoll`] — an epoll instance; level-triggered interest
+//!   registration keyed by a caller-chosen `u64` token, and an
+//!   `EINTR`-retrying wait.
+//! * [`EventFd`] — a nonblocking eventfd used to wake a sleeping
+//!   `epoll_wait` from another thread (the shutdown path).
+//!
+//! The server uses *level-triggered* epoll on purpose: a connection
+//! with unread bytes or unflushed responses keeps reporting ready, so
+//! interest re-arming mistakes degrade to extra wakeups instead of
+//! lost events.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+/// Readable interest/readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable interest/readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event`. The kernel ABI packs it on x86-64 (the 12-byte
+/// layout); other architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event, for pre-sizing wait buffers.
+    pub const EMPTY: EpollEvent = EpollEvent { events: 0, data: 0 };
+
+    /// The readiness bitmask (copied out of the possibly-packed struct).
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The registered token (copied out of the possibly-packed struct).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An epoll instance (closed on drop).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, data: token };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with level-triggered `interest`, reported as `token`.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Re-arms `fd` with a new `interest` mask.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument must be non-null on pre-2.6.9 kernels; pass
+        // a dummy unconditionally, it is ignored on DEL.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (−1 = forever) and fills `events`,
+    /// returning how many fired. Retries `EINTR` internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe {
+                epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking eventfd: any thread [`EventFd::signal`]s it, the event
+/// loop that registered it wakes from `epoll_wait` and [`EventFd::drain`]s.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking close-on-exec eventfd with counter 0.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the eventfd counter, waking any epoll watching it.
+    /// Failure is unreportable from the signalling side and the waiter
+    /// also polls on a timeout, so errors are deliberately ignored.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Resets the counter so the level-triggered readiness clears.
+    pub fn drain(&self) {
+        let mut v: u64 = 0;
+        unsafe { read(self.fd, (&mut v as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+// An `EventFd` is just an fd; writes of 8 bytes are atomic, so
+// signalling from any thread while another drains is sound.
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_roundtrip_through_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ef = EventFd::new().unwrap();
+        ep.add(ef.fd(), EPOLLIN, 42).unwrap();
+
+        let mut events = [EpollEvent::EMPTY; 4];
+        // Nothing signalled: a zero-timeout wait returns no events.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        ef.signal();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        // Level-triggered: still ready until drained.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        ef.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_modify_and_delete() {
+        let ep = Epoll::new().unwrap();
+        let ef = EventFd::new().unwrap();
+        ep.add(ef.fd(), EPOLLIN, 7).unwrap();
+        ef.signal();
+
+        // Re-arm with no interest: the ready fd no longer reports.
+        ep.modify(ef.fd(), 0, 7).unwrap();
+        let mut events = [EpollEvent::EMPTY; 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        ep.modify(ef.fd(), EPOLLIN, 9).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        assert_eq!(events[0].token(), 9);
+
+        ep.delete(ef.fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread() {
+        let ep = Epoll::new().unwrap();
+        let ef = std::sync::Arc::new(EventFd::new().unwrap());
+        ep.add(ef.fd(), EPOLLIN, 1).unwrap();
+        let ef2 = std::sync::Arc::clone(&ef);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            ef2.signal();
+        });
+        let mut events = [EpollEvent::EMPTY; 1];
+        // Generous timeout: the signal must arrive long before it.
+        let n = ep.wait(&mut events, 5_000).unwrap();
+        assert_eq!(n, 1);
+        t.join().unwrap();
+    }
+}

@@ -10,10 +10,11 @@
 #   5. A live smoke test of the cluster tier: shard that model, serve it
 #      with --shards 2 plus a response cache, query hostnames landing on
 #      both shards, check STATS CLUSTER reports cache hits after a
-#      repeat, and shut down cleanly.
+#      repeat, round-trip a pipelined BATCH across both shards, and shut
+#      down cleanly.
 #   6. An observability smoke over the same live cluster server: METRICS
-#      must expose the scripted query-miss counter and a nonzero
-#      per-shard cache-hit counter.
+#      must expose the scripted query-miss counter, a nonzero per-shard
+#      cache-hit counter, and the BATCH request counter.
 #   7. A learner-tracing smoke: `hoiho learn --sim --trace` must write
 #      Chrome trace JSON that parses (validated with python3 when
 #      available) and contains one span per learner phase.
@@ -89,6 +90,16 @@ SUF1=$(awk -F'\t' '$1 == "A" && $3 == 1 { print $2; exit }' "$SMOKE_DIR/shards/s
 "$SRV" send "$ADDR" "STATS CLUSTER" | grep "^cache" | grep -vq "hits=0" \
     || { echo "tier1: repeated query produced no cache hit" >&2; exit 1; }
 
+# Pipelined BATCH round trip across both shards: one request, two
+# in-order answer lines echoing the queried hostnames.
+"$SRV" batch "$ADDR" "test.$SUF0" "test.$SUF1" > "$SMOKE_DIR/batch.txt"
+[ "$(wc -l < "$SMOKE_DIR/batch.txt")" -eq 2 ] \
+    || { echo "tier1: BATCH answered the wrong line count" >&2; exit 1; }
+sed -n 1p "$SMOKE_DIR/batch.txt" | grep -q "^test\.$SUF0	" \
+    || { echo "tier1: BATCH answer 1 out of order" >&2; exit 1; }
+sed -n 2p "$SMOKE_DIR/batch.txt" | grep -q "^test\.$SUF1	" \
+    || { echo "tier1: BATCH answer 2 out of order" >&2; exit 1; }
+
 # --- observability smoke: METRICS over the live cluster server ---
 "$SRV" send "$ADDR" METRICS > "$SMOKE_DIR/metrics.txt"
 # The scripted queries above were extraction misses; their counter must
@@ -99,6 +110,10 @@ grep -F 'hoiho_requests_total{outcome="miss",verb="query"}' "$SMOKE_DIR/metrics.
 # The repeated query above hit the cache on some shard.
 grep '^hoiho_cache_hits_total{' "$SMOKE_DIR/metrics.txt" | grep -vq ' 0$' \
     || { echo "tier1: METRICS missing a nonzero per-shard cache-hit counter" >&2; exit 1; }
+# The BATCH round trip above counted once under verb="batch".
+grep -F 'hoiho_requests_total{outcome="ok",verb="batch"}' "$SMOKE_DIR/metrics.txt" \
+    | grep -vq ' 0$' \
+    || { echo "tier1: METRICS missing a nonzero batch request counter" >&2; exit 1; }
 grep -q '^# TYPE hoiho_request_latency_ns histogram' "$SMOKE_DIR/metrics.txt" \
     || { echo "tier1: METRICS missing the latency histogram" >&2; exit 1; }
 

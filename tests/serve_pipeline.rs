@@ -3,6 +3,9 @@
 //! served answers are indistinguishable from running the learner's
 //! conventions directly.
 
+use hoiho_devkit::rng::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
+use hoiho_repro::cluster::{ClusterBackend, ShardRouter};
 use hoiho_repro::hoiho::learner::{learn_all, LearnConfig, LearnedConvention};
 use hoiho_repro::itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_repro::netsim::SimConfig;
@@ -10,6 +13,8 @@ use hoiho_repro::psl::PublicSuffixList;
 use hoiho_repro::serve::server::Client;
 use hoiho_repro::serve::{Engine, Model, ServerHandle};
 use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -131,4 +136,126 @@ fn live_tcp_server_smoke() {
     let bye = client.request("SHUTDOWN").expect("shutdown");
     assert_eq!(bye, "ok\tbye");
     srv.join();
+}
+
+/// Property: a pipelined stream of N query lines, written to the socket
+/// split at arbitrary (RNG-driven) byte boundaries, yields exactly N
+/// responses in request order, each identical to the answer a
+/// one-request-at-a-time client gets. Exercises the event loop's
+/// partial-line buffering at every cut point a TCP segmentation could
+/// produce.
+#[test]
+fn pipelined_stream_split_at_arbitrary_boundaries_answers_in_order() {
+    let (snap, learned) = learn(4242);
+    let engine = Arc::new(Engine::new(&Model::from_learned(&learned)));
+    let srv = ServerHandle::start("127.0.0.1:0", engine, 2).expect("bind");
+    let addr = srv.local_addr();
+
+    let hostnames: Vec<String> = snap
+        .training_set()
+        .observations()
+        .iter()
+        .take(60)
+        .map(|o| o.hostname.clone())
+        .collect();
+    assert!(hostnames.len() >= 40, "sim too small for the property");
+
+    // Reference answers over a plain one-at-a-time connection.
+    let mut single = Client::connect(addr).expect("connect");
+    let expected: Vec<String> =
+        hostnames.iter().map(|h| single.request(h).expect("single query")).collect();
+
+    for seed in [1u64, 7, 20807] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream: Vec<u8> =
+            hostnames.iter().flat_map(|h| h.bytes().chain([b'\n'])).collect();
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.set_nodelay(true).expect("nodelay");
+        let reader_sock = sock.try_clone().expect("clone");
+        // Read concurrently with the fragmented writes so neither side's
+        // socket buffer has to hold the whole conversation.
+        let expected_ref = &expected;
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(move || {
+                let mut r = BufReader::new(reader_sock);
+                let mut got = Vec::with_capacity(expected_ref.len());
+                for _ in 0..expected_ref.len() {
+                    let mut line = String::new();
+                    r.read_line(&mut line).expect("response line");
+                    got.push(line.trim_end().to_string());
+                }
+                got
+            });
+            let mut sent = 0usize;
+            while sent < stream.len() {
+                let n = rng.random_range(1..=9usize).min(stream.len() - sent);
+                sock.write_all(&stream[sent..sent + n]).expect("fragment write");
+                sent += n;
+                if rng.random_bool(0.06) {
+                    // An occasional real pause forces the server to see
+                    // a partial line across epoll wakeups.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            let got = reader.join().expect("reader thread");
+            assert_eq!(&got, expected_ref, "seed {seed}: pipelined responses diverged");
+        });
+    }
+    srv.shutdown();
+}
+
+/// `BATCH` answers are byte-identical to one-at-a-time queries, for
+/// both the single-engine backend and the sharded cluster backend —
+/// and sharded batches agree with the single engine host for host.
+#[test]
+fn batch_matches_single_queries_on_engine_and_cluster_backends() {
+    let (snap, learned) = learn(991);
+    let model = Model::from_learned(&learned);
+    let hostnames: Vec<String> = snap
+        .training_set()
+        .observations()
+        .iter()
+        .take(150)
+        .map(|o| o.hostname.clone())
+        .collect();
+
+    let single_engine_answers;
+    {
+        let engine = Arc::new(Engine::new(&model));
+        let srv = ServerHandle::start("127.0.0.1:0", engine, 2).expect("bind");
+        let mut c = Client::connect(srv.local_addr()).expect("connect");
+        let singles: Vec<String> =
+            hostnames.iter().map(|h| c.request(h).expect("query")).collect();
+        // Several batch sizes, including one that does not divide N.
+        for size in [1usize, 7, 64, hostnames.len()] {
+            let mut batched = Vec::with_capacity(hostnames.len());
+            for chunk in hostnames.chunks(size) {
+                batched.extend(c.batch(chunk).expect("batch"));
+            }
+            assert_eq!(batched, singles, "engine backend, batch size {size}");
+        }
+        single_engine_answers = singles;
+        srv.shutdown();
+    }
+
+    for shards in [2u32, 4] {
+        let router =
+            Arc::new(ShardRouter::from_model(&model, shards, 256).expect("router"));
+        let backend = Arc::new(ClusterBackend::new(router));
+        let srv =
+            ServerHandle::start_with_backend("127.0.0.1:0", backend, 2).expect("bind");
+        let mut c = Client::connect(srv.local_addr()).expect("connect");
+        let singles: Vec<String> =
+            hostnames.iter().map(|h| c.request(h).expect("query")).collect();
+        assert_eq!(
+            singles, single_engine_answers,
+            "shards={shards}: sharded single queries diverged from the single engine"
+        );
+        let mut batched = Vec::with_capacity(hostnames.len());
+        for chunk in hostnames.chunks(32) {
+            batched.extend(c.batch(chunk).expect("batch"));
+        }
+        assert_eq!(batched, singles, "shards={shards}: batch diverged");
+        srv.shutdown();
+    }
 }
