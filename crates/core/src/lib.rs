@@ -60,6 +60,7 @@ pub mod iputil;
 pub mod label;
 pub mod learner;
 pub mod phases;
+pub mod quality;
 pub mod regex;
 pub mod select;
 pub mod taxonomy;

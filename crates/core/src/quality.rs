@@ -1,0 +1,167 @@
+//! Ground-truth quality scoring for extraction pipelines.
+//!
+//! The learner's own [`crate::eval`] counts score candidate regexes
+//! against *training* ASNs, which are themselves inferred and noisy.
+//! This module scores a finished extractor against **ground truth** —
+//! rows of (hostname, the ASN the hostname should yield, or `None`
+//! when extracting anything is wrong, e.g. a stale name or a hostname
+//! that carries no ASN). The simulator knows this truth exactly
+//! (`hoiho-netsim`'s `EmbeddedInfo`), and the scenario quality matrix
+//! (`SCENARIOS.json`) is built from these counts.
+//!
+//! Conventions:
+//! * a row with `expected = Some(a)` scores **tp** when the extractor
+//!   returns exactly `a`, **fp** on any other extraction, **fn** on no
+//!   extraction;
+//! * a row with `expected = None` scores **tn** on no extraction and
+//!   **fp** on any extraction (extracting digits from a stale or
+//!   ASN-free hostname asserts ownership that is wrong).
+//!
+//! Precision is therefore "of the ASNs we asserted, how many were the
+//! true operator", and recall "of the hostnames that truthfully named
+//! an operator, how many did we resolve" — the serve-path analogue of
+//! the paper's PPV-style evaluation.
+
+/// One ground-truth row: a hostname and the ASN it should yield.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthRow {
+    /// The hostname presented to the extractor.
+    pub hostname: String,
+    /// The correct extraction: `Some(asn)` when the hostname truly
+    /// identifies that operator, `None` when no extraction is correct.
+    pub expected: Option<u32>,
+}
+
+impl TruthRow {
+    /// Convenience constructor.
+    pub fn new(hostname: impl Into<String>, expected: Option<u32>) -> TruthRow {
+        TruthRow { hostname: hostname.into(), expected }
+    }
+}
+
+/// Confusion counts of an extractor against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityCounts {
+    /// Extractions that matched the expected ASN.
+    pub tp: u64,
+    /// Extractions that were wrong (wrong ASN, or any ASN where the
+    /// truth is none).
+    pub fp: u64,
+    /// Expected ASNs the extractor missed.
+    pub fnn: u64,
+    /// Correct silences.
+    pub tn: u64,
+}
+
+impl QualityCounts {
+    /// Scores one row.
+    pub fn observe(&mut self, expected: Option<u32>, got: Option<u32>) {
+        match (expected, got) {
+            (Some(e), Some(g)) if e == g => self.tp += 1,
+            (_, Some(_)) => self.fp += 1,
+            (Some(_), None) => self.fnn += 1,
+            (None, None) => self.tn += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &QualityCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fnn += other.fnn;
+        self.tn += other.tn;
+    }
+
+    /// Rows scored.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fnn + self.tn
+    }
+
+    /// tp / (tp + fp); 1.0 when nothing was asserted (an extractor
+    /// that says nothing tells no lies).
+    pub fn precision(&self) -> f64 {
+        let asserted = self.tp + self.fp;
+        if asserted == 0 {
+            1.0
+        } else {
+            self.tp as f64 / asserted as f64
+        }
+    }
+
+    /// tp / (tp + fn); 0.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let findable = self.tp + self.fnn;
+        if findable == 0 {
+            0.0
+        } else {
+            self.tp as f64 / findable as f64
+        }
+    }
+}
+
+/// Scores `extract` over ground-truth `rows`.
+pub fn score<'a, I, F>(rows: I, mut extract: F) -> QualityCounts
+where
+    I: IntoIterator<Item = &'a TruthRow>,
+    F: FnMut(&str) -> Option<u32>,
+{
+    let mut c = QualityCounts::default();
+    for row in rows {
+        c.observe(row.expected, extract(&row.hostname));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_cells() {
+        let rows = [
+            TruthRow::new("as64500.x.net", Some(64500)), // tp
+            TruthRow::new("as64500.y.net", Some(64501)), // fp (wrong asn)
+            TruthRow::new("stale-as1.z.net", None),      // fp (asserted on a lie)
+            TruthRow::new("as7.q.net", Some(7)),         // fn (extractor silent)
+            TruthRow::new("cr1.pop.net", None),          // tn
+        ];
+        let c = score(&rows, |h| match h {
+            "as64500.x.net" | "as64500.y.net" => Some(64500),
+            "stale-as1.z.net" => Some(1),
+            _ => None,
+        });
+        assert_eq!(c, QualityCounts { tp: 1, fp: 2, fnn: 1, tn: 1 });
+        assert_eq!(c.total(), 5);
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_extractor_has_perfect_precision_zero_recall() {
+        let rows = [
+            TruthRow::new("as1.a.net", Some(1)),
+            TruthRow::new("cr1.b.net", None),
+        ];
+        let c = score(&rows, |_| None);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fnn, 1);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = QualityCounts { tp: 1, fp: 2, fnn: 3, tn: 4 };
+        let b = QualityCounts { tp: 10, fp: 20, fnn: 30, tn: 40 };
+        a.merge(&b);
+        assert_eq!(a, QualityCounts { tp: 11, fp: 22, fnn: 33, tn: 44 });
+    }
+
+    #[test]
+    fn empty_rows_score_empty() {
+        let c = score(&[], |_| Some(1));
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+}

@@ -162,7 +162,11 @@ pub struct Regex {
     pub(crate) elems: Vec<Elem>,
     /// Lazily compiled bitmask program, filled on first match call (see
     /// [`Regex::program`]). Excluded from all derived-trait semantics.
-    program: OnceLock<CompiledRegex>,
+    /// Boxed so a cold cache costs one pointer: candidate generation
+    /// creates (and moves) orders of magnitude more regexes than it
+    /// ever matches, and an inline `CompiledRegex` quintuples
+    /// `size_of::<Regex>`.
+    program: OnceLock<Box<CompiledRegex>>,
 }
 
 impl fmt::Debug for Regex {
@@ -225,7 +229,7 @@ impl Regex {
     /// compile; the interpreter survives only as the explicitly named
     /// differential oracle ([`Regex::find_interpreted`]).
     pub fn program(&self) -> &CompiledRegex {
-        self.program.get_or_init(|| CompiledRegex::compile(self))
+        self.program.get_or_init(|| Box::new(CompiledRegex::compile(self)))
     }
 
     /// The element sequence.

@@ -95,6 +95,9 @@ impl Allocator {
 /// Generates the AS level for a configuration.
 #[allow(clippy::needless_range_loop)] // tier boundaries are index ranges
 pub fn generate(cfg: &SimConfig) -> AsLevel {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid SimConfig: {e}");
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_0001);
     let total = cfg.total_ases();
 
@@ -113,9 +116,19 @@ pub fn generate(cfg: &SimConfig) -> AsLevel {
         }
     }
 
-    // Brands, naming styles, prefixes.
+    // Brands, naming styles, prefixes. Per-tier style overrides use
+    // the same single draw per sample as the base mix, so a config
+    // without overrides generates the exact pre-override world.
+    // Vendors draw from their own seeded stream for the same reason:
+    // the default generic-only mix must not perturb the main stream.
     let mut alloc = Allocator::new();
-    let weights = cfg.styles.weights();
+    let tier_weights = [
+        cfg.styles_for(Tier::Tier1).weights(),
+        cfg.styles_for(Tier::Tier2).weights(),
+        cfg.styles_for(Tier::Edge).weights(),
+    ];
+    let vendor_weights = cfg.vendors.weights();
+    let mut vendor_rng = StdRng::seed_from_u64(cfg.seed ^ 0xFACE_0007);
     let mut ases: Vec<AsInfo> = Vec::with_capacity(total);
     for (i, &asn) in asns.iter().enumerate() {
         let tier = if i < cfg.tier1 {
@@ -125,6 +138,7 @@ pub fn generate(cfg: &SimConfig) -> AsLevel {
         } else {
             Tier::Edge
         };
+        let weights = tier_weights[tier as usize];
         // Transit providers always name their gear; pure-edge networks
         // draw from the full mixture.
         let kind = match tier {
@@ -142,7 +156,8 @@ pub fn generate(cfg: &SimConfig) -> AsLevel {
             }
             Tier::Edge => StyleKind::sample(&weights, &mut rng),
         };
-        let naming = OperatorNaming::generate(kind, &mut rng);
+        let mut naming = OperatorNaming::generate(kind, &mut rng);
+        naming.vendor = crate::naming::VendorKind::sample(&vendor_weights, &mut vendor_rng);
         let plen = match tier {
             Tier::Tier1 => 14,
             Tier::Tier2 => 16,
@@ -216,9 +231,11 @@ pub fn generate(cfg: &SimConfig) -> AsLevel {
             }
         }
     }
-    // Edges: one or two providers, mostly tier-2.
+    // Edges: one or two providers, mostly tier-2. Clamp to the number
+    // of distinct transit ASes so a degenerate topology (one tier-1,
+    // no tier-2s) cannot spin the rejection loop forever.
     for x in t2_end..total {
-        let nprov = 1 + usize::from(rng.random_bool(0.35));
+        let nprov = (1 + usize::from(rng.random_bool(0.35))).min(t2_end);
         let mut provs = std::collections::BTreeSet::new();
         while provs.len() < nprov {
             let p = if rng.random_bool(0.82) && cfg.tier2 > 0 {
@@ -257,7 +274,9 @@ pub fn generate(cfg: &SimConfig) -> AsLevel {
                 }
             }
         } else if total > t2_end {
-            let n = 4 + rng.random_range(0..5);
+            // Same clamp: a world with only a couple of edge ASes
+            // cannot seat 4–8 distinct members.
+            let n = (4 + rng.random_range(0..5)).min(total - t2_end);
             while members.len() < n {
                 let x = rng.random_range(t2_end..total);
                 if !members.contains(&ases[x].asn) {
@@ -395,6 +414,77 @@ mod tests {
             }
         }
         assert!(found, "no sibling organizations generated");
+    }
+
+    #[test]
+    fn tier_style_override_applies_to_that_tier_only() {
+        use crate::config::StyleMix;
+        let mut cfg = SimConfig::tiny(31);
+        // Force every edge operator to IpEmbed; transit tiers keep the
+        // default mix (which draws IpEmbed rarely).
+        cfg.tier_styles.edge = Some(StyleMix {
+            none: 0.0,
+            infra: 0.0,
+            simple: 0.0,
+            start: 0.0,
+            end: 0.0,
+            bare: 0.0,
+            complex: 0.0,
+            own_asn: 0.0,
+            as_name: 0.0,
+            ip_embed: 1.0,
+        });
+        let l = generate(&cfg);
+        for a in l.ases.iter().skip(cfg.tier1 + cfg.tier2) {
+            assert_eq!(a.naming.kind, StyleKind::IpEmbed, "AS{}", a.asn);
+        }
+        // No-override config is unchanged by the override machinery.
+        let plain = generate(&SimConfig::tiny(31));
+        let again = generate(&SimConfig::tiny(31));
+        for (x, y) in plain.ases.iter().zip(&again.ases) {
+            assert_eq!(x.naming, y.naming);
+        }
+    }
+
+    #[test]
+    fn vendor_mix_assigns_vendors_without_perturbing_names() {
+        use crate::config::VendorMix;
+        use crate::naming::VendorKind;
+        let plain = generate(&SimConfig::tiny(33));
+        let mut cfg = SimConfig::tiny(33);
+        cfg.vendors = VendorMix { generic: 0.0, juniper: 1.0, cisco: 1.0, arista: 1.0 };
+        let vend = generate(&cfg);
+        // The vendor stream is independent: suffixes, styles, and
+        // brands are identical to the generic world.
+        for (x, y) in plain.ases.iter().zip(&vend.ases) {
+            assert_eq!(x.naming.suffix, y.naming.suffix);
+            assert_eq!(x.naming.kind, y.naming.kind);
+            assert_eq!(x.brand, y.brand);
+        }
+        assert!(plain.ases.iter().all(|a| a.naming.vendor == VendorKind::Generic));
+        assert!(vend.ases.iter().all(|a| a.naming.vendor != VendorKind::Generic));
+        let vendors: std::collections::BTreeSet<_> =
+            vend.ases.iter().map(|a| a.naming.vendor).collect();
+        assert!(vendors.len() >= 2, "vendor diversity expected: {vendors:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn generate_rejects_zero_style_mix() {
+        let mut cfg = SimConfig::tiny(1);
+        cfg.styles = crate::config::StyleMix {
+            none: 0.0,
+            infra: 0.0,
+            simple: 0.0,
+            start: 0.0,
+            end: 0.0,
+            bare: 0.0,
+            complex: 0.0,
+            own_asn: 0.0,
+            as_name: 0.0,
+            ip_embed: 0.0,
+        };
+        generate(&cfg);
     }
 
     #[test]

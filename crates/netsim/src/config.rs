@@ -69,6 +69,97 @@ impl StyleMix {
             self.ip_embed,
         ]
     }
+
+    /// Checks the mix is usable as a sampling distribution: every
+    /// weight finite and non-negative, and at least one positive.
+    /// Rejecting the all-zero mix here (and at scenario-compile time)
+    /// keeps [`crate::naming::StyleKind::sample`] from quietly
+    /// degenerating to [`crate::naming::StyleKind::None`] for every
+    /// operator when the total is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        let w = self.weights();
+        for (i, &x) in w.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "style weight {} must be a finite non-negative number, got {x}",
+                    crate::naming::StyleKind::ALL[i].label()
+                ));
+            }
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err("style mix has zero total weight (all styles disabled)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Optional per-tier [`StyleMix`] overrides. An unset tier inherits
+/// [`SimConfig::styles`]; a set tier replaces the mix wholesale for
+/// operators of that tier (the scenario compiler's
+/// `[styles.tier1]`-style sections lower to this).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierStyles {
+    /// Override for tier-1 operators.
+    pub tier1: Option<StyleMix>,
+    /// Override for tier-2 operators.
+    pub tier2: Option<StyleMix>,
+    /// Override for edge operators.
+    pub edge: Option<StyleMix>,
+}
+
+impl TierStyles {
+    /// The overrides as labelled options, for validation/rendering.
+    pub fn entries(&self) -> [(&'static str, Option<StyleMix>); 3] {
+        [("tier1", self.tier1), ("tier2", self.tier2), ("edge", self.edge)]
+    }
+}
+
+/// Mixture of router vendors across operators. Each operator's gear is
+/// drawn from this mix and its hostnames use that vendor's interface
+/// fragments — the fingerprint "Classifying Network Vendors at
+/// Internet Scale" exploits. The default is generic-only, which
+/// renders the exact hostnames the pre-vendor simulator produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VendorMix {
+    /// Vendor-neutral interface names (the original table).
+    pub generic: f64,
+    /// Juniper-style names (`xe-`, `ae`, `et-`, `irb`).
+    pub juniper: f64,
+    /// Cisco-style names (`te`, `gi`, `hu`, `be`, `po`).
+    pub cisco: f64,
+    /// Arista-style names (`et`, `po`, `vlan`).
+    pub arista: f64,
+}
+
+impl Default for VendorMix {
+    fn default() -> Self {
+        VendorMix { generic: 1.0, juniper: 0.0, cisco: 0.0, arista: 0.0 }
+    }
+}
+
+impl VendorMix {
+    /// The weights as a fixed array (order matches
+    /// [`crate::naming::VendorKind::ALL`]).
+    pub fn weights(&self) -> [f64; 4] {
+        [self.generic, self.juniper, self.cisco, self.arista]
+    }
+
+    /// Same contract as [`StyleMix::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        let w = self.weights();
+        for (i, &x) in w.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "vendor weight {} must be a finite non-negative number, got {x}",
+                    crate::naming::VendorKind::ALL[i].label()
+                ));
+            }
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err("vendor mix has zero total weight".into());
+        }
+        Ok(())
+    }
 }
 
 /// Top-level simulation parameters.
@@ -88,6 +179,11 @@ pub struct SimConfig {
     pub sibling_org_rate: f64,
     /// Naming-style mixture across operators.
     pub styles: StyleMix,
+    /// Optional per-tier overrides of `styles`.
+    pub tier_styles: TierStyles,
+    /// Router-vendor mixture across operators (drives which vendor's
+    /// interface fragments appear in hostnames).
+    pub vendors: VendorMix,
     /// Probability that an ASN-bearing hostname is stale (names a
     /// previous neighbor).
     pub stale_rate: f64,
@@ -124,6 +220,8 @@ impl Default for SimConfig {
             ixps: 16,
             sibling_org_rate: 0.05,
             styles: StyleMix::default(),
+            tier_styles: TierStyles::default(),
+            vendors: VendorMix::default(),
             stale_rate: 0.05,
             typo_rate: 0.004,
             sibling_embed_rate: 0.18,
@@ -141,6 +239,59 @@ impl SimConfig {
     /// Total AS count.
     pub fn total_ases(&self) -> usize {
         self.tier1 + self.tier2 + self.edge
+    }
+
+    /// Checks the configuration is generatable: positive topology
+    /// counts where the builder requires them, probabilities in
+    /// `[0, 1]`, and every style/vendor mix a usable distribution.
+    /// [`crate::asgen::generate`] calls this and panics on failure, so
+    /// a degenerate config fails loudly instead of producing a silent
+    /// all-`None` naming world.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tier1 == 0 {
+            return Err("tier1 must be at least 1 (the clique supplies transit)".into());
+        }
+        if self.vantage_points == 0 {
+            return Err("vantage_points must be at least 1".into());
+        }
+        for (name, v) in [
+            ("sibling_org_rate", self.sibling_org_rate),
+            ("stale_rate", self.stale_rate),
+            ("typo_rate", self.typo_rate),
+            ("sibling_embed_rate", self.sibling_embed_rate),
+            ("name_coverage", self.name_coverage),
+            ("unresponsive_rate", self.unresponsive_rate),
+            ("third_party_rate", self.third_party_rate),
+            ("ixp_member_rate", self.ixp_member_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(format!("{name} must be a probability in 0..=1, got {v}"));
+            }
+        }
+        if !self.tier2_peering.is_finite() || self.tier2_peering < 0.0 {
+            return Err(format!(
+                "tier2_peering must be a non-negative link count, got {}",
+                self.tier2_peering
+            ));
+        }
+        self.styles.validate().map_err(|e| format!("styles: {e}"))?;
+        for (tier, mix) in self.tier_styles.entries() {
+            if let Some(m) = mix {
+                m.validate().map_err(|e| format!("styles.{tier}: {e}"))?;
+            }
+        }
+        self.vendors.validate().map_err(|e| format!("vendors: {e}"))?;
+        Ok(())
+    }
+
+    /// The effective style mix for a tier (override or base).
+    pub fn styles_for(&self, tier: crate::asgen::Tier) -> StyleMix {
+        let o = match tier {
+            crate::asgen::Tier::Tier1 => self.tier_styles.tier1,
+            crate::asgen::Tier::Tier2 => self.tier_styles.tier2,
+            crate::asgen::Tier::Edge => self.tier_styles.edge,
+        };
+        o.unwrap_or(self.styles)
     }
 
     /// A small configuration for fast unit tests.
@@ -175,5 +326,71 @@ mod tests {
         let c = SimConfig::tiny(1);
         assert!(c.total_ases() < SimConfig::default().total_ases());
         assert_eq!(c.seed, 1);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+        assert_eq!(SimConfig::tiny(7).validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_style_mix_rejected() {
+        let zero = StyleMix {
+            none: 0.0,
+            infra: 0.0,
+            simple: 0.0,
+            start: 0.0,
+            end: 0.0,
+            bare: 0.0,
+            complex: 0.0,
+            own_asn: 0.0,
+            as_name: 0.0,
+            ip_embed: 0.0,
+        };
+        let err = zero.validate().unwrap_err();
+        assert!(err.contains("zero total weight"), "{err}");
+        let mut cfg = SimConfig::tiny(1);
+        cfg.styles = zero;
+        assert!(cfg.validate().unwrap_err().starts_with("styles:"));
+        // Per-tier overrides are validated too.
+        let mut cfg = SimConfig::tiny(1);
+        cfg.tier_styles.edge = Some(zero);
+        assert!(cfg.validate().unwrap_err().starts_with("styles.edge:"));
+    }
+
+    #[test]
+    fn negative_and_non_finite_weights_rejected() {
+        let mut m = StyleMix::default();
+        m.simple = -0.1;
+        assert!(m.validate().unwrap_err().contains("simple"));
+        m.simple = f64::NAN;
+        assert!(m.validate().is_err());
+        let mut v = VendorMix::default();
+        v.cisco = -1.0;
+        assert!(v.validate().unwrap_err().contains("cisco"));
+        v = VendorMix { generic: 0.0, juniper: 0.0, cisco: 0.0, arista: 0.0 };
+        assert!(v.validate().unwrap_err().contains("zero total"));
+    }
+
+    #[test]
+    fn out_of_range_rates_rejected() {
+        let mut cfg = SimConfig::tiny(1);
+        cfg.stale_rate = 1.5;
+        assert!(cfg.validate().unwrap_err().contains("stale_rate"));
+        let mut cfg = SimConfig::tiny(1);
+        cfg.tier1 = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn styles_for_prefers_override() {
+        let mut cfg = SimConfig::tiny(1);
+        let mut loud = StyleMix::default();
+        loud.simple = 9.0;
+        cfg.tier_styles.tier2 = Some(loud);
+        assert_eq!(cfg.styles_for(crate::asgen::Tier::Tier2), loud);
+        assert_eq!(cfg.styles_for(crate::asgen::Tier::Tier1), cfg.styles);
+        assert_eq!(cfg.styles_for(crate::asgen::Tier::Edge), cfg.styles);
     }
 }

@@ -215,6 +215,95 @@ impl Internet {
             .filter(|i| i.hostname.is_some())
             .map(|i| (i, self.routers[i.router as usize].owner))
     }
+
+    /// A stable 64-bit FNV-1a digest over the whole generated world —
+    /// AS level, routers, interfaces (addresses, hostnames, ground
+    /// truth), and links. Two [`Internet`]s with equal digests are
+    /// byte-identical for every consumer in the workspace; the
+    /// scenario compiler's determinism contract (same file + seed →
+    /// identical world) is checked against this.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for a in &self.aslevel.ases {
+            h.u64(u64::from(a.asn));
+            h.u64(a.tier as u64);
+            h.str(&a.brand);
+            h.str(&a.naming.suffix);
+            h.u64(a.naming.kind as u64);
+            h.u64(u64::from(a.naming.variant));
+            h.u64(a.naming.vendor as u64);
+            for p in &a.naming.pops {
+                h.str(p);
+            }
+            for p in &a.prefixes {
+                h.u64(u64::from(p.addr()));
+                h.u64(u64::from(p.len()));
+            }
+        }
+        h.str(&self.aslevel.rel.to_text());
+        for r in &self.routers {
+            h.u64(u64::from(r.id));
+            h.u64(r.as_id as u64);
+            h.u64(u64::from(r.owner));
+        }
+        for i in &self.interfaces {
+            h.u64(u64::from(i.id));
+            h.u64(u64::from(i.addr));
+            h.u64(u64::from(i.router));
+            h.str(i.hostname.as_deref().unwrap_or("-"));
+            h.u64(i.namer.map_or(u64::MAX, u64::from));
+            h.u64(i.kind as u64);
+            match &i.embedded {
+                EmbeddedInfo::NoAsn => h.u64(0),
+                EmbeddedInfo::OwnAsn { asn } => {
+                    h.u64(1);
+                    h.u64(u64::from(*asn));
+                }
+                EmbeddedInfo::NeighborAsn { written, intended, stale, typo, sibling } => {
+                    h.u64(2);
+                    h.str(written);
+                    h.u64(u64::from(*intended));
+                    h.u64(u64::from(*stale) | u64::from(*typo) << 1 | u64::from(*sibling) << 2);
+                }
+            }
+        }
+        for l in &self.links {
+            h.u64(l.a_as as u64);
+            h.u64(l.b_as as u64);
+            h.u64(u64::from(l.a_iface));
+            h.u64(u64::from(l.b_iface));
+            match l.kind {
+                LinkKind::PtP { supplier } => h.u64(supplier as u64),
+                LinkKind::Ixp { ixp } => h.u64(u64::from(ixp) | 1 << 32),
+            }
+        }
+        h.0
+    }
+}
+
+/// FNV-1a, the workspace's house choice for cheap stable digests.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
 }
 
 struct Builder {
@@ -681,6 +770,18 @@ mod tests {
             assert_eq!(x.addr, y.addr);
             assert_eq!(x.hostname, y.hostname);
         }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_separates_configs() {
+        let a = Internet::generate(&SimConfig::tiny(21));
+        let b = Internet::generate(&SimConfig::tiny(22));
+        assert_ne!(a.digest(), b.digest(), "different seeds, different worlds");
+        let mut cfg = SimConfig::tiny(21);
+        cfg.stale_rate = 0.4;
+        let c = Internet::generate(&cfg);
+        assert_ne!(a.digest(), c.digest(), "different rates, different worlds");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod internet;
 pub mod naming;
 pub mod traceroute;
 
-pub use config::SimConfig;
-pub use internet::{Interface, Internet, Link, Router};
+pub use config::{SimConfig, StyleMix, TierStyles, VendorMix};
+pub use internet::{EmbeddedInfo, Interface, Internet, Link, Router};
+pub use naming::{StyleKind, VendorKind};
 pub use traceroute::{TracePath, TraceSet};

@@ -79,9 +79,32 @@ impl StyleKind {
         self.embeds_neighbor_asn() || self == StyleKind::OwnAsn
     }
 
+    /// The scenario-grammar key for the style (also used in
+    /// validation errors).
+    pub fn label(self) -> &'static str {
+        match self {
+            StyleKind::None => "none",
+            StyleKind::Infra => "infra",
+            StyleKind::Simple => "simple",
+            StyleKind::Start => "start",
+            StyleKind::End => "end",
+            StyleKind::Bare => "bare",
+            StyleKind::Complex => "complex",
+            StyleKind::OwnAsn => "own_asn",
+            StyleKind::AsName => "as_name",
+            StyleKind::IpEmbed => "ip_embed",
+        }
+    }
+
     /// Samples a style from weighted `mix` (weights aligned to
-    /// [`StyleKind::ALL`]).
+    /// [`StyleKind::ALL`]). Callers are responsible for rejecting a
+    /// zero-total mix first ([`crate::config::StyleMix::validate`]);
+    /// with a zero total every draw degenerates to the first style.
     pub fn sample(weights: &[f64; 10], rng: &mut StdRng) -> StyleKind {
+        debug_assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "sampling from a zero-total style mix; validate the config first"
+        );
         let total: f64 = weights.iter().sum();
         let mut x = rng.random::<f64>() * total;
         for (i, &w) in weights.iter().enumerate() {
@@ -94,6 +117,67 @@ impl StyleKind {
     }
 }
 
+/// Which vendor's gear an operator runs — visible in hostnames through
+/// the vendor's interface-name fragments, the signal "Classifying
+/// Network Vendors at Internet Scale" (PAPERS.md) classifies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VendorKind {
+    /// Vendor-neutral fragments (the original simulator table).
+    Generic,
+    /// Juniper-style fragments.
+    Juniper,
+    /// Cisco-style fragments.
+    Cisco,
+    /// Arista-style fragments.
+    Arista,
+}
+
+impl VendorKind {
+    /// All vendors, in the order of
+    /// [`crate::config::VendorMix::weights`].
+    pub const ALL: [VendorKind; 4] =
+        [VendorKind::Generic, VendorKind::Juniper, VendorKind::Cisco, VendorKind::Arista];
+
+    /// The scenario-grammar key for the vendor.
+    pub fn label(self) -> &'static str {
+        match self {
+            VendorKind::Generic => "generic",
+            VendorKind::Juniper => "juniper",
+            VendorKind::Cisco => "cisco",
+            VendorKind::Arista => "arista",
+        }
+    }
+
+    /// The vendor's interface-name fragments.
+    fn ifaces(self) -> &'static [&'static str] {
+        match self {
+            VendorKind::Generic => IFACES,
+            VendorKind::Juniper => IFACES_JUNIPER,
+            VendorKind::Cisco => IFACES_CISCO,
+            VendorKind::Arista => IFACES_ARISTA,
+        }
+    }
+
+    /// Samples a vendor from weighted `mix` (weights aligned to
+    /// [`VendorKind::ALL`]). Same zero-total contract as
+    /// [`StyleKind::sample`].
+    pub fn sample(weights: &[f64; 4], rng: &mut StdRng) -> VendorKind {
+        debug_assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "sampling from a zero-total vendor mix; validate the config first"
+        );
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.random::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return VendorKind::ALL[i];
+            }
+            x -= w;
+        }
+        VendorKind::Generic
+    }
+}
+
 /// Point-of-presence codes operators sprinkle into hostnames.
 const POPS: &[&str] = &[
     "akl", "syd", "lax", "nyc", "fra", "lhr", "ams", "sin", "tyo", "mel", "chi", "dal", "sea",
@@ -101,10 +185,31 @@ const POPS: &[&str] = &[
     "scl", "bog", "mex", "hkg",
 ];
 
-/// Interface-name fragments (hostname-safe).
+/// Interface-name fragments (hostname-safe, vendor-neutral).
 const IFACES: &[&str] = &[
     "ge0-1", "te0-0-1", "xe-1-2-0", "ae3", "be127", "hu0-1-0-3", "et-0-0-49", "te1-4", "ge2-0",
     "ae12", "xe-0-0-3", "te0-7-0-5",
+];
+
+/// Juniper-style interface fragments (`xe`/`ge`/`et` with FPC-PIC-port
+/// triples, `ae` bundles, `irb` units).
+const IFACES_JUNIPER: &[&str] = &[
+    "xe-0-1-0", "xe-2-0-3", "ge-1-0-7", "et-0-0-49", "ae5", "ae31", "irb-310", "xe-1-2-0",
+    "ge-0-3-1", "et-3-1-0", "ae12", "xe-4-0-1",
+];
+
+/// Cisco-style interface fragments (`te`/`gi`/`hu` rack-slot-port,
+/// `be` bundles, `po` port-channels).
+const IFACES_CISCO: &[&str] = &[
+    "te0-0-0-1", "te0-1-0-5", "gi0-0-0-12", "hu0-2-0-0", "be127", "be14", "po23", "te1-4",
+    "gi0-1", "hu0-1-0-3", "be202", "te0-7-0-5",
+];
+
+/// Arista-style interface fragments (flat `et` ports with breakouts,
+/// `po` channels, `vlan` SVIs).
+const IFACES_ARISTA: &[&str] = &[
+    "et49", "et50-1", "et3", "et12-4", "po100", "po7", "vlan210", "et25-1", "et61", "po12",
+    "vlan3020", "et17",
 ];
 
 /// Link bandwidths for conventions that annotate them (in Gbit/s).
@@ -152,6 +257,8 @@ pub struct OperatorNaming {
     pub variant: u8,
     /// POP codes this operator uses.
     pub pops: Vec<String>,
+    /// Whose interface-name fragments the operator's hostnames carry.
+    pub vendor: VendorKind,
 }
 
 /// Inputs for rendering one hostname.
@@ -183,15 +290,22 @@ impl OperatorNaming {
                 pops.push(p);
             }
         }
-        OperatorNaming { kind, suffix, variant: rng.random_range(0..3), pops }
+        OperatorNaming {
+            kind,
+            suffix,
+            variant: rng.random_range(0..3),
+            pops,
+            vendor: VendorKind::Generic,
+        }
     }
 
     fn pop(&self, i: u32) -> &str {
         &self.pops[(i as usize) % self.pops.len()]
     }
 
-    fn iface(i: u32) -> &'static str {
-        IFACES[(i as usize) % IFACES.len()]
+    fn iface(&self, i: u32) -> &'static str {
+        let t = self.vendor.ifaces();
+        t[(i as usize) % t.len()]
     }
 
     /// Hostname for the *neighbor-facing* side of an interconnect this
@@ -204,7 +318,7 @@ impl OperatorNaming {
     pub fn interconnect_name(&self, ctx: &NameCtx<'_>, asn_override: Option<String>) -> Option<String> {
         let asn = asn_override.unwrap_or_else(|| ctx.neighbor_asn.to_string());
         let pop = self.pop(ctx.link_index);
-        let iface = Self::iface(ctx.link_index);
+        let iface = self.iface(ctx.link_index);
         let bw = BANDWIDTHS[(ctx.link_index as usize) % BANDWIDTHS.len()];
         let i = ctx.link_index;
         let s = &self.suffix;
@@ -258,7 +372,7 @@ impl OperatorNaming {
     /// the supplier's own side of an interconnect).
     pub fn infra_name(&self, ctx: &NameCtx<'_>) -> Option<String> {
         let pop = self.pop(ctx.link_index);
-        let iface = Self::iface(ctx.link_index.wrapping_add(5));
+        let iface = self.iface(ctx.link_index.wrapping_add(5));
         let i = ctx.link_index;
         let s = &self.suffix;
         match self.kind {
@@ -469,6 +583,57 @@ mod tests {
                 assert!(!h.starts_with('.') && !h.ends_with('.'), "{h}");
             }
         }
+    }
+
+    #[test]
+    fn vendor_fragments_reach_hostnames() {
+        let mut o = op(StyleKind::Infra);
+        let c = ctx("acme");
+        let generic = o.interconnect_name(&c, None).unwrap();
+        o.vendor = VendorKind::Juniper;
+        let juniper = o.interconnect_name(&c, None).unwrap();
+        assert_ne!(generic, juniper);
+        assert!(juniper.starts_with("xe-") || juniper.starts_with("ge-")
+            || juniper.starts_with("et-") || juniper.starts_with("ae")
+            || juniper.starts_with("irb"), "{juniper}");
+        // Vendor changes only the interface fragment, never the suffix.
+        assert!(juniper.ends_with(".tele-nova.net"), "{juniper}");
+    }
+
+    #[test]
+    fn vendor_hostnames_stay_dns_safe() {
+        let c = ctx("acme");
+        for vendor in VendorKind::ALL {
+            for kind in StyleKind::ALL {
+                let mut o = op(kind);
+                o.vendor = vendor;
+                for h in [o.interconnect_name(&c, None), o.infra_name(&c)].into_iter().flatten() {
+                    assert!(
+                        h.bytes().all(|b| b.is_ascii_lowercase()
+                            || b.is_ascii_digit()
+                            || b == b'.'
+                            || b == b'-'),
+                        "unsafe hostname {h} ({vendor:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_sampling_respects_weights() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(
+                VendorKind::sample(&[1.0, 0.0, 0.0, 0.0], &mut r),
+                VendorKind::Generic
+            );
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            seen.insert(VendorKind::sample(&[1.0, 1.0, 1.0, 1.0], &mut r));
+        }
+        assert_eq!(seen.len(), 4, "all vendors drawn: {seen:?}");
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Lowering a [`Scenario`] onto `hoiho-netsim`, and reading ground
+//! truth back out of the generated world.
+//!
+//! The determinism contract: compiling the same scenario text with the
+//! same seed always produces byte-identical internets — asserted via
+//! `Internet::digest` equality in the crate's property tests and in
+//! `tests/scenario_pipeline.rs`. That contract is what lets the
+//! checked-in `SCENARIOS.json` quality matrix be diffed across PRs:
+//! any movement is the learner/server changing, never the world.
+//!
+//! Ground-truth semantics (what an extractor *should* return for a
+//! hostname, per `EmbeddedInfo`):
+//!
+//! * a clean neighbor annotation → the written ASN (== the operator);
+//! * a **typo'd** or **sibling** annotation → still the *written*
+//!   digits: a faithful extractor reads what the operator wrote, and
+//!   the paper scores single-digit typos as matches (§3.1) and sibling
+//!   ASNs as the same organization (Table 2);
+//! * a **stale** annotation → `None`: the name describes a neighbor
+//!   that no longer exists, so *any* extraction asserts a wrong
+//!   operator;
+//! * an own-ASN name → that ASN; anything else (infra names,
+//!   AS-*name* conventions, IP-derived names) → `None`.
+
+use crate::{Scenario, ScenarioError};
+use hoiho_netsim::{EmbeddedInfo, Internet, SimConfig};
+use std::collections::BTreeSet;
+
+impl Scenario {
+    /// The [`SimConfig`] this scenario lowers to (not yet validated).
+    pub fn sim_config(&self) -> SimConfig {
+        let t = &self.topology;
+        let r = &self.rates;
+        SimConfig {
+            seed: self.seed,
+            tier1: t.tier1,
+            tier2: t.tier2,
+            edge: t.edge,
+            ixps: t.ixps,
+            sibling_org_rate: t.sibling_org_rate,
+            styles: self.styles,
+            tier_styles: self.tier_styles,
+            vendors: self.vendors,
+            stale_rate: r.stale,
+            typo_rate: r.typo,
+            sibling_embed_rate: r.sibling_embed,
+            name_coverage: r.name_coverage,
+            vantage_points: t.vantage_points,
+            unresponsive_rate: r.unresponsive,
+            third_party_rate: r.third_party,
+            tier2_peering: t.tier2_peering,
+            ixp_member_rate: t.ixp_member_rate,
+        }
+    }
+
+    /// Validates and returns the lowered config. The parser already
+    /// rejects everything `SimConfig::validate` checks, so a failure
+    /// here means a hand-built `Scenario` value — but repeating the
+    /// check keeps `compile` the single safe entry point.
+    pub fn compile(&self) -> Result<SimConfig, ScenarioError> {
+        let cfg = self.sim_config();
+        cfg.validate().map_err(|e| {
+            ScenarioError::at(0, format!("scenario {} does not compile: {e}", self.name))
+        })?;
+        Ok(cfg)
+    }
+
+    /// Compiles and generates the world.
+    pub fn build(&self) -> Result<Internet, ScenarioError> {
+        Ok(Internet::generate(&self.compile()?))
+    }
+}
+
+/// Ground-truth rows for a world: every named interface's hostname and
+/// the ASN an extractor should yield for it (`None` when extracting
+/// anything is wrong). Order follows interface ids, so the rows are
+/// deterministic for a given world.
+pub fn ground_truth_rows(net: &Internet) -> Vec<(String, Option<u32>)> {
+    net.named_interfaces()
+        .map(|(iface, _owner)| {
+            let hostname = iface.hostname.clone().expect("named interface has a hostname");
+            let expected = match &iface.embedded {
+                EmbeddedInfo::NeighborAsn { stale: true, .. } => None,
+                EmbeddedInfo::NeighborAsn { written, .. } => written.parse::<u32>().ok(),
+                EmbeddedInfo::OwnAsn { asn } => Some(*asn),
+                EmbeddedInfo::NoAsn => None,
+            };
+            (hostname, expected)
+        })
+        .collect()
+}
+
+/// The registrable suffixes that truthfully carry an ASN-embedding
+/// naming convention: suffixes (operator or IXP) under which at least
+/// one hostname embeds an ASN. This is the denominator for the
+/// "conventions found" quality metric — the learner can at best learn
+/// a convention per suffix in this set.
+pub fn truth_suffixes(net: &Internet) -> BTreeSet<String> {
+    // Candidate suffixes: every operator's naming suffix plus each
+    // IXP's `<name>.net` (the suffix internet-generation assigns to
+    // IXP LAN ports). Longest-first so `ix.brand.net` style nesting
+    // can never mis-attribute.
+    let mut cands: Vec<String> = net
+        .aslevel
+        .ases
+        .iter()
+        .map(|a| a.naming.suffix.clone())
+        .filter(|s| !s.is_empty())
+        .collect();
+    cands.extend(net.aslevel.ixps.ixps().iter().map(|ix| format!("{}.net", ix.name)));
+    cands.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    cands.dedup();
+
+    let mut out = BTreeSet::new();
+    for (iface, _) in net.named_interfaces() {
+        if matches!(iface.embedded, EmbeddedInfo::NoAsn) {
+            continue;
+        }
+        let h = iface.hostname.as_deref().expect("named");
+        if let Some(s) = cands
+            .iter()
+            .find(|s| h.len() > s.len() + 1 && h.ends_with(s.as_str()) && h.as_bytes()[h.len() - s.len() - 1] == b'.')
+        {
+            out.insert(s.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        let mut sc = Scenario::default();
+        sc.name = "unit".into();
+        sc.seed = 99;
+        sc.topology.tier1 = 2;
+        sc.topology.tier2 = 6;
+        sc.topology.edge = 30;
+        sc.topology.ixps = 2;
+        sc.topology.vantage_points = 5;
+        sc
+    }
+
+    #[test]
+    fn lowering_maps_every_field() {
+        let mut sc = small();
+        sc.rates.stale = 0.11;
+        sc.traffic.batch = 32; // traffic does not affect the world
+        let cfg = sc.compile().unwrap();
+        assert_eq!(cfg.seed, 99);
+        assert_eq!((cfg.tier1, cfg.tier2, cfg.edge, cfg.ixps), (2, 6, 30, 2));
+        assert_eq!(cfg.stale_rate, 0.11);
+        assert_eq!(cfg.vantage_points, 5);
+        assert_eq!(cfg.styles, sc.styles);
+    }
+
+    #[test]
+    fn equal_scenarios_compile_identical_worlds() {
+        let sc = small();
+        let text = sc.render();
+        let a = Scenario::parse(&text).unwrap().build().unwrap();
+        let b = Scenario::parse(&text).unwrap().build().unwrap();
+        assert_eq!(a.digest(), b.digest());
+        // A different seed is a different world.
+        let mut other = sc.clone();
+        other.seed = 100;
+        assert_ne!(other.build().unwrap().digest(), a.digest());
+    }
+
+    #[test]
+    fn hand_built_invalid_scenario_fails_compile() {
+        let mut sc = small();
+        sc.rates.stale = 2.0; // bypasses the parser's range check
+        let e = sc.compile().unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("stale_rate"), "{e}");
+    }
+
+    #[test]
+    fn ground_truth_covers_every_named_interface() {
+        let net = small().build().unwrap();
+        let rows = ground_truth_rows(&net);
+        assert_eq!(rows.len(), net.named_interfaces().count());
+        assert!(!rows.is_empty());
+        // The world is noisy enough to have both kinds of rows.
+        assert!(rows.iter().any(|(_, e)| e.is_some()), "no ASN-bearing rows");
+        assert!(rows.iter().any(|(_, e)| e.is_none()), "no ASN-free rows");
+        // Stale names must expect None even though digits are present.
+        for (iface, _) in net.named_interfaces() {
+            if let EmbeddedInfo::NeighborAsn { stale: true, .. } = iface.embedded {
+                let h = iface.hostname.as_deref().unwrap();
+                let row = rows.iter().find(|(n, _)| n == h).unwrap();
+                assert_eq!(row.1, None, "stale {h} must expect no extraction");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_suffixes_are_real_suffixes_of_asn_hostnames() {
+        let net = small().build().unwrap();
+        let suffixes = truth_suffixes(&net);
+        assert!(!suffixes.is_empty(), "world has no learnable conventions");
+        for s in &suffixes {
+            let dot = format!(".{s}");
+            assert!(
+                net.named_interfaces().any(|(i, _)| {
+                    !matches!(i.embedded, EmbeddedInfo::NoAsn)
+                        && i.hostname.as_deref().unwrap().ends_with(&dot)
+                }),
+                "{s} has no ASN-bearing hostname"
+            );
+        }
+    }
+}

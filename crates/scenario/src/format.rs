@@ -1,0 +1,668 @@
+//! The scenario file format: strict parser and canonical renderer.
+//!
+//! The grammar is sectioned `key = value` text in the same strictness
+//! family as the model artifact and the shard map: a versioned header,
+//! `#` comments and blank lines ignored anywhere, every error carrying
+//! a 1-based line number, and an `E` trailer holding section/key totals
+//! so a truncated file can never parse. [`Scenario::render`] →
+//! [`Scenario::parse`] → [`Scenario::render`] is a fixpoint
+//! (property-tested in `tests/properties.rs`):
+//!
+//! ```text
+//! # comments and blank lines are ignored anywhere
+//! hoiho-scenario	1
+//! [meta]
+//! name = paper-default
+//! seed = 20200127
+//! [topology]
+//! tier1 = 4
+//! ...
+//! [styles]
+//! none = 0.3
+//! ...
+//! [traffic]
+//! skew = zipf 1.1
+//! ...
+//! E	6	33
+//! ```
+//!
+//! Sections may appear in any order (render emits the canonical order);
+//! duplicate sections and duplicate keys are errors; unknown sections
+//! and keys are errors. Values are validated where they are read, so
+//! an out-of-range rate or an all-zero style mix is rejected with the
+//! line it came from — the same all-zero check `SimConfig::validate`
+//! repeats at compile time as defense in depth.
+//!
+//! A `[styles.tier1]`-style override section lists only the weights it
+//! changes; unset weights inherit the **final** `[styles]` mix, so the
+//! meaning does not depend on section order. `render` emits overrides
+//! fully resolved (all ten weights), which is what makes the fixpoint
+//! hold.
+
+use crate::{Scenario, ScenarioError, Skew, SCENARIO_VERSION};
+use hoiho_netsim::{StyleKind, StyleMix, VendorKind, VendorMix};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The sections of the grammar, in canonical render order.
+const SECTIONS: [&str; 9] = [
+    "meta",
+    "topology",
+    "rates",
+    "styles",
+    "styles.tier1",
+    "styles.tier2",
+    "styles.edge",
+    "vendors",
+    "traffic",
+];
+
+/// Mutable access to a style weight by grammar key, shared by the base
+/// `[styles]` section and the per-tier overrides.
+fn style_slot<'m>(m: &'m mut StyleMix, key: &str) -> Option<&'m mut f64> {
+    Some(match key {
+        "none" => &mut m.none,
+        "infra" => &mut m.infra,
+        "simple" => &mut m.simple,
+        "start" => &mut m.start,
+        "end" => &mut m.end,
+        "bare" => &mut m.bare,
+        "complex" => &mut m.complex,
+        "own_asn" => &mut m.own_asn,
+        "as_name" => &mut m.as_name,
+        "ip_embed" => &mut m.ip_embed,
+        _ => return None,
+    })
+}
+
+fn vendor_slot<'m>(m: &'m mut VendorMix, key: &str) -> Option<&'m mut f64> {
+    Some(match key {
+        "generic" => &mut m.generic,
+        "juniper" => &mut m.juniper,
+        "cisco" => &mut m.cisco,
+        "arista" => &mut m.arista,
+        _ => return None,
+    })
+}
+
+/// A weight value: finite and non-negative (zero-total is checked per
+/// section once all weights are in).
+fn parse_weight(line: usize, key: &str, value: &str) -> Result<f64, ScenarioError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| ScenarioError::at(line, format!("bad number for {key}: {value:?}")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(ScenarioError::at(
+            line,
+            format!("{key} must be a finite non-negative weight, got {value}"),
+        ));
+    }
+    Ok(v)
+}
+
+/// A probability: finite, in `0..=1`.
+fn parse_rate(line: usize, key: &str, value: &str) -> Result<f64, ScenarioError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| ScenarioError::at(line, format!("bad number for {key}: {value:?}")))?;
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(ScenarioError::at(
+            line,
+            format!("{key} must be a probability in 0..=1, got {value}"),
+        ));
+    }
+    Ok(v)
+}
+
+fn parse_count(line: usize, key: &str, value: &str) -> Result<usize, ScenarioError> {
+    value
+        .parse()
+        .map_err(|_| ScenarioError::at(line, format!("bad count for {key}: {value:?}")))
+}
+
+/// In-flight per-tier override: which weights the section set, applied
+/// onto the final base mix after the whole file is read.
+#[derive(Default)]
+struct PendingOverride {
+    /// The section's own line (for the zero-total error).
+    line: usize,
+    /// `(style index, weight)` in file order.
+    set: Vec<(usize, f64)>,
+}
+
+impl PendingOverride {
+    fn resolve(&self, base: StyleMix) -> StyleMix {
+        let mut m = base;
+        for &(idx, v) in &self.set {
+            *style_slot(&mut m, StyleKind::ALL[idx].label()).expect("index from parse") = v;
+        }
+        m
+    }
+}
+
+impl Scenario {
+    /// Parses scenario text, reporting the first problem with its line
+    /// number. Missing sections and keys fall back to
+    /// [`Scenario::default`] values except `[meta] name`, which is
+    /// required (a scenario without an identity cannot be reported in
+    /// the quality matrix).
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        let mut sc = Scenario::default();
+        sc.name.clear();
+
+        let mut header = false;
+        let mut section: Option<&'static str> = None;
+        let mut seen_sections: BTreeSet<&'static str> = BTreeSet::new();
+        let mut seen_keys: BTreeSet<(&'static str, String)> = BTreeSet::new();
+        let mut trailer: Option<usize> = None;
+        let mut n_sections = 0usize;
+        let mut n_keys = 0usize;
+        // Section start lines, for errors that belong to a whole
+        // section (an all-zero mix has no single offending key line).
+        let mut styles_line = 0usize;
+        let mut vendors_line = 0usize;
+        let mut overrides: [Option<PendingOverride>; 3] = [None, None, None];
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim_end_matches('\r').trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(tl) = trailer {
+                return Err(ScenarioError::at(
+                    lineno,
+                    format!("content after the E trailer on line {tl}"),
+                ));
+            }
+            if !header {
+                let fields: Vec<&str> = line.split('\t').collect();
+                let [tag, version] = fields[..] else {
+                    return Err(ScenarioError::at(lineno, "bad header (want 2 fields)"));
+                };
+                if tag != "hoiho-scenario" {
+                    return Err(ScenarioError::at(lineno, "missing hoiho-scenario header"));
+                }
+                let version: u32 = version
+                    .parse()
+                    .map_err(|_| ScenarioError::at(lineno, "bad header version"))?;
+                if version != SCENARIO_VERSION {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        format!(
+                            "unsupported scenario version {version} (expected {SCENARIO_VERSION})"
+                        ),
+                    ));
+                }
+                header = true;
+                continue;
+            }
+            // Section header.
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(ScenarioError::at(lineno, "unterminated section header"));
+                };
+                let Some(&known) = SECTIONS.iter().find(|&&s| s == name) else {
+                    return Err(ScenarioError::at(lineno, format!("unknown section [{name}]")));
+                };
+                if !seen_sections.insert(known) {
+                    return Err(ScenarioError::at(lineno, format!("duplicate section [{known}]")));
+                }
+                match known {
+                    "styles" => styles_line = lineno,
+                    "vendors" => vendors_line = lineno,
+                    "styles.tier1" => {
+                        overrides[0] = Some(PendingOverride { line: lineno, set: Vec::new() })
+                    }
+                    "styles.tier2" => {
+                        overrides[1] = Some(PendingOverride { line: lineno, set: Vec::new() })
+                    }
+                    "styles.edge" => {
+                        overrides[2] = Some(PendingOverride { line: lineno, set: Vec::new() })
+                    }
+                    _ => {}
+                }
+                section = Some(known);
+                n_sections += 1;
+                continue;
+            }
+            // Trailer.
+            if let Some(rest) = line.strip_prefix("E\t") {
+                let nums: Vec<usize> = rest
+                    .split('\t')
+                    .map(|v| v.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ScenarioError::at(lineno, "bad trailer field"))?;
+                let [secs, keys] = nums[..] else {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        format!("E trailer needs 2 fields, got {}", nums.len()),
+                    ));
+                };
+                if secs != n_sections || keys != n_keys {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        format!(
+                            "trailer mismatch: file says {secs} sections / {keys} keys, \
+                             parsed {n_sections} / {n_keys}"
+                        ),
+                    ));
+                }
+                trailer = Some(lineno);
+                continue;
+            }
+            // Key/value line.
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScenarioError::at(lineno, format!("expected key = value, got {line:?}")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() || value.is_empty() {
+                return Err(ScenarioError::at(lineno, "empty key or value"));
+            }
+            let Some(sec) = section else {
+                return Err(ScenarioError::at(lineno, format!("key {key} outside any section")));
+            };
+            if !seen_keys.insert((sec, key.to_string())) {
+                return Err(ScenarioError::at(lineno, format!("duplicate key {key} in [{sec}]")));
+            }
+            n_keys += 1;
+            let unknown =
+                || ScenarioError::at(lineno, format!("unknown key {key} in [{sec}]"));
+            match sec {
+                "meta" => match key {
+                    "name" => {
+                        let ok = !value.is_empty()
+                            && value.len() <= 64
+                            && value
+                                .chars()
+                                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+                        if !ok {
+                            return Err(ScenarioError::at(
+                                lineno,
+                                format!("name must be 1-64 chars of [a-z0-9-], got {value:?}"),
+                            ));
+                        }
+                        sc.name = value.to_string();
+                    }
+                    "seed" => {
+                        sc.seed = value.parse().map_err(|_| {
+                            ScenarioError::at(lineno, format!("bad seed: {value:?}"))
+                        })?;
+                    }
+                    _ => return Err(unknown()),
+                },
+                "topology" => {
+                    let t = &mut sc.topology;
+                    match key {
+                        "tier1" => t.tier1 = parse_count(lineno, key, value)?,
+                        "tier2" => t.tier2 = parse_count(lineno, key, value)?,
+                        "edge" => t.edge = parse_count(lineno, key, value)?,
+                        "ixps" => t.ixps = parse_count(lineno, key, value)?,
+                        "vantage_points" => t.vantage_points = parse_count(lineno, key, value)?,
+                        "sibling_org_rate" => t.sibling_org_rate = parse_rate(lineno, key, value)?,
+                        "tier2_peering" => {
+                            t.tier2_peering = parse_weight(lineno, key, value)?;
+                        }
+                        "ixp_member_rate" => t.ixp_member_rate = parse_rate(lineno, key, value)?,
+                        _ => return Err(unknown()),
+                    }
+                    if t.tier1 == 0 && key == "tier1" {
+                        return Err(ScenarioError::at(
+                            lineno,
+                            "tier1 must be at least 1 (the clique supplies transit)",
+                        ));
+                    }
+                    if t.vantage_points == 0 && key == "vantage_points" {
+                        return Err(ScenarioError::at(lineno, "vantage_points must be at least 1"));
+                    }
+                }
+                "rates" => {
+                    let r = &mut sc.rates;
+                    let slot = match key {
+                        "stale" => &mut r.stale,
+                        "typo" => &mut r.typo,
+                        "sibling_embed" => &mut r.sibling_embed,
+                        "name_coverage" => &mut r.name_coverage,
+                        "unresponsive" => &mut r.unresponsive,
+                        "third_party" => &mut r.third_party,
+                        _ => return Err(unknown()),
+                    };
+                    *slot = parse_rate(lineno, key, value)?;
+                }
+                "styles" => {
+                    let Some(slot) = style_slot(&mut sc.styles, key) else {
+                        return Err(unknown());
+                    };
+                    *slot = parse_weight(lineno, key, value)?;
+                }
+                "styles.tier1" | "styles.tier2" | "styles.edge" => {
+                    let Some(idx) = StyleKind::ALL.iter().position(|s| s.label() == key) else {
+                        return Err(unknown());
+                    };
+                    let v = parse_weight(lineno, key, value)?;
+                    let tier = match sec {
+                        "styles.tier1" => 0,
+                        "styles.tier2" => 1,
+                        _ => 2,
+                    };
+                    overrides[tier]
+                        .as_mut()
+                        .expect("override section was opened")
+                        .set
+                        .push((idx, v));
+                }
+                "vendors" => {
+                    let Some(slot) = vendor_slot(&mut sc.vendors, key) else {
+                        return Err(unknown());
+                    };
+                    *slot = parse_weight(lineno, key, value)?;
+                }
+                "traffic" => {
+                    let t = &mut sc.traffic;
+                    match key {
+                        "skew" => t.skew = Skew::parse(value).map_err(|m| {
+                            ScenarioError::at(lineno, m)
+                        })?,
+                        "requests" => {
+                            t.requests = parse_count(lineno, key, value)?;
+                            if t.requests == 0 {
+                                return Err(ScenarioError::at(
+                                    lineno,
+                                    "requests must be at least 1",
+                                ));
+                            }
+                        }
+                        "connections" => {
+                            t.connections = parse_count(lineno, key, value)?;
+                            if t.connections == 0 {
+                                return Err(ScenarioError::at(
+                                    lineno,
+                                    "connections must be at least 1",
+                                ));
+                            }
+                        }
+                        "batch" => t.batch = parse_count(lineno, key, value)?,
+                        _ => return Err(unknown()),
+                    }
+                }
+                other => unreachable!("section {other} accepted but not handled"),
+            }
+        }
+
+        if !header {
+            return Err(ScenarioError::at(0, "empty scenario (no header)"));
+        }
+        if trailer.is_none() {
+            return Err(ScenarioError::at(
+                text.lines().count(),
+                "truncated scenario: missing E trailer",
+            ));
+        }
+        if sc.name.is_empty() {
+            return Err(ScenarioError::at(0, "scenario has no [meta] name"));
+        }
+
+        // Overrides inherit the *final* base mix, so their meaning is
+        // independent of where [styles] sat in the file.
+        let resolved: Vec<Option<(usize, StyleMix)>> = overrides
+            .iter()
+            .map(|o| o.as_ref().map(|p| (p.line, p.resolve(sc.styles))))
+            .collect();
+        sc.tier_styles.tier1 = resolved[0].map(|(_, m)| m);
+        sc.tier_styles.tier2 = resolved[1].map(|(_, m)| m);
+        sc.tier_styles.edge = resolved[2].map(|(_, m)| m);
+
+        // Whole-mix checks land on the owning section's line.
+        if let Err(e) = sc.styles.validate() {
+            return Err(ScenarioError::at(styles_line, format!("[styles]: {e}")));
+        }
+        for (i, label) in ["tier1", "tier2", "edge"].iter().enumerate() {
+            if let Some((line, mix)) = resolved[i] {
+                if let Err(e) = mix.validate() {
+                    return Err(ScenarioError::at(line, format!("[styles.{label}]: {e}")));
+                }
+            }
+        }
+        if let Err(e) = sc.vendors.validate() {
+            return Err(ScenarioError::at(vendors_line, format!("[vendors]: {e}")));
+        }
+        Ok(sc)
+    }
+
+    /// Renders the canonical form: every section, every key, fixed
+    /// order, overrides fully resolved. `parse(render(s)) == s`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# hoiho scenario; grammar in DESIGN.md §7g\n");
+        let _ = writeln!(s, "hoiho-scenario\t{SCENARIO_VERSION}");
+        let mut n_sections = 0usize;
+        let mut n_keys = 0usize;
+        let mut sec = |s: &mut String, name: &str| {
+            let _ = writeln!(s, "[{name}]");
+            n_sections += 1;
+        };
+        macro_rules! kv {
+            ($s:expr, $key:expr, $val:expr) => {{
+                let _ = writeln!($s, "{} = {}", $key, $val);
+                n_keys += 1;
+            }};
+        }
+
+        sec(&mut s, "meta");
+        kv!(s, "name", self.name);
+        kv!(s, "seed", self.seed);
+
+        sec(&mut s, "topology");
+        let t = &self.topology;
+        kv!(s, "tier1", t.tier1);
+        kv!(s, "tier2", t.tier2);
+        kv!(s, "edge", t.edge);
+        kv!(s, "ixps", t.ixps);
+        kv!(s, "vantage_points", t.vantage_points);
+        kv!(s, "sibling_org_rate", t.sibling_org_rate);
+        kv!(s, "tier2_peering", t.tier2_peering);
+        kv!(s, "ixp_member_rate", t.ixp_member_rate);
+
+        sec(&mut s, "rates");
+        let r = &self.rates;
+        kv!(s, "stale", r.stale);
+        kv!(s, "typo", r.typo);
+        kv!(s, "sibling_embed", r.sibling_embed);
+        kv!(s, "name_coverage", r.name_coverage);
+        kv!(s, "unresponsive", r.unresponsive);
+        kv!(s, "third_party", r.third_party);
+
+        let mut styles_section = |s: &mut String, name: &str, m: &StyleMix| {
+            sec(s, name);
+            for (kind, w) in StyleKind::ALL.iter().zip(m.weights()) {
+                kv!(s, kind.label(), w);
+            }
+        };
+        styles_section(&mut s, "styles", &self.styles);
+        for (label, mix) in self.tier_styles.entries() {
+            if let Some(m) = mix {
+                styles_section(&mut s, &format!("styles.{label}"), &m);
+            }
+        }
+
+        sec(&mut s, "vendors");
+        for (kind, w) in VendorKind::ALL.iter().zip(self.vendors.weights()) {
+            kv!(s, kind.label(), w);
+        }
+
+        sec(&mut s, "traffic");
+        let tr = &self.traffic;
+        kv!(s, "skew", tr.skew.render());
+        kv!(s, "requests", tr.requests);
+        kv!(s, "connections", tr.connections);
+        kv!(s, "batch", tr.batch);
+
+        let _ = writeln!(s, "E\t{n_sections}\t{n_keys}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let mut sc = Scenario::default();
+        sc.name = "round-trip".into();
+        let text = sc.render();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, sc);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn overrides_and_odd_values_round_trip() {
+        let mut sc = Scenario::default();
+        sc.name = "over".into();
+        sc.seed = u64::MAX;
+        sc.styles.simple = 0.12345678901234;
+        let mut loud = sc.styles;
+        loud.bare = 7.5;
+        sc.tier_styles.tier2 = Some(loud);
+        sc.vendors = hoiho_netsim::VendorMix { generic: 0.5, juniper: 0.25, cisco: 0.2, arista: 0.05 };
+        sc.traffic.skew = Skew::Uniform;
+        sc.traffic.batch = 0;
+        let text = sc.render();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, sc);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn partial_override_inherits_final_base_regardless_of_order() {
+        // [styles.edge] before [styles]: the override still inherits
+        // the final base (simple = 2) for weights it does not set.
+        let text = "hoiho-scenario\t1\n\
+                    [meta]\nname = order\n\
+                    [styles.edge]\nbare = 9\n\
+                    [styles]\nsimple = 2\n\
+                    E\t3\t3\n";
+        let sc = Scenario::parse(text).unwrap();
+        let edge = sc.tier_styles.edge.unwrap();
+        assert_eq!(edge.bare, 9.0);
+        assert_eq!(edge.simple, 2.0);
+        assert_eq!(sc.styles.simple, 2.0);
+        assert_eq!(sc.styles.bare, StyleMix::default().bare);
+    }
+
+    #[test]
+    fn error_lines_are_exact() {
+        // Unknown section on line 4.
+        let text = "# c\nhoiho-scenario\t1\n[meta]\n[whatever]\nE\t2\t0\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!((e.line, e.msg.contains("unknown section")), (4, true), "{e}");
+
+        // Unknown key on line 5.
+        let text = "# c\nhoiho-scenario\t1\n[meta]\nname = x\nbogus = 1\nE\t1\t2\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!((e.line, e.msg.contains("unknown key bogus")), (5, true), "{e}");
+
+        // Duplicate key on line 5.
+        let text = "hoiho-scenario\t1\n[meta]\nname = x\nname = y\nE\t1\t2\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!((e.line, e.msg.contains("duplicate key name")), (4, true), "{e}");
+
+        // Out-of-range rate on line 4.
+        let text = "hoiho-scenario\t1\n[rates]\nstale = 0.2\ntypo = 1.5\nE\t1\t2\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!((e.line, e.msg.contains("probability")), (4, true), "{e}");
+    }
+
+    #[test]
+    fn truncation_never_parses() {
+        let mut sc = Scenario::default();
+        sc.name = "cut".into();
+        sc.tier_styles.tier1 = Some(sc.styles);
+        let text = sc.render();
+        let lines: Vec<&str> = text.lines().collect();
+        for cut in 0..lines.len() {
+            assert!(
+                Scenario::parse(&lines[..cut].join("\n")).is_err(),
+                "prefix of {cut} lines parsed"
+            );
+        }
+        // Content after the trailer is rejected too.
+        let extra = format!("{text}[meta]\n");
+        assert!(Scenario::parse(&extra).unwrap_err().msg.contains("after the E trailer"));
+        // A doctored trailer is caught by the totals.
+        let doctored = text.replace("E\t", "E\t9");
+        assert!(Scenario::parse(&doctored).unwrap_err().msg.contains("trailer mismatch"));
+    }
+
+    #[test]
+    fn zero_mix_rejected_at_its_section_line() {
+        // [styles] opens on line 2; all weights zeroed.
+        let mut text = String::from("hoiho-scenario\t1\n[styles]\n");
+        for k in StyleKind::ALL {
+            text.push_str(&format!("{} = 0\n", k.label()));
+        }
+        text.push_str("[meta]\nname = z\nE\t2\t11\n");
+        let e = Scenario::parse(&text).unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.msg.contains("zero total weight"), "{e}");
+
+        // Same for a per-tier override that zeroes everything.
+        let mut text = String::from("hoiho-scenario\t1\n[meta]\nname = z\n[styles.edge]\n");
+        for k in StyleKind::ALL {
+            text.push_str(&format!("{} = 0\n", k.label()));
+        }
+        text.push_str("E\t2\t11\n");
+        let e = Scenario::parse(&text).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.msg.contains("[styles.edge]"), "{e}");
+    }
+
+    #[test]
+    fn header_and_name_required() {
+        assert!(Scenario::parse("").unwrap_err().msg.contains("no header"));
+        assert!(Scenario::parse("not-a-scenario\t1\nE\t0\t0\n").is_err());
+        assert!(Scenario::parse("hoiho-scenario\t2\nE\t0\t0\n")
+            .unwrap_err()
+            .msg
+            .contains("unsupported"));
+        let e = Scenario::parse("hoiho-scenario\t1\nE\t0\t0\n").unwrap_err();
+        assert!(e.msg.contains("no [meta] name"), "{e}");
+        // Bad names: uppercase, slash, overlong.
+        for bad in ["Name", "a/b", &"x".repeat(65)] {
+            let text = format!("hoiho-scenario\t1\n[meta]\nname = {bad}\nE\t1\t1\n");
+            assert!(Scenario::parse(&text).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn keys_outside_sections_rejected() {
+        let text = "hoiho-scenario\t1\nname = x\nE\t0\t1\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("outside any section"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_sections_rejected() {
+        let text = "hoiho-scenario\t1\n[meta]\nname = x\n[meta]\nE\t2\t1\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.msg.contains("duplicate section"), "{e}");
+    }
+
+    #[test]
+    fn skew_values_parse_and_render() {
+        for (text, skew) in [
+            ("uniform", Skew::Uniform),
+            ("zipf 1.1", Skew::Zipf(1.1)),
+            ("zipf 0.5", Skew::Zipf(0.5)),
+        ] {
+            assert_eq!(Skew::parse(text).unwrap(), skew);
+            assert_eq!(skew.render(), text);
+        }
+        for bad in ["zipf", "zipf -1", "zipf nan", "pareto 2", "zipf 0"] {
+            assert!(Skew::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-scenario quality matrix (`SCENARIOS.json`).
+//!
+//! One record set per scenario, rendered in the devkit bench-results
+//! schema (`{"benchmark": ..., "results": [...], "metrics": [...]}`,
+//! one record per line) so `scripts/bench_diff.sh` diffs quality the
+//! same way it diffs performance:
+//!
+//! * **metrics** (goodness, DOWN is a regression):
+//!   `scenario/<name>/precision_pct`, `scenario/<name>/recall_pct`,
+//!   `scenario/<name>/conventions_found_pct`;
+//! * **results** (timings, UP is a regression):
+//!   `scenario/<name>/extract_p50` and `.../extract_p99` — the serve
+//!   path's per-hostname extraction latency over the scenario's
+//!   ground-truth rows.
+//!
+//! The worlds are deterministic (see [`crate::compile`]), so any
+//! movement in the committed matrix is a change in the learner or the
+//! serve path — which is exactly what a reviewer wants flagged.
+
+use std::fmt::Write as _;
+
+/// One scenario's scored quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioQuality {
+    /// The scenario's `[meta] name`.
+    pub name: String,
+    /// Extraction precision over ground-truth rows, `0..=1`.
+    pub precision: f64,
+    /// Extraction recall over ground-truth rows, `0..=1`.
+    pub recall: f64,
+    /// Suffixes the learned model carries a convention for.
+    pub conventions_learned: usize,
+    /// Suffixes that truthfully carry a learnable convention.
+    pub conventions_truth: usize,
+    /// Ground-truth rows scored.
+    pub rows: usize,
+    /// Median per-hostname extraction latency, nanoseconds.
+    pub extract_p50_ns: f64,
+    /// Tail (p99) per-hostname extraction latency, nanoseconds.
+    pub extract_p99_ns: f64,
+}
+
+impl ScenarioQuality {
+    /// Conventions found as a percentage of the learnable truth
+    /// (100 when the truth set is empty: nothing to find, nothing
+    /// missed).
+    pub fn conventions_found_pct(&self) -> f64 {
+        if self.conventions_truth == 0 {
+            100.0
+        } else {
+            self.conventions_learned as f64 * 100.0 / self.conventions_truth as f64
+        }
+    }
+}
+
+/// JSON string literal (scenario names are `[a-z0-9-]`, but escape
+/// defensively anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the matrix document. Scenarios are emitted in the order
+/// given; callers sort by name for a stable committed file.
+pub fn render_scenarios_json(items: &[ScenarioQuality]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"scenarios\",\n");
+    s.push_str("  \"harness\": \"hoiho-scenario\",\n");
+    s.push_str("  \"unit\": \"ns_per_iter\",\n");
+    s.push_str("  \"results\": [\n");
+    let mut results: Vec<String> = Vec::new();
+    for q in items {
+        for (which, ns) in [("extract_p50", q.extract_p50_ns), ("extract_p99", q.extract_p99_ns)] {
+            results.push(format!(
+                "    {{\"id\": {}, \"iters_per_sample\": 1, \"samples\": {}, \
+                 \"median_ns\": {:.1}, \"mad_ns\": 0.0, \"throughput_elems_per_iter\": null, \
+                 \"throughput_elems_per_sec\": null}}",
+                json_str(&format!("scenario/{}/{which}", q.name)),
+                q.rows,
+                ns,
+            ));
+        }
+    }
+    s.push_str(&results.join(",\n"));
+    s.push_str("\n  ],\n  \"metrics\": [\n");
+    let mut metrics: Vec<String> = Vec::new();
+    for q in items {
+        for (which, value) in [
+            ("precision_pct", q.precision * 100.0),
+            ("recall_pct", q.recall * 100.0),
+            ("conventions_found_pct", q.conventions_found_pct()),
+        ] {
+            assert!(value.is_finite(), "scenario {}: non-finite {which}", q.name);
+            metrics.push(format!(
+                "    {{\"id\": {}, \"value\": {:.3}, \"unit\": \"percent\"}}",
+                json_str(&format!("scenario/{}/{which}", q.name)),
+                value,
+            ));
+        }
+    }
+    s.push_str(&metrics.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(name: &str) -> ScenarioQuality {
+        ScenarioQuality {
+            name: name.into(),
+            precision: 0.9876,
+            recall: 0.5,
+            conventions_learned: 3,
+            conventions_truth: 4,
+            rows: 120,
+            extract_p50_ns: 800.0,
+            extract_p99_ns: 2400.0,
+        }
+    }
+
+    #[test]
+    fn document_matches_the_bench_schema() {
+        let json = render_scenarios_json(&[q("paper-default"), q("stale-churn")]);
+        // One record per line, ids joinable by bench_diff's awk.
+        assert!(json
+            .contains("{\"id\": \"scenario/paper-default/extract_p50\", \"iters_per_sample\": 1"));
+        assert!(json.contains(
+            "{\"id\": \"scenario/stale-churn/precision_pct\", \"value\": 98.760, \"unit\": \"percent\"}"
+        ));
+        assert!(json.contains("\"median_ns\": 800.0"));
+        assert!(json.contains("\"benchmark\": \"scenarios\""));
+        for line in json.lines().filter(|l| l.contains("\"id\":")) {
+            assert!(
+                line.trim_start().starts_with('{') && line.trim_end().ends_with(&['}', ','][..]),
+                "record not on its own line: {line}"
+            );
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_truth_counts_as_fully_found() {
+        let mut x = q("x");
+        x.conventions_truth = 0;
+        x.conventions_learned = 0;
+        assert_eq!(x.conventions_found_pct(), 100.0);
+        let y = q("y");
+        assert_eq!(y.conventions_found_pct(), 75.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The serving-path workload a scenario describes: which hostnames get
+//! queried, how unevenly, and in what shape.
+//!
+//! Real resolver traffic is heavily skewed — a few suffixes dominate —
+//! which is exactly the regime the serve path's per-suffix cache and
+//! shard router care about. A scenario therefore carries a [`Skew`]
+//! (Zipf with exponent `s`, or uniform) over the world's hostname
+//! universe, and `hoiho-serve loadgen --scenario` replays a stream
+//! drawn from it. Streams are deterministic in the scenario seed, so a
+//! benchmark run is reproducible end to end.
+
+use hoiho_devkit::rngs::StdRng;
+use hoiho_devkit::{RngExt, SeedableRng};
+use hoiho_netsim::Internet;
+
+/// Dedicated RNG stream for traffic sampling, fenced off from the
+/// world-generation streams so the same seed can drive both.
+const TRAFFIC_STREAM: u64 = 0x7F1C_0009;
+
+/// How request frequency is distributed over the hostname universe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every hostname equally likely.
+    Uniform,
+    /// Rank-`r` hostname drawn with weight `1 / r^s` (rank order =
+    /// universe order). `s` must be finite and positive.
+    Zipf(f64),
+}
+
+impl Skew {
+    /// Parses the `[traffic] skew` value: `uniform` or `zipf <s>`.
+    pub fn parse(value: &str) -> Result<Skew, String> {
+        if value == "uniform" {
+            return Ok(Skew::Uniform);
+        }
+        if let Some(s) = value.strip_prefix("zipf ") {
+            let s: f64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad zipf exponent: {value:?}"))?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!("zipf exponent must be finite and positive, got {s}"));
+            }
+            return Ok(Skew::Zipf(s));
+        }
+        Err(format!("bad skew {value:?} (want `uniform` or `zipf <s>`)"))
+    }
+
+    /// Renders the value `parse` accepts.
+    pub fn render(&self) -> String {
+        match self {
+            Skew::Uniform => "uniform".into(),
+            Skew::Zipf(s) => format!("zipf {s}"),
+        }
+    }
+}
+
+/// `[traffic]` — the workload shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Traffic {
+    /// Frequency distribution over the hostname universe.
+    pub skew: Skew,
+    /// Total requests a loadgen run issues, at least 1.
+    pub requests: usize,
+    /// Concurrent loadgen connections, at least 1.
+    pub connections: usize,
+    /// Hostnames per BATCH frame; 0 means plain one-QUERY-per-line.
+    pub batch: usize,
+}
+
+impl Default for Traffic {
+    fn default() -> Self {
+        Traffic { skew: Skew::Zipf(1.1), requests: 20_000, connections: 4, batch: 0 }
+    }
+}
+
+impl Traffic {
+    /// Draws a deterministic request stream: `len` indices into a
+    /// universe of `n` hostnames, distributed per the skew. Empty when
+    /// the universe is empty.
+    pub fn sample_indices(&self, n: usize, seed: u64, len: usize) -> Vec<usize> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_STREAM);
+        match self.skew {
+            Skew::Uniform => (0..len).map(|_| rng.random_range(0..n)).collect(),
+            Skew::Zipf(s) => {
+                // Cumulative weights once, then binary search per draw.
+                let mut cdf = Vec::with_capacity(n);
+                let mut total = 0.0f64;
+                for r in 1..=n {
+                    total += 1.0 / (r as f64).powf(s);
+                    cdf.push(total);
+                }
+                (0..len)
+                    .map(|_| {
+                        let u: f64 = rng.random::<f64>() * total;
+                        cdf.partition_point(|&c| c < u).min(n - 1)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The hostname universe of a world: every PTR name, sorted and
+/// deduplicated. Rank order for Zipf is this order, so the head of the
+/// alphabet is the hot set — arbitrary but stable, which is what a
+/// reproducible workload needs.
+pub fn universe(net: &Internet) -> Vec<String> {
+    let mut names: Vec<String> =
+        net.named_interfaces().map(|(i, _)| i.hostname.clone().expect("named")).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_in_range() {
+        let t = Traffic::default();
+        let a = t.sample_indices(100, 7, 5000);
+        let b = t.sample_indices(100, 7, 5000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 100));
+        assert_ne!(a, t.sample_indices(100, 8, 5000), "seed must matter");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let t = Traffic { skew: Skew::Zipf(1.2), ..Traffic::default() };
+        let draws = t.sample_indices(1000, 42, 20_000);
+        let head = draws.iter().filter(|&&i| i < 10).count();
+        let tail = draws.iter().filter(|&&i| i >= 990).count();
+        assert!(
+            head > tail * 5,
+            "head {head} should dominate tail {tail} under zipf"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_the_universe() {
+        let t = Traffic { skew: Skew::Uniform, ..Traffic::default() };
+        let draws = t.sample_indices(8, 3, 4000);
+        let mut seen = [false; 8];
+        for &i in &draws {
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_universe_yields_empty_stream() {
+        assert!(Traffic::default().sample_indices(0, 1, 100).is_empty());
+    }
+}

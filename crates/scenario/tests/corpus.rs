@@ -1,0 +1,55 @@
+//! Validates the checked-in scenario corpus (`scenarios/*.hoiho`):
+//! every file parses, compiles to a valid `SimConfig`, is named after
+//! its file, and canonicalizes to a fixpoint. Keeping this next to the
+//! parser means a corpus edit that miscounts the `E` trailer or typos
+//! a key fails `cargo test` before it ever reaches CI's end-to-end
+//! scenario run.
+
+use hoiho_scenario::Scenario;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn corpus_parses_compiles_and_canonicalizes() {
+    let mut names = BTreeSet::new();
+    let mut files = 0usize;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("scenarios/ directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hoiho"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let sc = Scenario::load(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(sc.name, stem, "{}: name must match the file stem", path.display());
+        assert!(names.insert(sc.name.clone()), "duplicate scenario name {}", sc.name);
+        sc.compile().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let canon = sc.render();
+        let reparsed = Scenario::parse(&canon)
+            .unwrap_or_else(|e| panic!("{}: canonical form fails to parse: {e}", path.display()));
+        assert_eq!(reparsed, sc, "{}: canonicalization is not a fixpoint", path.display());
+        assert_eq!(reparsed.render(), canon);
+        files += 1;
+    }
+    assert!(files >= 6, "corpus must keep at least 6 scenarios, found {files}");
+}
+
+#[test]
+fn corpus_seeds_are_distinct() {
+    // Two scenarios sharing a seed would generate correlated worlds
+    // and quietly weaken the matrix's coverage.
+    let mut seeds = BTreeSet::new();
+    for entry in std::fs::read_dir(corpus_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "hoiho") {
+            let sc = Scenario::load(&path).unwrap();
+            assert!(seeds.insert(sc.seed), "{}: seed {} reused", path.display(), sc.seed);
+        }
+    }
+}

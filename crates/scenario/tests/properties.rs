@@ -1,0 +1,166 @@
+//! Property-based tests for the scenario format and compiler, on the
+//! devkit harness: render → parse → render is a fixpoint for
+//! *arbitrary* valid scenarios (not just the checked-in corpus), and
+//! equal (file, seed) pairs compile byte-identical internets — the
+//! determinism contract the quality matrix in CI depends on.
+
+use hoiho_devkit::prop::{string_of, Gen};
+use hoiho_devkit::{prop_assert, prop_assert_eq, props};
+use hoiho_netsim::{StyleMix, TierStyles, VendorMix};
+use hoiho_scenario::{Rates, Scenario, Skew, Topology, Traffic};
+
+/// A weight in steps of 0.05 over 0..=2 — exact under `{}` float
+/// rendering, so fixpoint failures mean parser bugs, not float noise.
+fn weight() -> impl Gen<Value = f64> {
+    (0u32..=40).prop_map(|x| x as f64 / 20.0)
+}
+
+/// Like [`weight`] but never zero, for the slot that keeps a mix's
+/// total positive (an all-zero mix is rejected at parse time, which
+/// would make the fixpoint property vacuously fail).
+fn live_weight() -> impl Gen<Value = f64> {
+    (1u32..=40).prop_map(|x| x as f64 / 20.0)
+}
+
+/// A probability in steps of 0.05.
+fn rate() -> impl Gen<Value = f64> {
+    (0u32..=20).prop_map(|x| x as f64 / 20.0)
+}
+
+fn style_mix() -> impl Gen<Value = StyleMix> {
+    (
+        (weight(), weight(), live_weight(), weight(), weight()),
+        (weight(), weight(), weight(), weight(), weight()),
+    )
+        .prop_map(|((none, infra, simple, start, end), (bare, complex, own_asn, as_name, ip_embed))| {
+            StyleMix { none, infra, simple, start, end, bare, complex, own_asn, as_name, ip_embed }
+        })
+}
+
+fn tier_styles() -> impl Gen<Value = TierStyles> {
+    (0u32..8, style_mix(), style_mix(), style_mix()).prop_map(|(mask, t1, t2, e)| TierStyles {
+        tier1: (mask & 1 != 0).then_some(t1),
+        tier2: (mask & 2 != 0).then_some(t2),
+        edge: (mask & 4 != 0).then_some(e),
+    })
+}
+
+fn vendor_mix() -> impl Gen<Value = VendorMix> {
+    (live_weight(), weight(), weight(), weight())
+        .prop_map(|(generic, juniper, cisco, arista)| VendorMix { generic, juniper, cisco, arista })
+}
+
+/// A small topology: every value satisfies `SimConfig::validate`, and
+/// worlds stay cheap enough to build inside the compile property.
+fn topology() -> impl Gen<Value = Topology> {
+    (
+        (1usize..=2, 0usize..=3, 1usize..=6, 0usize..=2, 1usize..=3),
+        (rate(), (0u32..=30).prop_map(|x| x as f64 / 10.0), rate()),
+    )
+        .prop_map(
+            |((tier1, tier2, edge, ixps, vantage_points), (sibling, peering, ixp_member))| {
+                Topology {
+                    tier1,
+                    tier2,
+                    edge,
+                    ixps,
+                    vantage_points,
+                    sibling_org_rate: sibling,
+                    tier2_peering: peering,
+                    ixp_member_rate: ixp_member,
+                }
+            },
+        )
+}
+
+fn rates() -> impl Gen<Value = Rates> {
+    (rate(), rate(), rate(), rate(), rate(), rate()).prop_map(
+        |(stale, typo, sibling_embed, name_coverage, unresponsive, third_party)| Rates {
+            stale,
+            typo,
+            sibling_embed,
+            name_coverage,
+            unresponsive,
+            third_party,
+        },
+    )
+}
+
+fn traffic() -> impl Gen<Value = Traffic> {
+    (
+        0u32..4,
+        (1u32..=30).prop_map(|x| x as f64 / 10.0),
+        0usize..=5_000,
+        1usize..=8,
+        0usize..=32,
+    )
+        .prop_map(|(kind, s, requests, connections, batch)| Traffic {
+            skew: if kind == 0 { Skew::Uniform } else { Skew::Zipf(s) },
+            requests,
+            connections,
+            batch,
+        })
+}
+
+fn scenario() -> impl Gen<Value = Scenario> {
+    (
+        (string_of("abcdefghijklmnopqrstuvwxyz0123456789-", 1..=12usize), 0u64..1 << 48),
+        (topology(), rates()),
+        (style_mix(), tier_styles(), vendor_mix(), traffic()),
+    )
+        .prop_map(|((name, seed), (topology, rates), (styles, tier_styles, vendors, traffic))| {
+            Scenario { name, seed, topology, rates, styles, tier_styles, vendors, traffic }
+        })
+}
+
+props! {
+    cases = 64;
+
+    /// The format guarantee, over arbitrary valid scenarios rather
+    /// than the checked-in corpus: render → parse recovers the exact
+    /// value and a second render is byte-identical.
+    fn render_parse_render_fixpoint(sc in scenario()) {
+        let text = sc.render();
+        let parsed = match Scenario::parse(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("rendered scenario failed to parse: {e}")),
+        };
+        prop_assert_eq!(&parsed, &sc);
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Every strict line-prefix of a rendered scenario is rejected:
+    /// the E trailer makes truncation detectable at any cut point.
+    fn truncation_always_rejected(sc in scenario(), cut in 0usize..10_000) {
+        let text = sc.render();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = cut % lines.len();
+        let prefix = lines[..cut].join("\n");
+        let err = match Scenario::parse(&prefix) {
+            Err(e) => e,
+            Ok(_) => return Err(format!("prefix of {cut}/{} lines parsed", lines.len())),
+        };
+        prop_assert!(err.line <= lines.len(), "error line {} out of range", err.line);
+    }
+}
+
+props! {
+    cases = 8;
+
+    /// The determinism contract: two scenarios parsed from the same
+    /// file text build byte-identical internets — same world digest,
+    /// same hostname universe. This is what lets CI compare
+    /// SCENARIOS.json quality metrics across commits.
+    fn equal_file_and_seed_build_identical_worlds(sc in scenario()) {
+        let text = sc.render();
+        let a = Scenario::parse(&text).map_err(|e| format!("parse a: {e}"))?;
+        let b = Scenario::parse(&text).map_err(|e| format!("parse b: {e}"))?;
+        let wa = a.build().map_err(|e| format!("build a: {e}"))?;
+        let wb = b.build().map_err(|e| format!("build b: {e}"))?;
+        prop_assert_eq!(wa.digest(), wb.digest());
+        prop_assert_eq!(
+            hoiho_scenario::traffic::universe(&wa),
+            hoiho_scenario::traffic::universe(&wb)
+        );
+    }
+}

@@ -18,7 +18,13 @@
 #   7. A learner-tracing smoke: `hoiho learn --sim --trace` must write
 #      Chrome trace JSON that parses (validated with python3 when
 #      available) and contains one span per learner phase.
-#   8. Advisory (warn-only): the learning bench against the committed
+#   8. A scenario-subsystem smoke: train a model from a checked-in
+#      corpus scenario, serve it, drive the scenario's own traffic
+#      profile with zero protocol errors, regenerate the quality
+#      matrix for the whole corpus, validate its shape, and hard-gate
+#      the (deterministic) quality metrics against the committed
+#      SCENARIOS.json via bench_diff.sh --quality.
+#   9. Advisory (warn-only): the learning bench against the committed
 #      BENCH_learning.json baseline via scripts/bench_diff.sh. This
 #      1-core host is too noisy to gate on, but a >20% median regression
 #      should be seen before merge, not after.
@@ -143,6 +149,65 @@ else
     grep -q '^{"traceEvents":\[' "$SMOKE_DIR/trace.json" \
         || { echo "tier1: --trace output lacks the traceEvents envelope" >&2; exit 1; }
 fi
+
+# --- scenario subsystem smoke: corpus file → trained model → live
+# serve → scenario-shaped loadgen → quality matrix ---
+"$SRV" scenario save scenarios/paper-default.hoiho "$SMOKE_DIR/scenario.model" 2> /dev/null
+"$SRV" inspect "$SMOKE_DIR/scenario.model" > /dev/null
+"$SRV" serve "$SMOKE_DIR/scenario.model" 127.0.0.1:0 2 2> "$SMOKE_DIR/scenario.log" &
+SRV_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.* on \([0-9.]*:[0-9]*\).*/\1/p' "$SMOKE_DIR/scenario.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$SMOKE_DIR/scenario.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "tier1: scenario server never reported its address" >&2; exit 1; }
+# Drive the scenario's own traffic profile (zipf skew, seeded stream)
+# against the live server; every request must parse as a protocol
+# answer — errors mean the scenario universe and model disagree.
+"$SRV" loadgen "$ADDR" --scenario scenarios/paper-default.hoiho 2 400 \
+    > "$SMOKE_DIR/loadgen.txt" 2> /dev/null
+grep -q "errors=0 " "$SMOKE_DIR/loadgen.txt" \
+    || { echo "tier1: scenario loadgen saw protocol errors" >&2
+         cat "$SMOKE_DIR/loadgen.txt" >&2; exit 1; }
+"$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
+wait "$SRV_PID"
+SRV_PID=
+
+# The full corpus quality matrix, regenerated into the smoke dir (the
+# committed SCENARIOS.json baseline is never clobbered by the gate).
+"$SRV" scenario run scenarios/*.hoiho --out "$SMOKE_DIR/SCENARIOS.json" 2> /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/SCENARIOS.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["benchmark"] == "scenarios", doc["benchmark"]
+names = {r["id"].split("/")[1] for r in doc["results"]}
+assert len(names) >= 6, f"matrix covers only {sorted(names)}"
+for n in names:
+    for q in ("precision_pct", "recall_pct", "conventions_found_pct"):
+        (m,) = [m for m in doc["metrics"] if m["id"] == f"scenario/{n}/{q}"]
+        assert 0.0 <= m["value"] <= 100.0 and m["unit"] == "percent", m
+    for t in ("extract_p50", "extract_p99"):
+        (r,) = [r for r in doc["results"] if r["id"] == f"scenario/{n}/{t}"]
+        assert r["median_ns"] > 0, r
+print(f"tier1: SCENARIOS.json OK ({len(names)} scenarios)")
+EOF
+else
+    grep -q '"benchmark": "scenarios"' "$SMOKE_DIR/SCENARIOS.json" \
+        || { echo "tier1: SCENARIOS.json lacks the bench envelope" >&2; exit 1; }
+fi
+# Quality metrics are bit-deterministic in (scenario, seed), so unlike
+# the timing bench this diff gates hard: a drop means a real change in
+# what the learner extracts, not host noise.
+./scripts/bench_diff.sh --quality SCENARIOS.json "$SMOKE_DIR/SCENARIOS.json" \
+    > "$SMOKE_DIR/quality_diff.log" 2>&1 \
+    || { cat "$SMOKE_DIR/quality_diff.log" >&2
+         echo "tier1: scenario quality matrix regressed vs committed SCENARIOS.json" >&2
+         exit 1; }
+echo "tier1: scenario quality matrix matches the committed baseline"
 
 # --- advisory: learning bench vs the committed baseline (warn-only) ---
 # BENCH_OUT_DIR redirects the fresh results into the smoke dir so the

@@ -12,4 +12,5 @@ pub use hoiho_netsim as netsim;
 pub use hoiho_obs as obs;
 pub use hoiho_pdb as pdb;
 pub use hoiho_psl as psl;
+pub use hoiho_scenario as scenario;
 pub use hoiho_serve as serve;
