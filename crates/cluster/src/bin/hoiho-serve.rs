@@ -71,10 +71,12 @@ struct ClusterFlags {
     batch: Option<usize>,
     scenario: Option<String>,
     out: Option<String>,
+    chaos: Option<f64>,
 }
 
 /// Splits `--shards N` / `--cache-capacity K` / `--batch N` /
-/// `--scenario F` / `--out F` out of the argument list.
+/// `--scenario F` / `--out F` / `--chaos RATE` out of the argument
+/// list.
 fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), String> {
     let mut flags = ClusterFlags::default();
     let mut rest = Vec::new();
@@ -122,6 +124,16 @@ fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), Stri
                 it.next();
                 flags.out = Some(v.to_string());
             }
+            "--chaos" => {
+                let v = value("--chaos")?;
+                it.next();
+                let rate: f64 =
+                    v.parse().map_err(|_| format!("bad --chaos value {v:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--chaos must be in 0.0..=1.0".into());
+                }
+                flags.chaos = Some(rate);
+            }
             other => rest.push(other),
         }
     }
@@ -152,6 +164,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if flags.scenario.is_some() && strs.first() != Some(&"loadgen") {
         return Err("--scenario only applies to loadgen".into());
     }
+    if flags.chaos.is_some() && strs.first() != Some(&"loadgen") {
+        return Err("--chaos only applies to loadgen".into());
+    }
     if flags.out.is_some() && strs.get(..2) != Some(&["scenario", "run"]) {
         return Err("--out only applies to scenario run".into());
     }
@@ -176,11 +191,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         ["scenario", "save", file, out] => scenario_save(file, out),
         ["loadgen", addr] if flags.scenario.is_some() => {
-            loadgen_scenario(addr, flags.scenario.as_deref().unwrap(), None, None, flags.batch)
+            loadgen_scenario(addr, flags.scenario.as_deref().unwrap(), None, None, &flags)
         }
         ["loadgen", addr, conns] if flags.scenario.is_some() => match conns.parse() {
             Ok(c) => {
-                loadgen_scenario(addr, flags.scenario.as_deref().unwrap(), Some(c), None, flags.batch)
+                loadgen_scenario(addr, flags.scenario.as_deref().unwrap(), Some(c), None, &flags)
             }
             Err(_) => usage(),
         },
@@ -191,18 +206,18 @@ fn run(args: &[String]) -> Result<(), String> {
                     flags.scenario.as_deref().unwrap(),
                     Some(c),
                     Some(r),
-                    flags.batch,
+                    &flags,
                 ),
                 _ => usage(),
             }
         }
-        ["loadgen", addr, hosts] => loadgen(addr, hosts, 4, 20_000, flags.batch),
+        ["loadgen", addr, hosts] => loadgen(addr, hosts, 4, 20_000, &flags),
         ["loadgen", addr, hosts, conns] => match conns.parse() {
-            Ok(c) => loadgen(addr, hosts, c, 20_000, flags.batch),
+            Ok(c) => loadgen(addr, hosts, c, 20_000, &flags),
             Err(_) => usage(),
         },
         ["loadgen", addr, hosts, conns, reqs] => match (conns.parse(), reqs.parse()) {
-            (Ok(c), Ok(r)) => loadgen(addr, hosts, c, r, flags.batch),
+            (Ok(c), Ok(r)) => loadgen(addr, hosts, c, r, &flags),
             _ => usage(),
         },
         _ => usage(),
@@ -219,7 +234,8 @@ fn usage() -> Result<(), String> {
     eprintln!("                         [--shards N] [--cache-capacity K]");
     eprintln!("       hoiho-serve send <addr> <request...>");
     eprintln!("       hoiho-serve batch <addr> [hostname ...]");
-    eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests] [--batch N]");
+    eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]");
+    eprintln!("                           [--batch N] [--chaos RATE]");
     eprintln!("       hoiho-serve loadgen <addr> --scenario <file> [conns] [requests]");
     eprintln!("       hoiho-serve scenario run [--out F] <file...>");
     eprintln!("       hoiho-serve scenario save <file> <model-file>");
@@ -571,7 +587,7 @@ fn loadgen(
     hosts_path: &str,
     conns: usize,
     requests: usize,
-    batch: Option<usize>,
+    flags: &ClusterFlags,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(hosts_path)
         .map_err(|e| format!("cannot read {hosts_path}: {e}"))?;
@@ -580,7 +596,7 @@ fn loadgen(
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .collect();
-    drive(addr, &hosts, conns, requests, batch)
+    drive(addr, &hosts, conns, requests, flags.batch, flags.chaos)
 }
 
 /// Replays a scenario's declared workload against a running server:
@@ -592,8 +608,9 @@ fn loadgen_scenario(
     file: &str,
     conns: Option<usize>,
     requests: Option<usize>,
-    batch: Option<usize>,
+    flags: &ClusterFlags,
 ) -> Result<(), String> {
+    let batch = flags.batch;
     let sc = Scenario::load(file).map_err(|e| e.to_string())?;
     let net = sc.build().map_err(|e| e.to_string())?;
     let uni = hoiho_scenario::traffic::universe(&net);
@@ -619,17 +636,35 @@ fn loadgen_scenario(
         per_conn * conns,
         batch.map_or(String::new(), |b| format!(", batch {b}")),
     );
-    drive(addr, &stream, conns, per_conn, batch)
+    drive(addr, &stream, conns, per_conn, batch, flags.chaos)
 }
+
+/// Read timeout for chaos-mode connections: short enough that a
+/// fault-severed connection surfaces as a counted timeout instead of a
+/// half-minute stall per incident.
+const CHAOS_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Bound on back-to-back failed reconnect attempts before a connection
+/// thread gives up (the server is gone, not merely faulty).
+const MAX_CONSECUTIVE_CONNECT_FAILURES: u32 = 100;
 
 /// The loadgen engine: `requests` queries per connection over `conns`
 /// connections; connection `c` sends `hosts[(c + i*conns) % len]`.
+///
+/// Failures — I/O errors, read timeouts, and responses that echo a
+/// different hostname than was asked (a desynchronised stream) — count
+/// into the error rate and trigger a reconnect; they never abort the
+/// run. With `chaos = Some(rate)`, every connection's traffic flows
+/// through a seeded [`hoiho_serve::ChaosConn`] (seed derived from the
+/// connection index, so runs are reproducible) and reads time out
+/// after [`CHAOS_TIMEOUT`] instead of the client default.
 fn drive(
     addr: &str,
     hosts: &[&str],
     conns: usize,
     requests: usize,
     batch: Option<usize>,
+    chaos: Option<f64>,
 ) -> Result<(), String> {
     if hosts.is_empty() {
         return Err("no hostnames to send".into());
@@ -641,8 +676,19 @@ fn drive(
             .map(|c| {
                 let hosts = &hosts;
                 scope.spawn(move || -> Result<ConnTally, String> {
-                    let mut client = Client::connect(addr)
-                        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                    let connect = |attempt: u64| match chaos {
+                        Some(rate) => Client::connect_opts(
+                            addr,
+                            Some(CHAOS_TIMEOUT),
+                            Some(hoiho_serve::ChaosConfig {
+                                rate,
+                                seed: 0xC0FF_EE00 ^ c as u64 ^ (attempt << 32),
+                            }),
+                        ),
+                        None => Client::connect(addr),
+                    };
+                    let mut attempt = 0u64;
+                    let mut client: Option<Client> = None;
                     let mut tally = ConnTally {
                         hits: 0,
                         misses: 0,
@@ -663,36 +709,78 @@ fn drive(
                             tally.misses += 1;
                         }
                     };
-                    match batch {
-                        Some(size) => {
-                            let mut sent = 0usize;
-                            let mut req = Vec::with_capacity(size);
-                            while sent < requests {
+                    // One unit is a single request or one whole batch;
+                    // `Err(n)` reports n hostnames lost to a failure.
+                    let unit = |client: &mut Client,
+                                    tally: &mut ConnTally,
+                                    sent: usize|
+                     -> Result<usize, usize> {
+                        match batch {
+                            Some(size) => {
                                 let n = size.min(requests - sent);
-                                req.clear();
-                                req.extend(
-                                    (0..n).map(|j| hosts[(c + (sent + j) * conns) % hosts.len()]),
-                                );
+                                let req: Vec<&str> = (0..n)
+                                    .map(|j| hosts[(c + (sent + j) * conns) % hosts.len()])
+                                    .collect();
                                 let t = Instant::now();
-                                let lines = client
-                                    .batch(&req)
-                                    .map_err(|e| format!("batch failed: {e}"))?;
+                                let lines = client.batch(&req).map_err(|_| n)?;
                                 tally.lat.observe(t.elapsed().as_nanos() as u64);
-                                for l in &lines {
-                                    score(&mut tally, l);
+                                let aligned = lines
+                                    .iter()
+                                    .zip(&req)
+                                    .all(|(l, h)| l.split('\t').next() == Some(h));
+                                if !aligned {
+                                    return Err(n);
                                 }
-                                sent += n;
+                                for l in &lines {
+                                    score(tally, l);
+                                }
+                                Ok(n)
+                            }
+                            None => {
+                                let h = hosts[(c + sent * conns) % hosts.len()];
+                                let t = Instant::now();
+                                let resp = client.request(h).map_err(|_| 1usize)?;
+                                tally.lat.observe(t.elapsed().as_nanos() as u64);
+                                if resp.split('\t').next() != Some(h) {
+                                    return Err(1);
+                                }
+                                score(tally, &resp);
+                                Ok(1)
                             }
                         }
-                        None => {
-                            for i in 0..requests {
-                                let h = hosts[(c + i * conns) % hosts.len()];
-                                let t = Instant::now();
-                                let resp = client
-                                    .request(h)
-                                    .map_err(|e| format!("request failed: {e}"))?;
-                                tally.lat.observe(t.elapsed().as_nanos() as u64);
-                                score(&mut tally, &resp);
+                    };
+                    let mut sent = 0usize;
+                    let mut connect_failures = 0u32;
+                    while sent < requests {
+                        let cl = match client.as_mut() {
+                            Some(cl) => cl,
+                            None => match connect(attempt) {
+                                Ok(cl) => {
+                                    connect_failures = 0;
+                                    client.insert(cl)
+                                }
+                                Err(e) => {
+                                    connect_failures += 1;
+                                    attempt += 1;
+                                    if connect_failures > MAX_CONSECUTIVE_CONNECT_FAILURES {
+                                        return Err(format!(
+                                            "cannot connect to {addr}: {e}"
+                                        ));
+                                    }
+                                    continue;
+                                }
+                            },
+                        };
+                        match unit(cl, &mut tally, sent) {
+                            Ok(n) => sent += n,
+                            Err(n) => {
+                                // A faulted or desynchronised stream:
+                                // charge the lost hostnames and resync
+                                // on a fresh connection.
+                                tally.errors += n as u64;
+                                sent += n;
+                                attempt += 1;
+                                client = None;
                             }
                         }
                     }

@@ -290,11 +290,16 @@ impl Regex {
     }
 }
 
-/// Escapes a literal for the textual form: `.` becomes `\.`; everything
-/// else in the hostname alphabet is safe as-is.
+/// Escapes a literal for the textual form. Every character the parser
+/// treats as syntax — in the top level, inside `[^...]`, or inside
+/// `(?:...)` — is rendered as `\c`, which all three contexts read back
+/// as the literal character. Hostname-alphabet characters pass as-is.
 fn escape_lit(s: &str, out: &mut String) {
     for ch in s.chars() {
-        if ch == '.' {
+        if matches!(
+            ch,
+            '.' | '\\' | '^' | '$' | '(' | ')' | '[' | ']' | '|' | '?' | '+' | '*'
+        ) {
             out.push('\\');
         }
         out.push(ch);

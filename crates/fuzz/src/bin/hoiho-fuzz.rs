@@ -1,0 +1,197 @@
+//! `hoiho-fuzz` — drive the structured fuzzing tier.
+//!
+//! ```text
+//! hoiho-fuzz run [--iters N] [--seed S] [--target NAME] [--corpus DIR]
+//! hoiho-fuzz replay [--target NAME] [--corpus DIR]
+//! hoiho-fuzz minimize <file> --target NAME
+//! ```
+//!
+//! `run` fuzzes each registered target for N deterministic iterations
+//! (seeds accept `0x` hex); failures are minimized, written into the
+//! corpus as `crash-*.case`, and make the exit status nonzero.
+//! `replay` re-runs every committed corpus case and fails if any
+//! regressed. `minimize` shrinks one case file in place.
+
+use hoiho_fuzz::{corpus, runner, targets};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hoiho-fuzz run [--iters N] [--seed S] [--target NAME] [--corpus DIR]\n\
+         \u{20}      hoiho-fuzz replay [--target NAME] [--corpus DIR]\n\
+         \u{20}      hoiho-fuzz minimize <file> --target NAME"
+    );
+    ExitCode::from(2)
+}
+
+/// Accepts decimal or 0x-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct Flags {
+    iters: u64,
+    seed: u64,
+    target: Option<String>,
+    corpus: PathBuf,
+    file: Option<PathBuf>,
+}
+
+fn parse_flags(args: &[String]) -> Option<Flags> {
+    let mut f = Flags {
+        iters: 10_000,
+        seed: 0xC0FFEE,
+        target: None,
+        corpus: corpus::default_dir(),
+        file: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => f.iters = it.next()?.parse().ok()?,
+            "--seed" => f.seed = parse_seed(it.next()?)?,
+            "--target" => f.target = Some(it.next()?.clone()),
+            "--corpus" => f.corpus = PathBuf::from(it.next()?),
+            other if !other.starts_with("--") && f.file.is_none() => {
+                f.file = Some(PathBuf::from(other));
+            }
+            _ => return None,
+        }
+    }
+    Some(f)
+}
+
+fn selected_targets(name: Option<&str>) -> Result<Vec<Box<dyn targets::Target>>, ExitCode> {
+    let all = targets::all_targets();
+    match name {
+        None => Ok(all),
+        Some(n) => {
+            let picked: Vec<_> = all.into_iter().filter(|t| t.name() == n).collect();
+            if picked.is_empty() {
+                eprintln!("unknown target {n:?}; known targets:");
+                for t in targets::all_targets() {
+                    eprintln!("  {}", t.name());
+                }
+                return Err(ExitCode::from(2));
+            }
+            Ok(picked)
+        }
+    }
+}
+
+fn cmd_run(flags: Flags) -> ExitCode {
+    let picked = match selected_targets(flags.target.as_deref()) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut failed = false;
+    for target in &picked {
+        let report =
+            runner::run_target(target.as_ref(), flags.iters, flags.seed, Some(&flags.corpus));
+        if report.failures.is_empty() {
+            println!("{}\tok\titers={}", report.target, report.iters);
+        } else {
+            failed = true;
+            println!(
+                "{}\tFAIL\titers={}\tfailures={}",
+                report.target,
+                report.iters,
+                report.failures.len()
+            );
+            for f in &report.failures {
+                println!(
+                    "  iter {}\t{} bytes -> {} minimized\t{}",
+                    f.iter,
+                    f.case.len(),
+                    f.minimized.len(),
+                    f.path.as_deref().map(|p| p.display().to_string()).unwrap_or_default()
+                );
+                println!("    {}", f.error.lines().next().unwrap_or(""));
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(flags: Flags) -> ExitCode {
+    let picked = match selected_targets(flags.target.as_deref()) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let outcomes = match runner::replay(&picked, &flags.corpus) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("corpus read failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(()) => println!("{}\t{}\tok", o.target, o.case),
+            Err(e) => {
+                failed += 1;
+                println!("{}\t{}\tFAIL\t{}", o.target, o.case, e.lines().next().unwrap_or(""));
+            }
+        }
+    }
+    println!("replayed {} cases, {} failed", outcomes.len(), failed);
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_minimize(flags: Flags) -> ExitCode {
+    let (Some(file), Some(name)) = (&flags.file, flags.target.as_deref()) else {
+        return usage();
+    };
+    let Some(target) = targets::target_by_name(name) else {
+        eprintln!("unknown target {name:?}");
+        return ExitCode::from(2);
+    };
+    let case = match std::fs::read(file) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if runner::exec(target.as_ref(), &case).is_ok() {
+        eprintln!("case passes; nothing to minimize");
+        return ExitCode::FAILURE;
+    }
+    let min = runner::minimize(target.as_ref(), &case);
+    if let Err(e) = std::fs::write(file, &min) {
+        eprintln!("write {}: {e}", file.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{} bytes -> {} bytes\t{}", case.len(), min.len(), file.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(&args[1..]) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "replay" => cmd_replay(flags),
+        "minimize" => cmd_minimize(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,96 @@
+//! The checked-in case corpus: `fuzz/corpus/<target>/<name>.case`.
+//!
+//! Files store the *exact decoded case bytes* a target's oracle runs
+//! on, not the entropy that generated them — so a committed case is an
+//! exact-input regression test that stays meaningful even when the
+//! generator changes. Naming encodes provenance:
+//!
+//! * `seed-<hash>.case` — hand-planted hard cases (nastiest known
+//!   inputs for the surface); replay must always pass.
+//! * `crash-<hash>.case` — minimized counterexamples the fuzzer found.
+//!   At the moment of discovery they fail; they are committed together
+//!   with the fix, after which replay keeps them green forever.
+//!
+//! `cargo test` replays the whole corpus via
+//! `crates/fuzz/tests/corpus_replay.rs`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a over the case bytes: stable content-addressed file names, so
+/// re-finding the same minimized case never duplicates a file.
+pub fn case_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The repository's default corpus root (`fuzz/corpus` at the
+/// workspace root), overridable with `HOIHO_FUZZ_CORPUS`.
+pub fn default_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("HOIHO_FUZZ_CORPUS") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// Writes `bytes` as a `<kind>-<hash>.case` file under the target's
+/// corpus directory, returning the path.
+pub fn save_case(
+    dir: &Path,
+    target: &str,
+    kind: &str,
+    bytes: &[u8],
+) -> std::io::Result<PathBuf> {
+    let tdir = dir.join(target);
+    fs::create_dir_all(&tdir)?;
+    let path = tdir.join(format!("{kind}-{:016x}.case", case_hash(bytes)));
+    fs::write(&path, bytes)?;
+    Ok(path)
+}
+
+/// Loads every `.case` file for one target, sorted by file name.
+/// A missing target directory is an empty corpus, not an error.
+pub fn load_cases(dir: &Path, target: &str) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let tdir = dir.join(target);
+    let mut cases = Vec::new();
+    let entries = match fs::read_dir(&tdir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cases),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "case") {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            cases.push((name, fs::read(&path)?));
+        }
+    }
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_then_load_roundtrips_and_content_addresses() {
+        let dir = std::env::temp_dir().join(format!("hoiho-fuzz-corpus-{}", std::process::id()));
+        let case = b"first line\nsecond line\n";
+        let p1 = save_case(&dir, "demo", "seed", case).unwrap();
+        let p2 = save_case(&dir, "demo", "seed", case).unwrap();
+        assert_eq!(p1, p2, "same bytes must land in the same file");
+        let cases = load_cases(&dir, "demo").unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].1, case);
+        assert!(load_cases(&dir, "absent").unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

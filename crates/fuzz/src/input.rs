@@ -1,0 +1,86 @@
+//! `FuzzInput` — the byte-budget decoder fuzz targets draw structure
+//! from.
+//!
+//! This is the same model as the devkit's property harness
+//! ([`hoiho_devkit::prop::Source`], which it wraps): a target does not
+//! mutate cases, it *decodes* one from a finite entropy buffer. A
+//! drained buffer reads as zeros, so every decoder maps exhaustion to
+//! its minimal choice (shortest string, first alternative, zero count)
+//! and any buffer — random, truncated, or shrunk — decodes to a valid
+//! case.
+
+use hoiho_devkit::prop::Source;
+
+/// A finite entropy budget with decoding helpers for structured case
+/// generation.
+pub struct FuzzInput<'a> {
+    src: Source<'a>,
+}
+
+impl<'a> FuzzInput<'a> {
+    /// Wraps an entropy buffer; reads past the end yield zeros.
+    pub fn new(bytes: &'a [u8]) -> FuzzInput<'a> {
+        FuzzInput { src: Source::new(bytes) }
+    }
+
+    /// Next raw byte (zero once drained).
+    pub fn byte(&mut self) -> u8 {
+        self.src.byte()
+    }
+
+    /// Uniform draw from `[0, span)`; `0` when drained. `span` ≥ 1.
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.src.below(span)
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `percent`/100 (false when drained — a
+    /// drained draw is 0, so the comparison is arranged to put false
+    /// on the zero side).
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) >= 100 - percent.min(100)
+    }
+
+    /// Uniform pick from a non-empty slice (first item when drained).
+    pub fn pick<'t, T>(&mut self, items: &'t [T]) -> &'t T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A string of `lo..=hi` characters drawn from `set`.
+    pub fn token(&mut self, set: &str, lo: u64, hi: u64) -> String {
+        let chars: Vec<char> = set.chars().collect();
+        let n = self.range(lo, hi);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drained_input_decodes_to_minimal_choices() {
+        let mut input = FuzzInput::new(&[]);
+        assert_eq!(input.byte(), 0);
+        assert_eq!(input.below(10), 0);
+        assert_eq!(input.range(3, 9), 3);
+        assert!(!input.chance(99));
+        assert_eq!(*input.pick(&["first", "second"]), "first");
+        assert_eq!(input.token("xyz", 2, 5), "xx");
+    }
+
+    #[test]
+    fn same_bytes_decode_to_same_case() {
+        let buf: Vec<u8> = (0..200u8).collect();
+        let decode = |bytes: &[u8]| {
+            let mut input = FuzzInput::new(bytes);
+            (input.token("abc123.-", 0, 20), input.range(1, 1000), input.chance(50))
+        };
+        assert_eq!(decode(&buf), decode(&buf));
+    }
+}

@@ -1,0 +1,328 @@
+//! The fuzz loop: deterministic case generation, oracle execution with
+//! panic capture, case-level minimization, and corpus replay.
+//!
+//! Determinism: iteration `i` of target `t` under seed `s` always sees
+//! the same entropy buffer (seeded from `s`, the target name, and
+//! `i`), so `hoiho-fuzz run --seed 0xC0FFEE` reproduces bit-for-bit.
+//!
+//! Minimization works on the *case bytes*, not the entropy — the
+//! shrunk artifact is an exact input the oracle still fails on, ready
+//! to commit as a `crash-*.case` regression. Passes (whole-line
+//! removal, tail truncation, byte simplification toward `'a'`/`'0'`)
+//! repeat until a sweep makes no progress or the evaluation budget is
+//! spent.
+
+use crate::corpus;
+use crate::input::FuzzInput;
+use crate::targets::Target;
+use hoiho_devkit::rng::{RngExt, SeedableRng, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Bytes of entropy per generated case.
+const ENTROPY_BUDGET: usize = 1024;
+
+/// Maximum oracle evaluations one minimization may spend.
+const MINIMIZE_BUDGET: usize = 500;
+
+/// One failing case, as found and as minimized.
+#[derive(Debug)]
+pub struct Failure {
+    /// The iteration that produced it.
+    pub iter: u64,
+    /// The original generated case.
+    pub case: Vec<u8>,
+    /// The minimized case (still failing).
+    pub minimized: Vec<u8>,
+    /// The minimized case's error.
+    pub error: String,
+    /// Corpus file the minimized case was written to, if a corpus
+    /// directory was given.
+    pub path: Option<std::path::PathBuf>,
+}
+
+/// Outcome of fuzzing one target.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Target name.
+    pub target: String,
+    /// Iterations executed.
+    pub iters: u64,
+    /// Failures found (each already minimized).
+    pub failures: Vec<Failure>,
+}
+
+/// Stop a runaway target after this many distinct failures — the
+/// corpus wants representative minimized cases, not ten thousand
+/// duplicates of one bug.
+const MAX_FAILURES: usize = 5;
+
+/// Evaluates the oracle with panics captured as errors, so a parser
+/// panic is a finding, not a fuzzer crash.
+pub fn exec(target: &dyn Target, case: &[u8]) -> Result<(), String> {
+    install_quiet_hook();
+    match catch_unwind(AssertUnwindSafe(|| target.run(case))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic (non-string payload)".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `iters` generated cases through `target`. Found failures are
+/// minimized and, when `corpus_dir` is given, written as
+/// `crash-*.case` files.
+pub fn run_target(
+    target: &dyn Target,
+    iters: u64,
+    seed: u64,
+    corpus_dir: Option<&Path>,
+) -> FuzzReport {
+    let base = seed ^ corpus::case_hash(target.name().as_bytes());
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut done = 0u64;
+    for iter in 0..iters {
+        done = iter + 1;
+        let mut rng =
+            StdRng::seed_from_u64(base ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let buf: Vec<u8> = (0..ENTROPY_BUDGET).map(|_| rng.random::<u8>()).collect();
+        let case = target.generate(&mut FuzzInput::new(&buf));
+        if let Err(first_err) = exec(target, &case) {
+            let minimized = minimize(target, &case);
+            let error = exec(target, &minimized).err().unwrap_or(first_err);
+            let path = corpus_dir
+                .and_then(|d| corpus::save_case(d, target.name(), "crash", &minimized).ok());
+            let duplicate = failures
+                .iter()
+                .any(|f| f.minimized == minimized || f.error == error);
+            if !duplicate {
+                failures.push(Failure { iter, case, minimized, error, path });
+                if failures.len() >= MAX_FAILURES {
+                    break;
+                }
+            }
+        }
+    }
+    FuzzReport { target: target.name().to_string(), iters: done, failures }
+}
+
+/// Shrinks a failing case while the oracle keeps failing. Returns the
+/// smallest failing case found.
+pub fn minimize(target: &dyn Target, case: &[u8]) -> Vec<u8> {
+    let mut best = case.to_vec();
+    let mut budget = MINIMIZE_BUDGET;
+    let fails = |candidate: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        exec(target, candidate).is_err()
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop whole lines (cases are line-structured).
+        let mut i = 0usize;
+        loop {
+            let lines: Vec<&[u8]> = split_lines(&best);
+            if i >= lines.len() || budget == 0 {
+                break;
+            }
+            let mut cand: Vec<u8> = Vec::with_capacity(best.len());
+            for (j, l) in lines.iter().enumerate() {
+                if j != i {
+                    cand.extend_from_slice(l);
+                }
+            }
+            if cand.len() < best.len() && fails(&cand, &mut budget) {
+                best = cand;
+                improved = true;
+                // Same index now names the next line.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: delete single bytes (catches what line-granular
+        // removal can't — separators, trailing newlines).
+        let mut i = 0usize;
+        while i < best.len() && budget > 0 {
+            let mut cand = best.clone();
+            cand.remove(i);
+            if fails(&cand, &mut budget) {
+                best = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 3: binary tail truncation.
+        while !best.is_empty() && budget > 0 {
+            let half = &best[..best.len() / 2];
+            if fails(half, &mut budget) {
+                best = half.to_vec();
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 4: simplify bytes toward the blandest alphabet.
+        for i in 0..best.len() {
+            if budget == 0 {
+                break;
+            }
+            let b = best[i];
+            for &to in &[b'a', b'0'] {
+                if b == to || b == b'\n' || b == b'\t' {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[i] = to;
+                if fails(&cand, &mut budget) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
+}
+
+/// Splits into newline-terminated chunks (terminator kept with its
+/// line; an unterminated tail is its own chunk).
+fn split_lines(bytes: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out.push(&bytes[start..=i]);
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        out.push(&bytes[start..]);
+    }
+    out
+}
+
+/// One corpus case's replay outcome.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Target the case belongs to.
+    pub target: String,
+    /// Corpus file name.
+    pub case: String,
+    /// The oracle's verdict on the exact stored bytes.
+    pub result: Result<(), String>,
+}
+
+/// Replays every stored corpus case through its target's oracle.
+pub fn replay(targets: &[Box<dyn Target>], corpus_dir: &Path) -> std::io::Result<Vec<ReplayOutcome>> {
+    let mut outcomes = Vec::new();
+    for target in targets {
+        for (name, bytes) in corpus::load_cases(corpus_dir, target.name())? {
+            outcomes.push(ReplayOutcome {
+                target: target.name().to_string(),
+                case: name,
+                result: exec(target.as_ref(), &bytes),
+            });
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Minimization and replay evaluate candidates that are *expected* to
+/// panic; the default hook would print a backtrace per candidate. The
+/// replacement stays quiet while suppression is active (matching the
+/// devkit property harness's approach).
+static SUPPRESSED: AtomicUsize = AtomicUsize::new(0);
+static HOOK: OnceLock<()> = OnceLock::new();
+
+fn install_quiet_hook() {
+    HOOK.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESSED.load(Ordering::SeqCst) == 0 {
+                default(info);
+            }
+        }));
+    });
+    // Fuzzing always suppresses: every panic is captured and reported
+    // through the failure path, never printed raw.
+    SUPPRESSED.store(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy target: fails when the case contains `xy` anywhere.
+    struct Toy;
+
+    impl Target for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn generate(&self, input: &mut FuzzInput) -> Vec<u8> {
+            input.token("xyab\n", 0, 40).into_bytes()
+        }
+
+        fn run(&self, case: &[u8]) -> Result<(), String> {
+            if case.windows(2).any(|w| w == b"xy") {
+                Err("contains xy".to_string())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_reduces_to_the_essence() {
+        let case = b"aaaa\nbbxbb\naxyb\ncccc\n";
+        let min = minimize(&Toy, case);
+        assert!(Toy.run(&min).is_err(), "minimized case must still fail");
+        assert!(min.len() <= 3, "expected ~2 bytes, got {:?}", String::from_utf8_lossy(&min));
+    }
+
+    #[test]
+    fn run_target_is_deterministic_and_finds_the_bug() {
+        let a = run_target(&Toy, 300, 0xC0FFEE, None);
+        let b = run_target(&Toy, 300, 0xC0FFEE, None);
+        assert!(!a.failures.is_empty(), "toy bug never generated in 300 iters");
+        assert_eq!(a.failures[0].iter, b.failures[0].iter);
+        assert_eq!(a.failures[0].minimized, b.failures[0].minimized);
+    }
+
+    #[test]
+    fn exec_captures_panics_as_findings() {
+        struct Panicky;
+        impl Target for Panicky {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn generate(&self, _input: &mut FuzzInput) -> Vec<u8> {
+                Vec::new()
+            }
+            fn run(&self, _case: &[u8]) -> Result<(), String> {
+                panic!("boom");
+            }
+        }
+        let err = exec(&Panicky, b"").unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Scenario-format surface: `Scenario::parse`.
+//!
+//! Case layout: a whole scenario text. The generator starts from the
+//! canonical rendering of a default scenario — which guarantees a
+//! large accepted fraction without duplicating the grammar here — and
+//! applies structural mutations (line drop/swap/dup, splices, value
+//! rewrites). Oracle for parse-accepted text: the canonical render
+//! reparses and renders to the same bytes (the fixpoint the format
+//! module documents, under adversarial rather than generated-valid
+//! input).
+
+use super::Target;
+use crate::input::FuzzInput;
+use hoiho_scenario::Scenario;
+use std::sync::OnceLock;
+
+/// Canonical base document lines, rendered once from a default
+/// scenario.
+fn base_lines() -> &'static [String] {
+    static BASE: OnceLock<Vec<String>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut sc = Scenario::default();
+        sc.name = "fuzz-base".to_string();
+        sc.render().lines().map(str::to_string).collect()
+    })
+}
+
+pub struct ScenarioTarget;
+
+impl Target for ScenarioTarget {
+    fn name(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn generate(&self, input: &mut FuzzInput) -> Vec<u8> {
+        let mut lines: Vec<String> = base_lines().to_vec();
+        for _ in 0..input.range(0, 5) {
+            if lines.is_empty() {
+                break;
+            }
+            let at = input.below(lines.len() as u64) as usize;
+            match input.below(6) {
+                0 => {
+                    lines.remove(at);
+                }
+                1 => {
+                    let dup = lines[at].clone();
+                    lines.insert(at, dup);
+                }
+                2 => {
+                    let bt = input.below(lines.len() as u64) as usize;
+                    lines.swap(at, bt);
+                }
+                3 => {
+                    // Rewrite a value: numbers near validation edges.
+                    if let Some((key, _)) = lines[at].split_once('=') {
+                        let v = input.pick(&[
+                            "0", "1", "-1", "1e400", "nan", "0.5", "9999999", "zipf 1.1", "",
+                        ]);
+                        lines[at] = format!("{key}= {v}");
+                    }
+                }
+                4 => {
+                    let junk = input.token("[]=. _abz019\t", 1, 5);
+                    // The base rendering may contain non-ASCII (e.g. in
+                    // comments) — snap the splice point to a boundary.
+                    let mut pos = input.below(lines[at].len() as u64 + 1) as usize;
+                    while pos > 0 && !lines[at].is_char_boundary(pos) {
+                        pos -= 1;
+                    }
+                    lines[at].insert_str(pos, &junk);
+                }
+                _ => {
+                    let junk = input.token("[]=. _abz019\t#", 0, 16);
+                    lines.insert(at, junk);
+                }
+            }
+        }
+        let mut case = lines.join("\n");
+        case.push('\n');
+        case.into_bytes()
+    }
+
+    fn run(&self, case: &[u8]) -> Result<(), String> {
+        let Ok(text) = std::str::from_utf8(case) else {
+            return Ok(());
+        };
+        let Ok(sc) = Scenario::parse(text) else {
+            return Ok(());
+        };
+        let rendered = sc.render();
+        let reparsed = Scenario::parse(&rendered)
+            .map_err(|e| format!("render of accepted scenario fails to reparse: {e}"))?;
+        if reparsed.render() != rendered {
+            return Err("render→parse→render is not a fixpoint".to_string());
+        }
+        Ok(())
+    }
+}

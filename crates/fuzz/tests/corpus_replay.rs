@@ -1,0 +1,34 @@
+//! Replays the committed `fuzz/corpus/` through every target's oracle.
+//!
+//! Each `.case` file is an exact input: either a hand-planted hard
+//! case (`seed-*`) or a minimized counterexample committed alongside
+//! its fix (`crash-*`). Both must pass forever after — this is the
+//! crash-regression suite the fuzz tier feeds.
+
+use hoiho_fuzz::{all_targets, replay};
+
+#[test]
+fn committed_corpus_replays_green() {
+    let dir = hoiho_fuzz::corpus::default_dir();
+    assert!(
+        dir.is_dir(),
+        "corpus directory {} is missing — it must be checked in (seeded even when empty of crashes)",
+        dir.display()
+    );
+    let targets = all_targets();
+    let outcomes = replay(&targets, &dir).expect("corpus read");
+    assert!(
+        !outcomes.is_empty(),
+        "corpus is empty — the seed cases must be checked in"
+    );
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter_map(|o| {
+            o.result
+                .as_ref()
+                .err()
+                .map(|e| format!("{}/{}: {}", o.target, o.case, e))
+        })
+        .collect();
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}

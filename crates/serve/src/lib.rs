@@ -16,6 +16,9 @@
 //!   syscall shims), with protocol pipelining, a multi-hostname `BATCH`
 //!   verb, hit/miss/error/per-suffix counters, a `STATS` command,
 //!   atomic hot model reload, and graceful shutdown.
+//! * [`chaos`] — `ChaosConn`, a seeded fault-injecting stream wrapper
+//!   (drop / truncate / delay / garbage / fragment) used by
+//!   `loadgen --chaos` and the fuzz tier's robustness tests.
 //!
 //! The `hoiho-serve` binary wires these into the workspace pipeline:
 //! `save` (learn → artifact, from a training file or a synthetic
@@ -26,14 +29,16 @@
 //! mutates a model after load, so one [`engine::Engine`] serves any
 //! number of threads behind an `Arc`.
 
+pub mod chaos;
 pub mod engine;
 pub mod model;
 pub mod server;
 pub mod sys;
 
+pub use chaos::{ChaosConfig, ChaosConn, ChaosStats};
 pub use engine::{CompiledNc, Engine, Extraction, MIN_BATCH_CHUNK};
 pub use model::{EvalCounts, Model, ModelEntry, ModelError};
 pub use server::{
     Backend, Client, EngineBackend, Generation, QueryAnswer, ServerHandle, StatsSnapshot,
-    MAX_BATCH,
+    MAX_BATCH, MAX_LINE, MAX_PENDING_OUT,
 };

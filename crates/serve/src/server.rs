@@ -75,6 +75,9 @@
 //! still closed. Line length is enforced against *each framed line*
 //! before it is served (and against the residual unterminated buffer),
 //! so [`MAX_LINE`] cannot be exceeded regardless of how reads chunk.
+//! A connection whose unread responses exceed [`MAX_PENDING_OUT`]
+//! (a pipelining client that never reads) is counted as a protocol
+//! error and dropped, bounding per-connection memory.
 //!
 //! In the default backend the live engine sits behind
 //! `RwLock<Arc<Generation>>`: each request clones the `Arc` under a
@@ -117,10 +120,17 @@ pub const IDLE_DISCONNECT: Duration = Duration::from_secs(60);
 /// that exceeds it is counted as a protocol error and disconnected —
 /// the stream cannot be resynchronised without trusting the oversized
 /// line's framing.
-const MAX_LINE: usize = 64 * 1024;
+pub const MAX_LINE: usize = 64 * 1024;
 
 /// Hard cap on the item count of one `BATCH` request.
 pub const MAX_BATCH: usize = 4096;
+
+/// Hard cap on a connection's pending (unwritten) response bytes. A
+/// client that pipelines requests but never reads its responses would
+/// otherwise grow `out` without bound; past this the connection is
+/// counted as a protocol error and dropped. 4 MiB comfortably holds
+/// dozens of maximal `BATCH` responses for a well-behaved pipeliner.
+pub const MAX_PENDING_OUT: usize = 4 * 1024 * 1024;
 
 /// How many events one `epoll_wait` call can report.
 const EVENT_BATCH: usize = 256;
@@ -767,6 +777,12 @@ impl Conn {
                 return false;
             };
             self.serve_text(text, shared);
+            if self.out.len() - self.out_pos > MAX_PENDING_OUT {
+                // The peer pipelines requests but is not draining the
+                // responses; cut it off before it balloons memory.
+                shared.count_error();
+                return false;
+            }
         }
         if buf.len() - start > MAX_LINE {
             shared.count_error();
@@ -1190,20 +1206,125 @@ fn refuse_admin(verb: &str, shared: &Shared) -> String {
     ERR_NOT_ADMIN.to_string()
 }
 
+/// The client's transport: a plain socket, or one wrapped in the
+/// seeded fault injector ([`crate::chaos::ChaosConn`]).
+enum ClientStream {
+    Plain(TcpStream),
+    Chaos(crate::chaos::ChaosConn),
+}
+
+impl ClientStream {
+    fn try_clone(&self) -> std::io::Result<ClientStream> {
+        Ok(match self {
+            ClientStream::Plain(s) => ClientStream::Plain(s.try_clone()?),
+            ClientStream::Chaos(c) => ClientStream::Chaos(c.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            ClientStream::Plain(s) => s.set_read_timeout(dur),
+            ClientStream::Chaos(c) => c.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Plain(s) => s.read(buf),
+            ClientStream::Chaos(c) => c.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Plain(s) => s.write(buf),
+            ClientStream::Chaos(c) => c.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Plain(s) => s.flush(),
+            ClientStream::Chaos(c) => c.flush(),
+        }
+    }
+}
+
 /// A minimal blocking client for the line protocol — used by the
 /// `query`/`loadgen` subcommands, the benches, and the smoke tests.
+///
+/// Every connection carries a read (and connect) timeout — default
+/// [`Client::DEFAULT_TIMEOUT`] — so a stalled or chaos-wrapped server
+/// can never hang a caller forever: a response that does not arrive in
+/// time surfaces as an `io::Error` (`WouldBlock`/`TimedOut`), which
+/// `loadgen` counts into its error rate.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<ClientStream>,
+    writer: ClientStream,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Default connect/read timeout for [`Client::connect`].
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to a running server with the default timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_opts(addr, Some(Self::DEFAULT_TIMEOUT), None)
+    }
+
+    /// Connects with an explicit connect/read timeout (`None` = block
+    /// forever) and optional fault injection: with a
+    /// [`crate::chaos::ChaosConfig`], all traffic flows through a
+    /// [`crate::chaos::ChaosConn`] seeded from the config.
+    pub fn connect_opts(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+        chaos: Option<crate::chaos::ChaosConfig>,
+    ) -> std::io::Result<Client> {
+        let stream = match timeout {
+            Some(t) => {
+                // connect_timeout needs a resolved address; try each in
+                // turn like TcpStream::connect does.
+                let mut last = None;
+                let mut conn = None;
+                for a in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&a, t) {
+                        Ok(s) => {
+                            conn = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                conn.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        let stream = match chaos {
+            Some(cfg) => ClientStream::Chaos(crate::chaos::ChaosConn::new(stream, cfg)),
+            None => ClientStream::Plain(stream),
+        };
+        stream.set_read_timeout(timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Changes the read timeout on an open connection (`None` = block
+    /// forever).
+    pub fn set_timeout(&mut self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
     }
 
     /// Sends one request line and reads one response line (trimmed).
@@ -1668,6 +1789,87 @@ mod tests {
         let mut resp = String::new();
         BufReader::new(s).read_line(&mut resp).unwrap();
         assert_eq!(resp.trim_end(), "err\tbatch truncated by eof");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn events_count_edge_cases() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        srv.obs().set_slow_threshold(Duration::from_nanos(0));
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        c.query("as1.example.com").unwrap();
+        // EVENTS 0 is a valid request for nothing: just the terminator.
+        assert_eq!(c.request("EVENTS 0").unwrap(), ".");
+        // An overlarge count clamps to "everything buffered" — here the
+        // query plus the EVENTS 0 itself (slow at threshold zero).
+        let first = c.request(&format!("EVENTS {}", u64::MAX)).unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        // Garbage args are protocol errors that keep the connection.
+        for bad in ["EVENTS -1", "EVENTS 1 2", "EVENTS 0x10"] {
+            let resp = c.request(bad).unwrap();
+            assert!(resp.starts_with("err\tEVENTS takes a count"), "{bad} -> {resp}");
+        }
+        assert_eq!(c.query("as2.example.com").unwrap(), Some(2));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn client_read_timeout_surfaces_instead_of_hanging() {
+        // A peer that accepts but never answers must produce a timeout
+        // error, not a hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut c = Client::connect_opts(addr, Some(Duration::from_millis(200)), None).unwrap();
+        let t0 = Instant::now();
+        let err = c.request("as1.example.com").unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "{err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        drop(c);
+        let _ = hold.join();
+    }
+
+    #[test]
+    fn non_reading_pipeliner_is_disconnected_at_the_out_cap() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Each ~32 KiB miss echoes back at roughly the same size;
+        // pipeline several times MAX_PENDING_OUT without reading a
+        // byte. The server must sever the connection at the cap rather
+        // than buffer it all.
+        let line = format!("{}.example.org\n", "a".repeat(32 * 1024));
+        for _ in 0..(3 * MAX_PENDING_OUT / line.len()) {
+            if s.write_all(line.as_bytes()).is_err() {
+                break; // already cut off — that's the point
+            }
+        }
+        let mut drained = 0usize;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+        assert!(
+            drained < 2 * MAX_PENDING_OUT,
+            "server buffered {drained} response bytes for a non-reading client"
+        );
+        // The violation is counted (poll: the close races us).
+        let t0 = Instant::now();
+        while srv.stats().errors == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "cap violation never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
         srv.shutdown();
     }
 

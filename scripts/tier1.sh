@@ -24,7 +24,14 @@
 #      matrix for the whole corpus, validate its shape, and hard-gate
 #      the (deterministic) quality metrics against the committed
 #      SCENARIOS.json via bench_diff.sh --quality.
-#   9. Advisory (warn-only): the learning bench against the committed
+#   9. A fuzz-tier smoke: replay the committed `fuzz/corpus/` through
+#      every target's oracle, then a short fixed-seed fuzz run across
+#      all five targets (regex, artifact, shardmap, scenario, framing)
+#      that must find nothing.
+#  10. A fault-injection smoke over the live cluster server: loadgen
+#      with --chaos 0.2 must terminate, report its error rate, and
+#      leave the server answering normally.
+#  11. Advisory (warn-only): the learning bench against the committed
 #      BENCH_learning.json baseline via scripts/bench_diff.sh. This
 #      1-core host is too noisy to gate on, but a >20% median regression
 #      should be seen before merge, not after.
@@ -35,6 +42,21 @@ cd "$(dirname "$0")/.."
 ./scripts/no-external-deps.sh
 cargo build --release --offline --workspace --examples --bins
 cargo test -q --offline
+
+# --- fuzz tier smoke: corpus replay + a short fixed-seed run ---
+FUZZ=target/release/hoiho-fuzz
+FUZZ_SCRATCH=$(mktemp -d)
+"$FUZZ" replay > /dev/null \
+    || { echo "tier1: committed fuzz corpus regressed" >&2
+         "$FUZZ" replay >&2 || true; rm -rf "$FUZZ_SCRATCH"; exit 1; }
+# Any find is written (minimized) into the scratch corpus for triage;
+# the box is 120s so a hung oracle fails the gate instead of wedging it.
+timeout 120 "$FUZZ" run --iters 500 --seed 0xC0FFEE --corpus "$FUZZ_SCRATCH" > /dev/null \
+    || { echo "tier1: fuzz smoke found failures (minimized cases in $FUZZ_SCRATCH)" >&2
+         timeout 120 "$FUZZ" run --iters 500 --seed 0xC0FFEE --corpus "$FUZZ_SCRATCH" >&2 || true
+         exit 1; }
+rm -rf "$FUZZ_SCRATCH"
+echo "tier1: fuzz corpus replay + 500-iter smoke OK"
 
 SRV=target/release/hoiho-serve
 SMOKE_DIR=$(mktemp -d)
@@ -122,6 +144,22 @@ grep -F 'hoiho_requests_total{outcome="ok",verb="batch"}' "$SMOKE_DIR/metrics.tx
     || { echo "tier1: METRICS missing a nonzero batch request counter" >&2; exit 1; }
 grep -q '^# TYPE hoiho_request_latency_ns histogram' "$SMOKE_DIR/metrics.txt" \
     || { echo "tier1: METRICS missing the latency histogram" >&2; exit 1; }
+
+# --- fault-injection smoke: chaos loadgen against the live cluster ---
+# Every connection's traffic flows through a seeded fault-injecting
+# wrapper; the run must terminate, report its error rate, and leave
+# the server healthy.
+printf 'test.%s\ntest.%s\n' "$SUF0" "$SUF1" > "$SMOKE_DIR/chaos_hosts.txt"
+timeout 120 "$SRV" loadgen "$ADDR" "$SMOKE_DIR/chaos_hosts.txt" 2 300 --chaos 0.2 \
+    > "$SMOKE_DIR/chaos.txt" 2> /dev/null \
+    || { echo "tier1: chaos loadgen did not terminate cleanly" >&2
+         cat "$SMOKE_DIR/chaos.txt" >&2; exit 1; }
+grep -q "error-rate=" "$SMOKE_DIR/chaos.txt" \
+    || { echo "tier1: chaos loadgen reported no error rate" >&2
+         cat "$SMOKE_DIR/chaos.txt" >&2; exit 1; }
+"$SRV" send "$ADDR" "test.$SUF0" | grep -q "test.$SUF0" \
+    || { echo "tier1: cluster server unhealthy after the chaos run" >&2; exit 1; }
+echo "tier1: chaos loadgen smoke OK ($(grep -o 'error-rate=[0-9.]*%' "$SMOKE_DIR/chaos.txt" | head -1))"
 
 "$SRV" send "$ADDR" SHUTDOWN | grep -q "^ok"
 wait "$SRV_PID"

@@ -345,3 +345,109 @@ fn metrics_exposition_accounts_scripted_traffic_exactly() {
     assert_eq!(bye, "ok\tbye");
     srv.join();
 }
+
+/// METRICS under fire: one thread hammers per-shard reloads while
+/// another repeatedly fetches and strictly parses the exposition.
+/// Every response must parse and round-trip losslessly (no torn or
+/// interleaved documents), and the request counter must be monotone
+/// across fetches — a reload mid-render must never produce a snapshot
+/// that goes backwards.
+#[test]
+fn metrics_stays_parseable_and_monotone_under_concurrent_reloads() {
+    let obs = Arc::new(Obs::new());
+    let (parts, _map) = split(&model(), 2).expect("split");
+    let router = Arc::new(
+        ShardRouter::new_obs(&parts, 128, Arc::clone(&obs)).expect("build router"),
+    );
+    let backend = Arc::new(ClusterBackend::new(Arc::clone(&router)));
+    let srv = ServerHandle::start_with_backend_obs("127.0.0.1:0", backend, 2, obs)
+        .expect("bind");
+
+    let shard_paths: Vec<PathBuf> = parts
+        .iter()
+        .enumerate()
+        .map(|(k, p)| {
+            let path = scratch(&format!("reload-storm-shard{k}.model"));
+            p.save(&path).expect("save shard model");
+            path
+        })
+        .collect();
+
+    const RELOADS: usize = 40;
+    const FETCHES: usize = 25;
+    let addr = srv.local_addr();
+    std::thread::scope(|scope| {
+        let reloader = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("reloader connect");
+            for i in 0..RELOADS {
+                let k = i % shard_paths.len();
+                let resp = client
+                    .request(&format!("RELOAD SHARD {k} {}", shard_paths[k].display()))
+                    .expect("reload under storm");
+                assert!(
+                    resp.starts_with(&format!("ok\treloaded\tshard={k}\t")),
+                    "bad reload response under storm: {resp}"
+                );
+            }
+        });
+
+        let mut client = Client::connect(addr).expect("metrics connect");
+        let mut prev_requests = 0i128;
+        for i in 0..FETCHES {
+            // Interleave a little query traffic so counters move.
+            client.query("a.b.as64500.equinix.com").expect("query under storm");
+            let first = client.request("METRICS").expect("metrics under storm");
+            assert!(
+                first.starts_with("# TYPE "),
+                "fetch {i}: METRICS must open with a TYPE line: {first}"
+            );
+            let mut text = first;
+            text.push('\n');
+            for l in client.read_until_dot().expect("metrics body under storm") {
+                text.push_str(&l);
+                text.push('\n');
+            }
+            let lines = parse(&text);
+            assert_eq!(
+                render(&lines),
+                text,
+                "fetch {i}: exposition must round-trip losslessly mid-reload"
+            );
+            let requests = sum_series(&lines, "hoiho_requests_total");
+            assert!(
+                requests >= prev_requests,
+                "fetch {i}: request counter went backwards ({prev_requests} -> {requests})"
+            );
+            prev_requests = requests;
+        }
+        reloader.join().expect("reloader thread panicked");
+    });
+
+    // After the storm: reload counters sum to exactly the scripted
+    // total and the server still answers.
+    let mut client = Client::connect(addr).expect("post-storm connect");
+    let first = client.request("METRICS").expect("post-storm metrics");
+    let mut text = first;
+    text.push('\n');
+    for l in client.read_until_dot().expect("post-storm metrics body") {
+        text.push_str(&l);
+        text.push('\n');
+    }
+    let lines = parse(&text);
+    assert_eq!(
+        sum_series(&lines, "hoiho_shard_reloads_total"),
+        RELOADS as i128,
+        "every reload in the storm must be counted exactly once"
+    );
+    assert_eq!(
+        client.query("a.b.as64500.equinix.com").expect("post-storm query"),
+        Some(64500)
+    );
+
+    for p in &shard_paths {
+        std::fs::remove_file(p).ok();
+    }
+    let bye = client.request("SHUTDOWN").expect("shutdown");
+    assert_eq!(bye, "ok\tbye");
+    srv.join();
+}
