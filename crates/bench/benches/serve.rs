@@ -9,6 +9,7 @@ use hoiho::learner::{learn_all, LearnConfig};
 use hoiho_devkit::bench::{Harness, Throughput};
 use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_netsim::SimConfig;
+use hoiho_obs::Obs;
 use hoiho_psl::PublicSuffixList;
 use hoiho_serve::server::Client;
 use hoiho_serve::{Engine, Model, ServerHandle, MIN_BATCH_CHUNK};
@@ -117,6 +118,34 @@ fn bench_tcp(h: &mut Harness, model: &Model, hostnames: &[String]) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(bulk.len() as u64));
     g.bench_function("socket_batch", |b| {
+        b.iter(|| black_box(client.batch(black_box(&bulk)).expect("batch")))
+    });
+    g.finish();
+
+    drop(client);
+    srv.shutdown();
+
+    // The same bulk batch against a server tracing 1 in 64 requests —
+    // the sampled-tracing overhead row the --slo bench diff pairs with
+    // socket_batch (DESIGN §7i budgets it at <5%). A fresh server so
+    // the untraced run above never shares a sampler branch.
+    let obs = Arc::new(Obs::new());
+    obs.sampler().configure(64, 2020);
+    let engine = Arc::new(Engine::new(model));
+    let srv = ServerHandle::start_obs("127.0.0.1:0", engine, 2, obs)
+        .expect("bind traced bench server");
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    // Warmup: the untraced server above entered its socket_batch
+    // rounds with regexes already compiled by the earlier roundtrip
+    // bench; give this fresh server the same head start so the pair
+    // measures tracing, not lazy compilation.
+    for _ in 0..4 {
+        client.batch(&bulk).expect("warmup batch");
+    }
+    let mut g = h.benchmark_group("serve");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(bulk.len() as u64));
+    g.bench_function("socket_batch_traced", |b| {
         b.iter(|| black_box(client.batch(black_box(&bulk)).expect("batch")))
     });
     g.finish();

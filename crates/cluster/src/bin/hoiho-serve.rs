@@ -9,6 +9,16 @@
 //! hoiho-serve serve <model-file> <addr> [workers]  run the TCP server
 //!       [--shards N] [--cache-capacity K]          ... as an N-shard cluster with a
 //!                                                  bounded response cache
+//!       [--trace-sample N] [--trace-seed S]        ... tracing every Nth request with
+//!                                                  ids seeded by S (default seed 0)
+//!       [--slo FILE]                               ... objectives from FILE instead of
+//!                                                  the built-in defaults
+//! hoiho-serve trace <addr> [n] [--chrome F] [--collapsed F]
+//!                                                  dump up to n sampled traces from a
+//!                                                  running server (loopback only);
+//!                                                  write Chrome trace JSON and/or
+//!                                                  collapsed flamegraph stacks, or
+//!                                                  print Chrome JSON to stdout
 //! hoiho-serve send <addr> <request...>             one protocol request, print reply
 //! hoiho-serve batch <addr> [hostname ...]          one pipelined BATCH (args or stdin),
 //!                                                  print the answer lines
@@ -16,7 +26,10 @@
 //!                                                  drive a server, report lookups/sec,
 //!                                                  p50/p90/p99/max latency, error rate;
 //!                                                  --batch sends N hostnames per BATCH
-//!                                                  request instead of one per line
+//!                                                  request instead of one per line;
+//!                                                  --slo FILE evaluates the objectives
+//!                                                  against the client-side tallies and
+//!                                                  exits nonzero on a breach
 //! hoiho-serve loadgen <addr> --scenario <file> [conns] [requests]
 //!                                                  same, but the hostname stream is the
 //!                                                  scenario's world under its declared
@@ -48,7 +61,7 @@ use hoiho::training::{Observation, TrainingSet};
 use hoiho_cluster::{shard_file_name, split, ClusterBackend, ShardRouter, SHARDMAP_FILE_NAME};
 use hoiho_itdk::{BuiltSnapshot, Method, SnapshotSpec};
 use hoiho_netsim::SimConfig;
-use hoiho_obs::{Histogram, Obs};
+use hoiho_obs::{slo, span, Histogram, Obs};
 use hoiho_psl::PublicSuffixList;
 use hoiho_scenario::compile::{ground_truth_rows, truth_suffixes};
 use hoiho_scenario::matrix::render_scenarios_json;
@@ -61,9 +74,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Flags extracted before the positional match so they may appear
-/// anywhere after the subcommand: `--shards`/`--cache-capacity` for
-/// `serve`, `--batch`/`--scenario` for `loadgen`, `--out` for
-/// `scenario run`.
+/// anywhere after the subcommand: `--shards`/`--cache-capacity`/
+/// `--trace-sample`/`--trace-seed` for `serve`, `--batch`/`--scenario`/
+/// `--chaos` for `loadgen`, `--slo` for both `serve` and `loadgen`,
+/// `--out` for `scenario run`, `--chrome`/`--collapsed` for `trace`.
 #[derive(Default)]
 struct ClusterFlags {
     shards: Option<u32>,
@@ -72,11 +86,17 @@ struct ClusterFlags {
     scenario: Option<String>,
     out: Option<String>,
     chaos: Option<f64>,
+    trace_sample: Option<u64>,
+    trace_seed: Option<u64>,
+    slo: Option<String>,
+    chrome: Option<String>,
+    collapsed: Option<String>,
 }
 
 /// Splits `--shards N` / `--cache-capacity K` / `--batch N` /
-/// `--scenario F` / `--out F` / `--chaos RATE` out of the argument
-/// list.
+/// `--scenario F` / `--out F` / `--chaos RATE` / `--trace-sample N` /
+/// `--trace-seed S` / `--slo F` / `--chrome F` / `--collapsed F` out
+/// of the argument list.
 fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), String> {
     let mut flags = ClusterFlags::default();
     let mut rest = Vec::new();
@@ -134,6 +154,33 @@ fn take_cluster_flags(args: &[String]) -> Result<(Vec<&str>, ClusterFlags), Stri
                 }
                 flags.chaos = Some(rate);
             }
+            "--trace-sample" => {
+                let v = value("--trace-sample")?;
+                it.next();
+                flags.trace_sample =
+                    Some(v.parse().map_err(|_| format!("bad --trace-sample value {v:?}"))?);
+            }
+            "--trace-seed" => {
+                let v = value("--trace-seed")?;
+                it.next();
+                flags.trace_seed =
+                    Some(v.parse().map_err(|_| format!("bad --trace-seed value {v:?}"))?);
+            }
+            "--slo" => {
+                let v = value("--slo")?;
+                it.next();
+                flags.slo = Some(v.to_string());
+            }
+            "--chrome" => {
+                let v = value("--chrome")?;
+                it.next();
+                flags.chrome = Some(v.to_string());
+            }
+            "--collapsed" => {
+                let v = value("--collapsed")?;
+                it.next();
+                flags.collapsed = Some(v.to_string());
+            }
             other => rest.push(other),
         }
     }
@@ -170,6 +217,19 @@ fn run(args: &[String]) -> Result<(), String> {
     if flags.out.is_some() && strs.get(..2) != Some(&["scenario", "run"]) {
         return Err("--out only applies to scenario run".into());
     }
+    if (flags.trace_sample.is_some() || flags.trace_seed.is_some())
+        && strs.first() != Some(&"serve")
+    {
+        return Err("--trace-sample/--trace-seed only apply to serve".into());
+    }
+    if flags.slo.is_some() && !matches!(strs.first(), Some(&"serve") | Some(&"loadgen")) {
+        return Err("--slo only applies to serve and loadgen".into());
+    }
+    if (flags.chrome.is_some() || flags.collapsed.is_some())
+        && strs.first() != Some(&"trace")
+    {
+        return Err("--chrome/--collapsed only apply to trace".into());
+    }
     match strs.as_slice() {
         ["save", "--sim", seed, out] => save_sim(seed, out),
         ["save", training, out] => save_file(training, out),
@@ -182,6 +242,11 @@ fn run(args: &[String]) -> Result<(), String> {
         ["serve", model, addr] => serve(model, addr, 0, &flags),
         ["serve", model, addr, workers] => match workers.parse() {
             Ok(w) => serve(model, addr, w, &flags),
+            Err(_) => usage(),
+        },
+        ["trace", addr] => trace_cmd(addr, None, &flags),
+        ["trace", addr, n] => match n.parse() {
+            Ok(n) => trace_cmd(addr, Some(n), &flags),
             Err(_) => usage(),
         },
         ["send", addr, words @ ..] if !words.is_empty() => send(addr, &words.join(" ")),
@@ -232,10 +297,12 @@ fn usage() -> Result<(), String> {
     eprintln!("       hoiho-serve shard <model-file> <N> <out-dir>");
     eprintln!("       hoiho-serve serve <model-file> <addr> [workers]");
     eprintln!("                         [--shards N] [--cache-capacity K]");
+    eprintln!("                         [--trace-sample N] [--trace-seed S] [--slo FILE]");
+    eprintln!("       hoiho-serve trace <addr> [n] [--chrome FILE] [--collapsed FILE]");
     eprintln!("       hoiho-serve send <addr> <request...>");
     eprintln!("       hoiho-serve batch <addr> [hostname ...]");
     eprintln!("       hoiho-serve loadgen <addr> <hosts-file> [conns] [requests]");
-    eprintln!("                           [--batch N] [--chaos RATE]");
+    eprintln!("                           [--batch N] [--chaos RATE] [--slo FILE]");
     eprintln!("       hoiho-serve loadgen <addr> --scenario <file> [conns] [requests]");
     eprintln!("       hoiho-serve scenario run [--out F] <file...>");
     eprintln!("       hoiho-serve scenario save <file> <model-file>");
@@ -463,15 +530,41 @@ fn shard(path: &str, n: u32, outdir: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the server's observability context from the command line:
+/// the trace sampler (off unless `--trace-sample` is given) and the
+/// SLO objectives (`--slo FILE`, else the built-in defaults already
+/// installed by `Obs::new`).
+fn configured_obs(flags: &ClusterFlags) -> Result<Arc<Obs>, String> {
+    let obs = Arc::new(Obs::new());
+    if let Some(every) = flags.trace_sample {
+        obs.sampler().configure(every, flags.trace_seed.unwrap_or(0));
+    }
+    if let Some(path) = flags.slo.as_deref() {
+        obs.slo().set_objectives(load_objectives(path)?);
+    }
+    Ok(obs)
+}
+
+/// Reads and parses an SLO objective file.
+fn load_objectives(path: &str) -> Result<Vec<slo::Objective>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    slo::parse_objectives(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result<(), String> {
     let model = Model::load(path).map_err(|e| e.to_string())?;
+    // One observability context for all layers: the router's
+    // per-shard/cache series, the server's request series, and the
+    // trace/profile/SLO state land in the same verbs.
+    let obs = configured_obs(flags)?;
+    let tracing = match obs.sampler().every() {
+        0 => String::new(),
+        every => format!(", tracing 1 in {every}"),
+    };
     let srv = if flags.shards.is_some() || flags.cache_capacity.is_some() {
         let shards = flags.shards.unwrap_or(1);
         let capacity = flags.cache_capacity.unwrap_or(0);
-        // One observability context for both layers: the router's
-        // per-shard/cache series and the server's request series land
-        // in the same METRICS document.
-        let obs = Arc::new(Obs::new());
         let router = Arc::new(
             ShardRouter::from_model_obs(&model, shards, capacity, Arc::clone(&obs))
                 .map_err(|e| e.to_string())?,
@@ -480,7 +573,7 @@ fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result
         let srv = ServerHandle::start_with_backend_obs(addr, backend, workers, obs)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         eprintln!(
-            "serving {} conventions across {shards} shards (cache capacity {capacity}) on {} \
+            "serving {} conventions across {shards} shards (cache capacity {capacity}) on {}{tracing} \
              (send SHUTDOWN to stop, RELOAD SHARD <k> <path> to hot-swap one shard)",
             model.len(),
             srv.local_addr()
@@ -488,10 +581,10 @@ fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result
         srv
     } else {
         let engine = Arc::new(Engine::new(&model));
-        let srv = ServerHandle::start(addr, engine, workers)
+        let srv = ServerHandle::start_obs(addr, engine, workers, obs)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         eprintln!(
-            "serving {} conventions on {} (send SHUTDOWN to stop, RELOAD <path> to hot-swap)",
+            "serving {} conventions on {}{tracing} (send SHUTDOWN to stop, RELOAD <path> to hot-swap)",
             model.len(),
             srv.local_addr()
         );
@@ -499,6 +592,49 @@ fn serve(path: &str, addr: &str, workers: usize, flags: &ClusterFlags) -> Result
     };
     srv.join();
     eprintln!("server stopped");
+    Ok(())
+}
+
+/// `trace`: pulls up to `n` sampled traces (default: all retained)
+/// from a running server's span ring and converts them for tooling —
+/// Chrome trace JSON (`--chrome`, or stdout when no output flag is
+/// given) and collapsed flamegraph stacks (`--collapsed`).
+fn trace_cmd(addr: &str, n: Option<usize>, flags: &ClusterFlags) -> Result<(), String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let req = match n {
+        Some(n) => format!("TRACES {n}"),
+        None => "TRACES".to_string(),
+    };
+    let first = client.request(&req).map_err(|e| format!("request failed: {e}"))?;
+    if let Some(msg) = first.strip_prefix("err\t") {
+        return Err(format!("server refused: {msg}"));
+    }
+    let mut jsonl = String::new();
+    if first != "." {
+        jsonl.push_str(&first);
+        jsonl.push('\n');
+        for l in client.read_until_dot().map_err(|e| format!("request failed: {e}"))? {
+            jsonl.push_str(&l);
+            jsonl.push('\n');
+        }
+    }
+    let spans = span::parse_jsonl(&jsonl).map_err(|e| format!("bad TRACES payload: {e}"))?;
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace).collect();
+    eprintln!("{} spans across {} traces from {addr}", spans.len(), traces.len());
+    if let Some(path) = flags.chrome.as_deref() {
+        std::fs::write(path, span::to_chrome_json(&spans))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace JSON to {path} (load via chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = flags.collapsed.as_deref() {
+        std::fs::write(path, span::to_collapsed(&spans))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote collapsed stacks to {path} (feed to flamegraph.pl)");
+    }
+    if flags.chrome.is_none() && flags.collapsed.is_none() {
+        println!("{}", span::to_chrome_json(&spans));
+    }
     Ok(())
 }
 
@@ -512,8 +648,11 @@ fn send(addr: &str, line: &str) -> Result<(), String> {
     // Multi-line responses: the first line is already part of the
     // listing (or the lone `.` terminator on an empty listing).
     let trimmed = line.trim();
-    let multiline = matches!(trimmed, "STATS SUFFIX" | "STATS CLUSTER" | "METRICS" | "EVENTS")
-        || trimmed.strip_prefix("EVENTS ").is_some();
+    let multiline = matches!(
+        trimmed,
+        "STATS SUFFIX" | "STATS CLUSTER" | "METRICS" | "EVENTS" | "TRACES" | "PROFILE" | "SLO"
+    ) || trimmed.strip_prefix("EVENTS ").is_some()
+        || trimmed.strip_prefix("TRACES ").is_some();
     if multiline && !resp.starts_with("err\t") {
         if resp == "." {
             return Ok(());
@@ -596,7 +735,7 @@ fn loadgen(
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .collect();
-    drive(addr, &hosts, conns, requests, flags.batch, flags.chaos)
+    drive(addr, &hosts, conns, requests, flags.batch, flags.chaos, flags.slo.as_deref())
 }
 
 /// Replays a scenario's declared workload against a running server:
@@ -636,7 +775,7 @@ fn loadgen_scenario(
         per_conn * conns,
         batch.map_or(String::new(), |b| format!(", batch {b}")),
     );
-    drive(addr, &stream, conns, per_conn, batch, flags.chaos)
+    drive(addr, &stream, conns, per_conn, batch, flags.chaos, flags.slo.as_deref())
 }
 
 /// Read timeout for chaos-mode connections: short enough that a
@@ -657,7 +796,10 @@ const MAX_CONSECUTIVE_CONNECT_FAILURES: u32 = 100;
 /// run. With `chaos = Some(rate)`, every connection's traffic flows
 /// through a seeded [`hoiho_serve::ChaosConn`] (seed derived from the
 /// connection index, so runs are reproducible) and reads time out
-/// after [`CHAOS_TIMEOUT`] instead of the client default.
+/// after [`CHAOS_TIMEOUT`] instead of the client default. With
+/// `slo_path = Some(file)`, the run's own tallies are evaluated
+/// against the file's objectives after the summary line and a breach
+/// fails the command.
 fn drive(
     addr: &str,
     hosts: &[&str],
@@ -665,7 +807,10 @@ fn drive(
     requests: usize,
     batch: Option<usize>,
     chaos: Option<f64>,
+    slo_path: Option<&str>,
 ) -> Result<(), String> {
+    // Parse the objective file before spending minutes driving load.
+    let objectives = slo_path.map(load_objectives).transpose()?;
     if hosts.is_empty() {
         return Err("no hostnames to send".into());
     }
@@ -812,6 +957,27 @@ fn drive(
         us(lat.quantile(0.99)),
         us(lat.max()),
     );
+    if let Some(objectives) = objectives {
+        // Client-side evaluation over this run's own tallies: the
+        // whole run is the window, so there are no burn-rate windows
+        // and cache_hit_rate objectives report n/a (the client cannot
+        // see the server's cache).
+        let overall = slo::SloWindowData {
+            latency_counts: lat.bucket_counts(),
+            latency_max_ns: lat.max(),
+            errors,
+            requests: hits + misses,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        let statuses = slo::evaluate(&objectives, &overall, &[]);
+        print!("{}", slo::render_statuses(&statuses));
+        let breached: Vec<&str> =
+            statuses.iter().filter(|s| s.breach).map(|s| s.objective.name.as_str()).collect();
+        if !breached.is_empty() {
+            return Err(format!("SLO breach: {}", breached.join(", ")));
+        }
+    }
     Ok(())
 }
 

@@ -41,7 +41,8 @@
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::plan::split;
-use hoiho_obs::{Counter, Gauge, Obs};
+use hoiho_obs::span::{detail, Layer, TraceCtx};
+use hoiho_obs::{Counter, Gauge, Obs, SpanHandle};
 use hoiho_psl::{label_suffixes, PublicSuffixList};
 use hoiho_serve::model::Model;
 use hoiho_serve::server::{Backend, Generation, QueryAnswer};
@@ -302,22 +303,53 @@ impl ShardRouter {
     /// series equals total lookups), and an eviction to the shard of
     /// the answer that was pushed out.
     pub fn lookup(&self, hostname: &str) -> QueryAnswer {
+        self.lookup_traced(hostname, &TraceCtx::off())
+    }
+
+    /// [`ShardRouter::lookup`] under a request tracing context: a
+    /// sampled request records a router span tagged with the route
+    /// outcome (exact/fallback/route_miss), shard, and generation (or
+    /// epoch), a cache span tagged hit/miss/stale, and — on a cache
+    /// miss — an engine span from the shard dispatch (DESIGN §7i). An
+    /// off context costs one branch per span site.
+    pub fn lookup_traced(&self, hostname: &str, ctx: &TraceCtx) -> QueryAnswer {
         let lower = hostname.to_ascii_lowercase();
-        if let Some(hit) = self.cache.get_valid(&lower, |v| {
-            let current = self.route_current(&v.route);
-            if !current {
-                if let Some(o) = &self.obs {
-                    o.of_route(&v.route).cache_stale.inc();
+        let mut rsp = ctx.span(Layer::Router);
+        let mut saw_stale = false;
+        let cached = {
+            let mut csp = ctx.span(Layer::Cache);
+            let hit = self.cache.get_valid(&lower, |v| {
+                let current = self.route_current(&v.route);
+                if !current {
+                    saw_stale = true;
+                    if let Some(o) = &self.obs {
+                        o.of_route(&v.route).cache_stale.inc();
+                    }
                 }
+                current
+            });
+            match &hit {
+                Some(h) => {
+                    // Route tag first: it also writes a dispatch
+                    // detail, which the cache outcome overrides.
+                    tag_route(&mut csp, &h.route);
+                    csp.detail(detail::HIT);
+                }
+                // A stale rejection recomputes, so it also reads as a
+                // miss downstream; the distinct detail says why.
+                None => csp.detail(if saw_stale { detail::STALE } else { detail::MISS }),
             }
-            current
-        }) {
+            hit
+        };
+        if let Some(hit) = cached {
             if let Some(o) = &self.obs {
                 o.of_route(&hit.route).cache_hits.inc();
             }
+            tag_route(&mut rsp, &hit.route);
             return hit.answer;
         }
-        let (route, answer) = self.compute(&lower);
+        let (route, answer) = self.compute(&lower, ctx);
+        tag_route(&mut rsp, &route);
         if let Some(o) = &self.obs {
             o.of_route(&route).cache_misses.inc();
         }
@@ -330,7 +362,7 @@ impl ShardRouter {
 
     /// Answers one hostname, bypassing the cache (no insert either).
     pub fn lookup_uncached(&self, hostname: &str) -> QueryAnswer {
-        self.compute(&hostname.to_ascii_lowercase()).1
+        self.compute(&hostname.to_ascii_lowercase(), &TraceCtx::off()).1
     }
 
     /// Answers a `BATCH` of hostnames in order. Each item goes through
@@ -338,14 +370,21 @@ impl ShardRouter {
     /// so cache accounting, route tags, and reload safety are identical
     /// item for item.
     pub fn lookup_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
-        hostnames.iter().map(|h| self.lookup(h)).collect()
+        self.lookup_batch_traced(hostnames, &TraceCtx::off())
+    }
+
+    /// [`ShardRouter::lookup_batch`] under a tracing context; each item
+    /// records its own router/cache/engine spans until the context's
+    /// span budget is spent.
+    pub fn lookup_batch_traced(&self, hostnames: &[&str], ctx: &TraceCtx) -> Vec<QueryAnswer> {
+        hostnames.iter().map(|h| self.lookup_traced(h, ctx)).collect()
     }
 
     /// The routed compute path. Sampling order matters (module docs):
     /// epoch, then routing, then the shard's generation, then its
     /// engine — a racing reload leaves the tag stale, never the answer
     /// newer than the tag claims.
-    fn compute(&self, lower: &str) -> (Route, QueryAnswer) {
+    fn compute(&self, lower: &str, ctx: &TraceCtx) -> (Route, QueryAnswer) {
         let epoch = self.epoch.load(Ordering::Acquire);
         let routing = Arc::clone(&self.routing.read().unwrap());
         // Exact: route by registrable domain, as the engine does first.
@@ -353,14 +392,14 @@ impl ShardRouter {
             if let Some(&shard) = routing.get(&rd) {
                 let generation =
                     self.slots[shard as usize].generation_no.load(Ordering::Acquire);
-                let answer = self.query_shard(shard, lower);
+                let answer = self.query_shard(shard, lower, ctx);
                 return (Route::Exact { shard, generation }, answer);
             }
         }
         // Fallback: longest label suffix anywhere in the union.
         for s in label_suffixes(lower) {
             if let Some(&shard) = routing.get(s) {
-                let answer = self.query_shard(shard, lower);
+                let answer = self.query_shard(shard, lower, ctx);
                 return (Route::Fallback { shard, epoch }, answer);
             }
         }
@@ -368,15 +407,20 @@ impl ShardRouter {
     }
 
     /// Dispatches a pre-lowercased hostname to shard `k`'s engine.
-    fn query_shard(&self, k: u32, lower: &str) -> QueryAnswer {
+    fn query_shard(&self, k: u32, lower: &str, ctx: &TraceCtx) -> QueryAnswer {
         let slot = &self.slots[k as usize];
         slot.queries.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &self.obs {
             o.shards[k as usize].queries.inc();
         }
+        let mut esp = ctx.span(Layer::Engine);
+        esp.shard(k);
+        esp.generation(slot.generation_no.load(Ordering::Acquire));
         let gen = Arc::clone(&slot.gen.read().unwrap());
         let x = gen.engine.extract_lower(lower);
-        gen.answer_of(x)
+        let answer = gen.answer_of(x);
+        esp.detail(if answer.asn.is_some() { detail::EXTRACT_HIT } else { detail::EXTRACT_MISS });
+        answer
     }
 
     /// Hot-reloads shard `k` with a new model. The new model may add
@@ -474,6 +518,28 @@ impl ShardRouter {
     }
 }
 
+/// Tags a span with a route outcome: the dispatch detail plus the
+/// shard index and its validation counter (generation for exact
+/// routes, routing epoch for fallback/miss).
+fn tag_route(sp: &mut SpanHandle<'_>, route: &Route) {
+    match *route {
+        Route::Exact { shard, generation } => {
+            sp.detail(detail::EXACT);
+            sp.shard(shard);
+            sp.generation(generation);
+        }
+        Route::Fallback { shard, epoch } => {
+            sp.detail(detail::FALLBACK);
+            sp.shard(shard);
+            sp.generation(epoch);
+        }
+        Route::Miss { epoch } => {
+            sp.detail(detail::ROUTE_MISS);
+            sp.generation(epoch);
+        }
+    }
+}
+
 /// [`Backend`] adapter plugging a [`ShardRouter`] into the serve
 /// protocol loop: queries go through the cache, `RELOAD SHARD <k>
 /// <path>` reloads one shard, and `STATS CLUSTER` reports shard and
@@ -495,12 +561,12 @@ impl ClusterBackend {
 }
 
 impl Backend for ClusterBackend {
-    fn query(&self, hostname: &str) -> QueryAnswer {
-        self.router.lookup(hostname)
+    fn query(&self, hostname: &str, ctx: &TraceCtx) -> QueryAnswer {
+        self.router.lookup_traced(hostname, ctx)
     }
 
-    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
-        self.router.lookup_batch(hostnames)
+    fn query_batch(&self, hostnames: &[&str], ctx: &TraceCtx) -> Vec<QueryAnswer> {
+        self.router.lookup_batch_traced(hostnames, ctx)
     }
 
     fn model_len(&self) -> usize {
@@ -786,7 +852,7 @@ mod tests {
     fn cluster_backend_protocol_surfaces() {
         let router = Arc::new(ShardRouter::from_model(&model(), 2, 32).unwrap());
         let backend = ClusterBackend::new(Arc::clone(&router));
-        assert_eq!(backend.query("a.b.as64500.equinix.com").asn, Some(64500));
+        assert_eq!(backend.query("a.b.as64500.equinix.com", &TraceCtx::off()).asn, Some(64500));
         assert_eq!(backend.model_len(), 4);
         assert_eq!(backend.per_suffix().len(), 4);
         let stats = backend.cluster_stats().unwrap();

@@ -139,8 +139,9 @@ impl Target for ArtifactTarget {
             hosts.push(format!("xe-0-1.{}", e.suffix));
             hosts.push(e.suffix.clone());
         }
+        let off = hoiho_obs::TraceCtx::off();
         for h in &hosts {
-            let a = single.query(h);
+            let a = single.query(h, &off);
             let b = router.lookup(h);
             if a != b {
                 return Err(format!(
@@ -149,7 +150,7 @@ impl Target for ArtifactTarget {
             }
         }
         let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
-        let a = single.query_batch(&refs);
+        let a = single.query_batch(&refs, &off);
         let b = router.lookup_batch(&refs);
         if a != b {
             return Err(format!("sharded({shards}) batch diverges from single engine"));

@@ -111,7 +111,8 @@ impl FramingTarget {
                         format!("ok\tbatch\t{}\n", hosts.len()).as_bytes(),
                     );
                     let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
-                    for (h, a) in hosts.iter().zip(self.backend.query_batch(&refs)) {
+                    let off = hoiho_obs::TraceCtx::off();
+                    for (h, a) in hosts.iter().zip(self.backend.query_batch(&refs, &off)) {
                         a.render_line_into(h, out);
                     }
                 }
@@ -136,7 +137,7 @@ impl FramingTarget {
             if request.is_empty() {
                 return true;
             }
-            let answer = self.backend.query(request);
+            let answer = self.backend.query(request, &hoiho_obs::TraceCtx::off());
             out.extend_from_slice(
                 format!("{request}\t{}\n", answer.render_fields()).as_bytes(),
             );

@@ -90,9 +90,17 @@ impl EventLog {
 
     /// Records an event, evicting the oldest if the ring is full.
     /// Returns the assigned sequence number.
+    ///
+    /// The timestamp is read *under* the ring lock, in the same
+    /// critical section that assigns the sequence number — so dump
+    /// order, sequence order, and timestamp order always agree, even
+    /// under writer contention. (Reading the clock first looks
+    /// harmless but lets two racing writers commit with inverted
+    /// timestamps: A reads t=5, B reads t=6, B takes the lock first
+    /// and seq 0 carries the *later* time.)
     pub fn record(&self, kind: &str, fields: &[(&str, &str)]) -> u64 {
-        let ts_ns = self.clock.now_ns();
         let mut ring = self.inner.lock().expect("event log lock poisoned");
+        let ts_ns = self.clock.now_ns();
         let seq = ring.next_seq;
         ring.next_seq += 1;
         if ring.buf.len() == self.capacity {
@@ -225,5 +233,35 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 400);
+    }
+
+    #[test]
+    fn contended_dump_is_monotone_in_seq_and_time() {
+        // Timestamps are taken under the ring lock, so the dump must be
+        // strictly increasing in seq AND non-decreasing in ts_ns — no
+        // interleaving of racing writers, ever.
+        let log = EventLog::new(4096);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let log = &log;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        log.record("e", &[("t", &t.to_string()), ("i", &i.to_string())]);
+                    }
+                });
+            }
+        });
+        let tail = log.tail(4096);
+        assert_eq!(tail.len(), 1600);
+        for pair in tail.windows(2) {
+            assert!(pair[1].seq == pair[0].seq + 1, "seq gap: {} -> {}", pair[0].seq, pair[1].seq);
+            assert!(
+                pair[1].ts_ns >= pair[0].ts_ns,
+                "timestamp inversion at seq {}: {} then {}",
+                pair[1].seq,
+                pair[0].ts_ns,
+                pair[1].ts_ns
+            );
+        }
     }
 }

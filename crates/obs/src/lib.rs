@@ -33,10 +33,16 @@
 
 pub mod events;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use events::{Event, EventLog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry};
+pub use profile::{Phase, PhaseCell, Profiler};
+pub use slo::{Objective, SloEngine, SloSnapshot, SloStatus};
+pub use span::{Layer, ReqSpan, Sampler, SpanHandle, SpanRing, TraceCtx};
 pub use trace::{Clock, ManualClock, SpanGuard, Tracer, WallClock};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,20 +56,27 @@ pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(100);
 /// Default event-ring capacity.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
-/// One observability context: a metrics registry, an event log, and
-/// the slow-query threshold. The server and the shard router each take
-/// an `Arc<Obs>`; handing them the *same* one merges their metrics
-/// into a single `METRICS` document (what the `hoiho-serve` binary
-/// does).
+/// One observability context: a metrics registry, an event log, the
+/// request-tracing pieces (span ring + sampler), the sampling
+/// profiler, the SLO engine, and the slow-query threshold. The server
+/// and the shard router each take an `Arc<Obs>`; handing them the
+/// *same* one merges their metrics into a single `METRICS` document
+/// and their spans into one trace tree per request (what the
+/// `hoiho-serve` binary does).
 pub struct Obs {
     registry: Registry,
     events: EventLog,
+    spans: SpanRing,
+    sampler: Sampler,
+    profiler: Profiler,
+    slo: SloEngine,
     slow_ns: AtomicU64,
 }
 
 impl Obs {
     /// A fresh context with the default event capacity and slow-query
-    /// threshold.
+    /// threshold. Trace sampling starts disabled; enable it with
+    /// `obs.sampler().configure(every, seed)`.
     pub fn new() -> Obs {
         Obs::with_event_capacity(DEFAULT_EVENT_CAPACITY)
     }
@@ -74,6 +87,10 @@ impl Obs {
         Obs {
             registry: Registry::new(),
             events: EventLog::new(capacity),
+            spans: SpanRing::new(span::DEFAULT_SPAN_CAPACITY),
+            sampler: Sampler::disabled(),
+            profiler: Profiler::new(),
+            slo: SloEngine::new(),
             slow_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
         }
     }
@@ -86,6 +103,26 @@ impl Obs {
     /// The event log.
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The request-span ring (the `TRACES` verb dumps it).
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// The request sampler (disabled by default).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// The sampling profiler (the `PROFILE` verb renders it).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The SLO engine (the `SLO` verb reports it).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
     }
 
     /// Requests at least this slow are recorded as `slow_query` events.

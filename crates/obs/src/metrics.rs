@@ -156,12 +156,34 @@ fn bucket_of(v: u64) -> usize {
 
 /// Inclusive upper bound of bucket `i` (`None` for the unbounded last
 /// bucket).
-fn bucket_bound(i: usize) -> Option<u64> {
+pub fn bucket_bound(i: usize) -> Option<u64> {
     if i + 1 >= BUCKETS {
         None
     } else {
         Some((1u64 << (i + 1)) - 1)
     }
+}
+
+/// Nearest-rank quantile over raw per-bucket counts (as produced by
+/// [`Histogram::bucket_counts`], or a windowed difference of two such
+/// vectors). Reports the upper bound of the bucket holding the
+/// `ceil(q·count)`-th observation; the unbounded last bucket reports
+/// its lower bound (no exact max is available for a window). Returns 0
+/// when empty.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cum += n;
+        if n > 0 && cum >= rank {
+            return bucket_bound(i).unwrap_or(1u64 << (BUCKETS - 1));
+        }
+    }
+    bucket_bound(counts.len().saturating_sub(1)).unwrap_or(1u64 << (BUCKETS - 1))
 }
 
 impl Histogram {
@@ -235,6 +257,14 @@ impl Histogram {
             }
         }
         snap.max
+    }
+
+    /// Raw per-bucket counts (length [`BUCKETS`], zeros included).
+    /// Unlike [`Histogram::snapshot`] this is subtractable: bucket
+    /// counts only grow, so `new - old` is the histogram of a window —
+    /// what the SLO engine's burn-rate math runs on.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// A consistent-enough point-in-time copy (relaxed loads; exact
@@ -352,6 +382,45 @@ impl Registry {
             kind.label()
         );
         family.series.entry(label_key).or_insert_with(make).clone()
+    }
+
+    /// Sums every counter series of the family `name`, across all
+    /// label sets (0 when the family is absent or not a counter
+    /// family). This is how the SLO engine reads e.g.
+    /// `hoiho_requests_total` without enumerating verbs/outcomes.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let families = self.families.lock().expect("registry lock poisoned");
+        let Some(family) = families.get(name) else { return 0 };
+        family
+            .series
+            .values()
+            .map(|s| match s {
+                Series::C(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Merges every histogram series of the family `name` into one
+    /// fresh unregistered histogram (`None` when the family is absent
+    /// or not a histogram family). The merge is exact (bucket counts,
+    /// count, sum, max all combine).
+    pub fn histogram_merged(&self, name: &str) -> Option<Histogram> {
+        let series: Vec<Series> = {
+            let families = self.families.lock().expect("registry lock poisoned");
+            let family = families.get(name)?;
+            if family.kind != MetricKind::Histogram {
+                return None;
+            }
+            family.series.values().cloned().collect()
+        };
+        let merged = Histogram::unregistered();
+        for s in &series {
+            if let Series::H(h) = s {
+                merged.merge_from(h);
+            }
+        }
+        Some(merged)
     }
 
     /// Renders the whole registry in the exposition grammar (module
@@ -596,6 +665,49 @@ mod tests {
     #[should_panic(expected = "duplicate label")]
     fn duplicate_label_panics() {
         Registry::new().counter("ok_total", &[("a", "1"), ("a", "2")]);
+    }
+
+    #[test]
+    fn counter_sum_crosses_label_sets() {
+        let r = Registry::new();
+        r.counter("req_total", &[("verb", "query")]).add(3);
+        r.counter("req_total", &[("verb", "batch")]).add(4);
+        r.gauge("g", &[]).set(9);
+        assert_eq!(r.counter_sum("req_total"), 7);
+        assert_eq!(r.counter_sum("absent_total"), 0);
+        assert_eq!(r.counter_sum("g"), 0, "gauges don't sum as counters");
+    }
+
+    #[test]
+    fn histogram_merged_folds_series() {
+        let r = Registry::new();
+        r.histogram("lat_ns", &[("shard", "0")]).observe(10);
+        r.histogram("lat_ns", &[("shard", "1")]).observe(1000);
+        let m = r.histogram_merged("lat_ns").unwrap();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum(), 1010);
+        assert_eq!(m.max(), 1000);
+        assert!(r.histogram_merged("absent").is_none());
+        r.counter("c_total", &[]);
+        assert!(r.histogram_merged("c_total").is_none());
+    }
+
+    #[test]
+    fn quantile_from_counts_matches_quantile() {
+        let h = Histogram::unregistered();
+        for v in [1u64, 5, 9, 100, 7000] {
+            h.observe(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), BUCKETS);
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        // Every quantile except the tail matches (the tail estimates a
+        // bucket bound instead of the exact tracked max).
+        assert_eq!(quantile_from_counts(&counts, 0.5), h.quantile(0.5));
+        assert_eq!(quantile_from_counts(&counts, 0.2), h.quantile(0.2));
+        assert_eq!(quantile_from_counts(&counts, 1.0), bucket_bound(bucket_of(7000)).unwrap());
+        assert_eq!(quantile_from_counts(&[], 0.5), 0);
+        assert_eq!(quantile_from_counts(&[0, 0], 0.99), 0);
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub struct Tracer {
 
 /// Dense per-thread ids so the trace viewer gets stable small `tid`s
 /// instead of opaque OS thread ids.
-fn current_tid() -> u64 {
+pub(crate) fn current_tid() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);

@@ -98,7 +98,8 @@ use crate::engine::{Engine, EngineObs};
 use crate::model::Model;
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use hoiho::classify::NcClass;
-use hoiho_obs::{Counter, Histogram, Obs, Registry};
+use hoiho_obs::span::{detail, Layer, TraceCtx};
+use hoiho_obs::{slo, span, Counter, Histogram, Obs, Phase, PhaseCell, Registry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -141,6 +142,14 @@ const READ_CHUNK: usize = 64 * 1024;
 /// After shutdown, how long loops keep trying to flush pending
 /// responses before closing connections regardless.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// How often the watcher thread samples the phase cells (DESIGN §7i).
+const PROFILE_INTERVAL: Duration = Duration::from_millis(5);
+
+/// The watcher snapshots the registry for the SLO engine once per this
+/// many profile rounds (~every 320 ms at the 5 ms sample interval) —
+/// comfortably finer than the smallest burn-rate window (10 s).
+const SLO_TICK_ROUNDS: u64 = 64;
 
 /// One engine generation: the compiled model plus its per-suffix
 /// query counters (index-aligned with [`Engine::conventions`]).
@@ -244,8 +253,11 @@ impl QueryAnswer {
 /// cluster crate plugs a suffix-sharded router with a response cache in
 /// through the same seam, so the protocol loop is written once.
 pub trait Backend: Send + Sync + 'static {
-    /// Answers one hostname query.
-    fn query(&self, hostname: &str) -> QueryAnswer;
+    /// Answers one hostname query. `ctx` is the request's tracing
+    /// context — [`TraceCtx::off`] for the unsampled common case (one
+    /// branch per layer); a sampled context records per-layer spans
+    /// into the shared ring (DESIGN §7i).
+    fn query(&self, hostname: &str, ctx: &TraceCtx) -> QueryAnswer;
     /// Convention count reported by `STATS` as `model=`.
     fn model_len(&self) -> usize;
     /// Per-suffix query counts for `STATS SUFFIX`, in index order.
@@ -264,8 +276,8 @@ pub trait Backend: Send + Sync + 'static {
     /// The default maps [`Backend::query`]; backends override it to
     /// amortise per-query setup across the batch (the engine backend
     /// resolves its live generation once).
-    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
-        hostnames.iter().map(|h| self.query(h)).collect()
+    fn query_batch(&self, hostnames: &[&str], ctx: &TraceCtx) -> Vec<QueryAnswer> {
+        hostnames.iter().map(|h| self.query(h, ctx)).collect()
     }
 }
 
@@ -305,8 +317,12 @@ impl EngineBackend {
 }
 
 impl Backend for EngineBackend {
-    fn query(&self, hostname: &str) -> QueryAnswer {
-        self.generation().query(hostname)
+    fn query(&self, hostname: &str, ctx: &TraceCtx) -> QueryAnswer {
+        let gen = self.generation();
+        let mut sp = ctx.span(Layer::Engine);
+        let answer = gen.query(hostname);
+        sp.detail(if answer.asn.is_some() { detail::EXTRACT_HIT } else { detail::EXTRACT_MISS });
+        answer
     }
 
     fn model_len(&self) -> usize {
@@ -335,12 +351,21 @@ impl Backend for EngineBackend {
         Ok(format!("reloaded\t{n}"))
     }
 
-    fn query_batch(&self, hostnames: &[&str]) -> Vec<QueryAnswer> {
+    fn query_batch(&self, hostnames: &[&str], ctx: &TraceCtx) -> Vec<QueryAnswer> {
         // One generation resolution (read lock + Arc clone) per batch
         // instead of per item; in-flight batches finish on the
-        // generation they started with, like single queries.
+        // generation they started with, like single queries. One engine
+        // span covers the whole batch — per-item spans would exhaust
+        // the trace budget on a single large batch.
         let gen = self.generation();
-        hostnames.iter().map(|h| gen.query(h)).collect()
+        let mut sp = ctx.span(Layer::Engine);
+        let answers: Vec<QueryAnswer> = hostnames.iter().map(|h| gen.query(h)).collect();
+        sp.detail(if answers.iter().any(|a| a.asn.is_some()) {
+            detail::EXTRACT_HIT
+        } else {
+            detail::EXTRACT_MISS
+        });
+        answers
     }
 }
 
@@ -448,11 +473,24 @@ fn verb_of(request: &str) -> &'static str {
         "STATS SUFFIX" => "stats_suffix",
         "STATS CLUSTER" => "stats_cluster",
         "METRICS" => "metrics",
+        "PROFILE" => "profile",
+        "SLO" => "slo",
         "SHUTDOWN" => "shutdown",
         r if r.starts_with("RELOAD ") => "reload",
         r if r == "EVENTS" || r.starts_with("EVENTS ") => "events",
+        r if r == "TRACES" || r.starts_with("TRACES ") => "traces",
         r if r == "BATCH" || r.starts_with("BATCH ") => "batch",
         _ => "query",
+    }
+}
+
+/// Rolls the sampler for one request: a sampled request gets a live
+/// context recording into the shared span ring, everything else the
+/// free [`TraceCtx::off`].
+fn trace_ctx(shared: &Shared) -> TraceCtx<'_> {
+    match shared.obs.sampler().sample() {
+        Some(trace) => TraceCtx::sampled(shared.obs.spans(), trace),
+        None => TraceCtx::off(),
     }
 }
 
@@ -552,6 +590,27 @@ impl ServerHandle {
             shared.wakes.lock().expect("wake list poisoned").push(Arc::clone(&wake));
             let shared = Arc::clone(&shared);
             loop_handles.push(std::thread::spawn(move || event_loop(&listener, &wake, &shared)));
+        }
+
+        // The watcher thread: drives the sampling profiler over the
+        // event loops' phase cells and, every SLO_TICK_ROUNDS rounds,
+        // snapshots the registry into the SLO engine's burn-rate
+        // history. It polls the shutdown flag each round, so it joins
+        // within one sample interval of shutdown.
+        {
+            let shared = Arc::clone(&shared);
+            loop_handles.push(std::thread::spawn(move || {
+                let mut rounds = 0u64;
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(PROFILE_INTERVAL);
+                    shared.obs.profiler().sample_once();
+                    rounds += 1;
+                    if rounds % SLO_TICK_ROUNDS == 0 {
+                        let now = shared.obs.spans().now_ns();
+                        shared.obs.slo().tick(slo::snapshot_registry(shared.obs.registry(), now));
+                    }
+                }
+            }));
         }
 
         Ok(ServerHandle { addr, shared, engine_backend, loops: loop_handles })
@@ -689,17 +748,20 @@ impl Conn {
 
     /// Reacts to one readiness report. Returns `false` when the
     /// connection must close now (error, or done and fully flushed).
-    fn handle_event(&mut self, readiness: u32, shared: &Shared) -> bool {
+    fn handle_event(&mut self, readiness: u32, shared: &Shared, phase: &PhaseCell) -> bool {
         if readiness & EPOLLERR != 0 {
             return false;
         }
         if readiness & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !self.closing && !self.eof {
-            if !self.read_ready(shared) {
+            if !self.read_ready(shared, phase) {
                 return false;
             }
         }
-        if !self.out_flushed() && self.flush().is_err() {
-            return false;
+        if !self.out_flushed() {
+            phase.set(Phase::Flush);
+            if self.flush().is_err() {
+                return false;
+            }
         }
         // A finished connection lingers only while a response drains.
         !((self.closing || self.eof) && self.out_flushed())
@@ -708,8 +770,9 @@ impl Conn {
     /// Reads available bytes (bounded per event), frames and serves
     /// every complete line, and handles EOF. Returns `false` on a
     /// protocol or I/O error that must drop the connection.
-    fn read_ready(&mut self, shared: &Shared) -> bool {
+    fn read_ready(&mut self, shared: &Shared, phase: &PhaseCell) -> bool {
         let mut chunk = [0u8; READ_CHUNK];
+        phase.set(Phase::Read);
         for _ in 0..READS_PER_EVENT {
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -727,7 +790,7 @@ impl Conn {
                 Err(_) => return false,
             }
         }
-        if !self.drain_lines(shared) {
+        if !self.drain_lines(shared, phase) {
             return false;
         }
         if self.eof {
@@ -735,7 +798,7 @@ impl Conn {
             // this also lets it finish an in-progress batch.
             if !self.buf.is_empty() {
                 self.buf.push(b'\n');
-                if !self.drain_lines(shared) {
+                if !self.drain_lines(shared, phase) {
                     return false;
                 }
             }
@@ -753,12 +816,13 @@ impl Conn {
     /// [`MAX_LINE`] against each line *before* serving it and against
     /// the residual partial line after the drain. All responses are
     /// coalesced into `out`; the caller flushes once.
-    fn drain_lines(&mut self, shared: &Shared) -> bool {
+    fn drain_lines(&mut self, shared: &Shared, phase: &PhaseCell) -> bool {
         // The buffer is taken out of `self` so served line slices and
         // `self.out` can be borrowed simultaneously.
         let mut buf = std::mem::take(&mut self.buf);
         let mut start = 0usize;
         while let Some(rel) = buf[start..].iter().position(|&b| b == b'\n') {
+            phase.set(Phase::Parse);
             let end = start + rel;
             let line = &buf[start..end];
             start = end + 1;
@@ -776,7 +840,7 @@ impl Conn {
                 shared.count_error();
                 return false;
             };
-            self.serve_text(text, shared);
+            self.serve_text(text, shared, phase);
             if self.out.len() - self.out_pos > MAX_PENDING_OUT {
                 // The peer pipelines requests but is not draining the
                 // responses; cut it off before it balloons memory.
@@ -795,12 +859,12 @@ impl Conn {
 
     /// Routes one framed line: a batch item, a `BATCH` header, or an
     /// ordinary request.
-    fn serve_text(&mut self, text: &str, shared: &Shared) {
+    fn serve_text(&mut self, text: &str, shared: &Shared, phase: &PhaseCell) {
         if let Some(b) = self.batch.as_mut() {
             b.hosts.push(text.trim().to_string());
             if b.hosts.len() == b.expected {
                 let b = self.batch.take().expect("batch state just observed");
-                serve_batch(&b.hosts, &mut self.out, shared);
+                serve_batch(&b.hosts, &mut self.out, shared, phase);
             }
             return;
         }
@@ -809,7 +873,7 @@ impl Conn {
             self.serve_batch_header(request, shared);
             return;
         }
-        serve_line(text, self.admin, &mut self.out, shared);
+        serve_line(text, self.admin, &mut self.out, shared, phase);
     }
 
     /// Parses a `BATCH <n>` header: arms collection, or answers the
@@ -885,6 +949,9 @@ impl Conn {
 /// One readiness event loop: accepts from the shared listener, serves
 /// its own connections, and drains gracefully on shutdown.
 fn event_loop(listener: &TcpListener, wake: &EventFd, shared: &Shared) {
+    // This loop's phase marker: one relaxed byte store per transition,
+    // sampled asynchronously by the watcher thread (DESIGN §7i).
+    let phase = shared.obs.profiler().register();
     let Ok(epoll) = Epoll::new() else { return };
     if epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER).is_err()
         || epoll.add(wake.fd(), EPOLLIN, TOKEN_WAKE).is_err()
@@ -901,6 +968,7 @@ fn event_loop(listener: &TcpListener, wake: &EventFd, shared: &Shared) {
     let mut drain_deadline: Option<Instant> = None;
 
     loop {
+        phase.set(Phase::Idle);
         let n = match epoll.wait(&mut events, IDLE_POLL.as_millis() as i32) {
             Ok(n) => n,
             Err(_) => return,
@@ -910,7 +978,9 @@ fn event_loop(listener: &TcpListener, wake: &EventFd, shared: &Shared) {
             match ev.token() {
                 TOKEN_LISTENER => {
                     if drain_deadline.is_none() {
+                        phase.set(Phase::Accept);
                         accept_ready(listener, &epoll, &mut conns, &mut free, shared);
+                        phase.set(Phase::Idle);
                     }
                 }
                 TOKEN_WAKE => wake.drain(),
@@ -920,7 +990,7 @@ fn event_loop(listener: &TcpListener, wake: &EventFd, shared: &Shared) {
                     let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
                         continue;
                     };
-                    let keep = conn.handle_event(ev.readiness(), shared)
+                    let keep = conn.handle_event(ev.readiness(), shared, &phase)
                         && conn.rearm(&epoll, token).is_ok();
                     if !keep {
                         close_slot(&epoll, &mut conns, slot);
@@ -1026,16 +1096,27 @@ fn accept_ready(
 /// than the configured threshold lands in the event log with its
 /// request line. The counting runs *after* `respond`, so a `METRICS`
 /// response reflects the traffic before the request itself.
-fn serve_line(text: &str, admin: bool, out: &mut Vec<u8>, shared: &Shared) {
+fn serve_line(text: &str, admin: bool, out: &mut Vec<u8>, shared: &Shared, phase: &PhaseCell) {
     let request = text.trim();
     if request.is_empty() {
         return;
     }
     let t0 = Instant::now();
-    let response = respond(request, admin, shared);
+    let verb = verb_of(request);
+    let ctx = trace_ctx(shared);
+    let response = {
+        // The request's root span: the whole server-side handling,
+        // closed (and recorded) before the accounting below so a
+        // TRACES dump in a later pipelined request sees it complete.
+        let mut root = ctx.span(Layer::Server);
+        root.detail(detail::code(verb).unwrap_or(detail::OTHER));
+        phase.set(Phase::Backend);
+        let r = respond(request, admin, shared, &ctx);
+        phase.set(Phase::Write);
+        r
+    };
     let dur_ns = t0.elapsed().as_nanos() as u64;
     shared.metrics.latency.observe(dur_ns);
-    let verb = verb_of(request);
     if verb != "query" {
         let outcome = if response.starts_with("err\t") { "err" } else { "ok" };
         shared
@@ -1059,21 +1140,25 @@ fn serve_line(text: &str, admin: bool, out: &mut Vec<u8>, shared: &Shared) {
 /// Accounting: each item counts into the query hit/miss totals (bulk
 /// adds — exact, just cheaper), the batch itself counts once under
 /// `verb="batch"`, and the latency histogram observes the batch once.
-fn serve_batch(hosts: &[String], out: &mut Vec<u8>, shared: &Shared) {
+/// All of it is observed *before* the response is rendered into `out`
+/// — the same compute → count → write order as [`serve_line`] — so the
+/// registry is never caught mid-batch: by the time any later pipelined
+/// `METRICS` runs, the batch is either fully counted or not started.
+fn serve_batch(hosts: &[String], out: &mut Vec<u8>, shared: &Shared, phase: &PhaseCell) {
     let t0 = Instant::now();
     let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
-    let answers = shared.backend.query_batch(&refs);
+    let ctx = trace_ctx(shared);
+    let answers = {
+        let mut root = ctx.span(Layer::Server);
+        root.detail(detail::BATCH);
+        phase.set(Phase::Backend);
+        shared.backend.query_batch(&refs, &ctx)
+    };
+    phase.set(Phase::Write);
     debug_assert_eq!(answers.len(), hosts.len(), "backend must answer every batch item");
-    // ~48 bytes per answer line in practice; one reservation, no
-    // per-answer allocations.
-    out.reserve(hosts.len() * 48 + 16);
-    out.extend_from_slice(b"ok\tbatch\t");
-    out.extend_from_slice(hosts.len().to_string().as_bytes());
-    out.push(b'\n');
     let mut hits = 0u64;
-    for (h, a) in hosts.iter().zip(&answers) {
+    for a in &answers {
         hits += u64::from(a.asn.is_some());
-        a.render_line_into(h, out);
     }
     let misses = hosts.len() as u64 - hits;
     shared.totals.hits.fetch_add(hits, Ordering::Relaxed);
@@ -1093,14 +1178,24 @@ fn serve_batch(hosts: &[String], out: &mut Vec<u8>, shared: &Shared) {
             ],
         );
     }
+    // ~48 bytes per answer line in practice; one reservation, no
+    // per-answer allocations.
+    out.reserve(hosts.len() * 48 + 16);
+    out.extend_from_slice(b"ok\tbatch\t");
+    out.extend_from_slice(hosts.len().to_string().as_bytes());
+    out.push(b'\n');
+    for (h, a) in hosts.iter().zip(&answers) {
+        a.render_line_into(h, out);
+    }
 }
 
 /// Refusal sent to non-loopback peers issuing admin verbs.
 const ERR_NOT_ADMIN: &str = "err\tadmin commands require a loopback peer\n";
 
 /// Computes the response (including trailing newline) for one request.
-/// `admin` is true when the peer may issue `RELOAD`/`SHUTDOWN`.
-fn respond(request: &str, admin: bool, shared: &Shared) -> String {
+/// `admin` is true when the peer may issue `RELOAD`/`SHUTDOWN` (and
+/// the other loopback-gated verbs: `EVENTS`, `TRACES`).
+fn respond(request: &str, admin: bool, shared: &Shared, ctx: &TraceCtx) -> String {
     match request {
         "STATS" => {
             let t = &shared.totals;
@@ -1133,6 +1228,29 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
             out.push_str(".\n");
             out
         }
+        "PROFILE" => {
+            // The profiler's phase buckets, plus per-layer span
+            // self-time attributed from whatever the span ring holds.
+            let mut out = shared.obs.profiler().render();
+            let spans = shared.obs.spans().dump(usize::MAX);
+            out.push_str("# TYPE hoiho_span_self_time_ns gauge\n");
+            for (layer, ns) in span::self_time_by_layer(&spans) {
+                out.push_str(&format!(
+                    "hoiho_span_self_time_ns{{layer=\"{}\"}} {ns}\n",
+                    layer.name()
+                ));
+            }
+            out.push_str(".\n");
+            out
+        }
+        "SLO" => {
+            let snap =
+                slo::snapshot_registry(shared.obs.registry(), shared.obs.spans().now_ns());
+            let statuses = shared.obs.slo().report(&snap);
+            let mut out = slo::render_statuses(&statuses);
+            out.push_str(".\n");
+            out
+        }
         "SHUTDOWN" => {
             if !admin {
                 return refuse_admin("shutdown", shared);
@@ -1156,6 +1274,28 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
                 None => unreachable!("guarded by the match arm"),
             };
             let mut out = shared.obs.events().render_jsonl(n);
+            out.push_str(".\n");
+            out
+        }
+        _ if request == "TRACES" || request.starts_with("TRACES ") => {
+            // Loopback-gated like EVENTS: span dumps carry request
+            // shapes and timings, which an arbitrary peer has no
+            // business reading.
+            if !admin {
+                return refuse_admin("traces", shared);
+            }
+            let n = match request.strip_prefix("TRACES").map(str::trim) {
+                Some("") => usize::MAX,
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        shared.count_error();
+                        return format!("err\tTRACES takes a count, got {arg:?}\n");
+                    }
+                },
+                None => unreachable!("guarded by the match arm"),
+            };
+            let mut out = shared.obs.spans().render_jsonl(n);
             out.push_str(".\n");
             out
         }
@@ -1183,7 +1323,7 @@ fn respond(request: &str, admin: bool, shared: &Shared) -> String {
             }
         }
         hostname => {
-            let answer = shared.backend.query(hostname);
+            let answer = shared.backend.query(hostname, ctx);
             match answer.asn {
                 Some(_) => {
                     shared.totals.hits.fetch_add(1, Ordering::Relaxed);
@@ -1603,17 +1743,19 @@ mod tests {
             Arc::new(EngineBackend::new(Arc::new(Engine::new(&m)))),
             Arc::new(Obs::new()),
         );
-        assert_eq!(respond("SHUTDOWN", false, &shared), ERR_NOT_ADMIN);
+        let off = TraceCtx::off();
+        assert_eq!(respond("SHUTDOWN", false, &shared, &off), ERR_NOT_ADMIN);
         assert!(!shared.shutdown.load(Ordering::SeqCst), "non-admin SHUTDOWN must not stop the server");
-        assert_eq!(respond("RELOAD /etc/passwd", false, &shared), ERR_NOT_ADMIN);
-        assert_eq!(respond("EVENTS 5", false, &shared), ERR_NOT_ADMIN);
-        assert_eq!(shared.totals.errors.load(Ordering::Relaxed), 3);
+        assert_eq!(respond("RELOAD /etc/passwd", false, &shared, &off), ERR_NOT_ADMIN);
+        assert_eq!(respond("EVENTS 5", false, &shared, &off), ERR_NOT_ADMIN);
+        assert_eq!(respond("TRACES 5", false, &shared, &off), ERR_NOT_ADMIN);
+        assert_eq!(shared.totals.errors.load(Ordering::Relaxed), 4);
         // Each refusal was recorded as an event.
         let refusals = shared.obs.events().tail(10);
-        assert_eq!(refusals.len(), 3);
+        assert_eq!(refusals.len(), 4);
         assert!(refusals.iter().all(|e| e.kind == "admin_refused"));
         // Plain queries are served regardless of peer.
-        let resp = respond("as9.example.com", false, &shared);
+        let resp = respond("as9.example.com", false, &shared, &off);
         assert_eq!(resp, "as9.example.com\t9\texample.com\tgood\n");
     }
 
@@ -1886,6 +2028,126 @@ mod tests {
         let mut lines = vec![first];
         lines.extend(c.read_until_dot().unwrap());
         assert_eq!(lines, vec!["example.com\t2".to_string(), "other.net\t1".to_string()]);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn traces_verb_dumps_sampled_spans() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        srv.obs().sampler().configure(1, 42);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(c.query("as1.example.com").unwrap(), Some(1));
+        assert_eq!(c.query("nope.example.org").unwrap(), None);
+        let first = c.request("TRACES").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        let text = lines.join("\n");
+        let spans = span::parse_jsonl(&text).unwrap();
+        // Two sampled requests, each a server root + an engine child.
+        assert_eq!(spans.len(), 4, "{text}");
+        let roots: Vec<_> = spans.iter().filter(|s| s.is_root()).collect();
+        assert_eq!(roots.len(), 2, "{text}");
+        assert!(roots.iter().all(|s| s.layer == Layer::Server && s.detail == detail::QUERY));
+        assert_ne!(roots[0].trace, roots[1].trace);
+        let engines: Vec<_> = spans.iter().filter(|s| s.layer == Layer::Engine).collect();
+        assert_eq!(engines.len(), 2, "{text}");
+        for e in &engines {
+            let parent =
+                spans.iter().find(|s| s.trace == e.trace && s.id == e.parent).unwrap();
+            assert_eq!(parent.layer, Layer::Server, "engine span must hang off the root");
+        }
+        assert_eq!(engines[0].detail, detail::EXTRACT_HIT);
+        assert_eq!(engines[1].detail, detail::EXTRACT_MISS);
+        // Count arg and error handling mirror EVENTS.
+        assert_eq!(c.request("TRACES 0").unwrap(), ".");
+        let resp = c.request("TRACES many").unwrap();
+        assert!(resp.starts_with("err\tTRACES takes a count"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn profile_verb_renders_buckets_and_self_time() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        srv.obs().sampler().configure(1, 7);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        c.query("as1.example.com").unwrap();
+        let first = c.request("PROFILE").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        let text = lines.join("\n");
+        for p in Phase::ALL {
+            assert!(
+                text.contains(&format!("phase=\"{}\"", p.name())),
+                "missing {}: {text}",
+                p.name()
+            );
+        }
+        assert!(text.contains("hoiho_profile_cells 1"), "{text}");
+        assert!(text.contains("hoiho_span_self_time_ns{layer=\"server\"}"), "{text}");
+        assert!(text.contains("hoiho_span_self_time_ns{layer=\"engine\"}"), "{text}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn slo_verb_reports_default_objectives() {
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        c.query("as1.example.com").unwrap();
+        let first = c.request("SLO").unwrap();
+        let mut lines = vec![first];
+        lines.extend(c.read_until_dot().unwrap());
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        for l in &lines {
+            assert!(l.starts_with("slo\t"), "{l}");
+            assert!(l.contains("status=ok"), "{l}");
+            assert!(l.contains("burn_10s="), "{l}");
+        }
+        assert!(lines.iter().any(|l| l.contains("metric=p99_ms")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("metric=error_rate")), "{lines:?}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_then_metrics_sees_batch_counted() {
+        // Regression: BATCH accounting must complete before the batch
+        // response is rendered (the same compute → count → write order
+        // as single-line verbs), so a METRICS pipelined in the same
+        // segment reports the batch fully — never a half-counted one.
+        let srv = start(&model("example.com", r"^as(\d+)\.example\.com$"), 1);
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        s.write_all(b"BATCH 2\nas1.example.com\nnothing.example.org\nMETRICS\n").unwrap();
+        let mut r = BufReader::new(s);
+        let mut header = String::new();
+        r.read_line(&mut header).unwrap();
+        assert_eq!(header.trim_end(), "ok\tbatch\t2");
+        for _ in 0..2 {
+            let mut l = String::new();
+            r.read_line(&mut l).unwrap();
+        }
+        let mut text = String::new();
+        loop {
+            let mut l = String::new();
+            r.read_line(&mut l).unwrap();
+            if l.trim_end() == "." {
+                break;
+            }
+            text.push_str(&l);
+        }
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"ok\",verb=\"batch\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"hit\",verb=\"query\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hoiho_requests_total{outcome=\"miss\",verb=\"query\"} 1"),
+            "{text}"
+        );
+        // The latency histogram observed exactly the batch by METRICS
+        // time (METRICS counts itself afterwards).
+        assert!(text.contains("hoiho_request_latency_ns_count 1"), "{text}");
         srv.shutdown();
     }
 }

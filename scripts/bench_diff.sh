@@ -2,7 +2,7 @@
 # Compare two devkit bench result files (BENCH_<name>.json) and flag
 # median-time regressions.
 #
-#   scripts/bench_diff.sh [--quality] OLD.json NEW.json [threshold_pct]
+#   scripts/bench_diff.sh [--quality] [--slo] OLD.json NEW.json [threshold_pct]
 #
 # Benchmarks are matched by id; a benchmark whose median_ns grew by
 # more than threshold_pct (default 20) is reported as a REGRESSION and
@@ -15,6 +15,15 @@
 # bit-deterministic in (scenario, seed), so even a small drop is a
 # genuine regression, while the latency rows jitter by a log-histogram
 # bucket on a noisy host and must never gate.
+#
+# --slo appends summary rows computed from NEW.json alone: for every
+# benchmark id that also exists in a "<id>_traced" variant (the serve
+# bench's sampled-tracing runs), the overhead of the traced median over
+# the untraced one is printed against the 5% tracing budget from
+# DESIGN.md §7i. The rows are advisory — overhead on this 1-core host
+# jitters like every other timing — so they never change the exit
+# status; the hard <5% check happens when BENCH_serve.json is
+# regenerated on a quiet host.
 #
 # Scalar metrics (the optional "metrics" array: hit rates, balance
 # factors — goodness measures where DOWN is bad) are matched by id too:
@@ -30,12 +39,16 @@
 set -euo pipefail
 
 QUALITY=0
-if [ "${1:-}" = "--quality" ]; then
-    QUALITY=1
-    shift
-fi
+SLO=0
+while :; do
+    case "${1:-}" in
+        --quality) QUALITY=1; shift ;;
+        --slo) SLO=1; shift ;;
+        *) break ;;
+    esac
+done
 if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
-    echo "usage: $0 [--quality] OLD.json NEW.json [threshold_pct]" >&2
+    echo "usage: $0 [--quality] [--slo] OLD.json NEW.json [threshold_pct]" >&2
     exit 2
 fi
 OLD=$1
@@ -127,5 +140,24 @@ comm -13 "${TMPDIR:-/tmp}/bench_diff_mold.$$" "${TMPDIR:-/tmp}/bench_diff_mnew.$
     cut -f1 | while read -r id; do
         grep -q "^$id	" "${TMPDIR:-/tmp}/bench_diff_mold.$$" || echo "added       $id (metric)"
     done
+
+# --slo: tracing-overhead summary rows from NEW alone. Every
+# "<id>_traced" result is paired with its untraced "<id>" and the
+# overhead printed against the 5% budget (advisory: never fails).
+if [ "$SLO" = 1 ]; then
+    awk -F'\t' '
+        { med[$1] = $2 + 0 }
+        END {
+            for (id in med) {
+                base = id; if (sub(/_traced$/, "", base) && base in med && med[base] > 0) {
+                    over = (med[id] - med[base]) * 100.0 / med[base]
+                    mark = over > 5 ? "over      " : "ok        "
+                    printf "%s  slo:tracing-overhead %-19s  %12.1f -> %12.1f ns  %+7.1f%%  (budget 5%%)\n", \
+                        mark, base, med[base], med[id], over
+                }
+            }
+        }
+    ' "${TMPDIR:-/tmp}/bench_diff_new.$$"
+fi
 
 exit "$STATUS"

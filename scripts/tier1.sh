@@ -15,23 +15,34 @@
 #   6. An observability smoke over the same live cluster server: METRICS
 #      must expose the scripted query-miss counter, a nonzero per-shard
 #      cache-hit counter, and the BATCH request counter.
-#   7. A learner-tracing smoke: `hoiho learn --sim --trace` must write
+#   7. A request-tracing/profiling/SLO smoke over the same live cluster
+#      server (started with --trace-sample 1 --slo slo/default.slo):
+#      the TRACES dump must be valid JSONL (python3-validated) holding
+#      at least one complete server→router→(cache|engine) span tree,
+#      the trace subcommand must emit parseable Chrome JSON plus
+#      collapsed stacks, PROFILE must expose phase samples and span
+#      self-time, and SLO must report the file's objectives with
+#      burn-rate windows and no breach.
+#   8. The loadgen --slo gate: a control run against slo/default.slo
+#      must exit zero; a seeded-chaos run against a zero-error-budget
+#      objective must breach and exit nonzero.
+#   9. A learner-tracing smoke: `hoiho learn --sim --trace` must write
 #      Chrome trace JSON that parses (validated with python3 when
 #      available) and contains one span per learner phase.
-#   8. A scenario-subsystem smoke: train a model from a checked-in
+#  10. A scenario-subsystem smoke: train a model from a checked-in
 #      corpus scenario, serve it, drive the scenario's own traffic
 #      profile with zero protocol errors, regenerate the quality
 #      matrix for the whole corpus, validate its shape, and hard-gate
 #      the (deterministic) quality metrics against the committed
 #      SCENARIOS.json via bench_diff.sh --quality.
-#   9. A fuzz-tier smoke: replay the committed `fuzz/corpus/` through
+#  11. A fuzz-tier smoke: replay the committed `fuzz/corpus/` through
 #      every target's oracle, then a short fixed-seed fuzz run across
 #      all five targets (regex, artifact, shardmap, scenario, framing)
 #      that must find nothing.
-#  10. A fault-injection smoke over the live cluster server: loadgen
+#  12. A fault-injection smoke over the live cluster server: loadgen
 #      with --chaos 0.2 must terminate, report its error rate, and
 #      leave the server answering normally.
-#  11. Advisory (warn-only): the learning bench against the committed
+#  13. Advisory (warn-only): the learning bench against the committed
 #      BENCH_learning.json baseline via scripts/bench_diff.sh. This
 #      1-core host is too noisy to gate on, but a >20% median regression
 #      should be seen before merge, not after.
@@ -95,6 +106,7 @@ SRV_PID=
 [ -f "$SMOKE_DIR/shards/shardmap.hoiho" ]
 
 "$SRV" serve "$SMOKE_DIR/model.hoiho" 127.0.0.1:0 2 --shards 2 --cache-capacity 64 \
+    --trace-sample 1 --trace-seed 7 --slo slo/default.slo \
     2> "$SMOKE_DIR/cluster.log" &
 SRV_PID=$!
 ADDR=
@@ -144,6 +156,94 @@ grep -F 'hoiho_requests_total{outcome="ok",verb="batch"}' "$SMOKE_DIR/metrics.tx
     || { echo "tier1: METRICS missing a nonzero batch request counter" >&2; exit 1; }
 grep -q '^# TYPE hoiho_request_latency_ns histogram' "$SMOKE_DIR/metrics.txt" \
     || { echo "tier1: METRICS missing the latency histogram" >&2; exit 1; }
+
+# --- request-tracing / profiling / SLO smoke over the live cluster ---
+# The cluster server above runs with --trace-sample 1, so every
+# scripted request was traced. The dump must be well-formed JSONL and
+# contain at least one complete server→router span tree.
+"$SRV" send "$ADDR" TRACES > "$SMOKE_DIR/traces.jsonl"
+[ -s "$SMOKE_DIR/traces.jsonl" ] || { echo "tier1: TRACES dumped nothing" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/traces.jsonl" <<'EOF'
+import json, sys
+spans = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert spans, "TRACES dump is empty"
+keys = {"trace", "span", "parent", "layer", "detail", "shard",
+        "generation", "start_ns", "end_ns", "tid"}
+for s in spans:
+    assert set(s) == keys, f"span keys diverge: {sorted(s)}"
+    assert s["end_ns"] >= s["start_ns"], s
+by_trace = {}
+for s in spans:
+    by_trace.setdefault(s["trace"], {})[s["span"]] = s
+complete = 0
+for tree in by_trace.values():
+    roots = [s for s in tree.values() if s["parent"] is None]
+    assert len(roots) == 1, f"one root per trace: {tree}"
+    if any(s["layer"] == "router" and s["parent"] == roots[0]["span"]
+           for s in tree.values()) and \
+       any(s["layer"] in ("cache", "engine") for s in tree.values()):
+        complete += 1
+assert complete >= 1, "no complete server→router→(cache|engine) tree"
+print(f"tier1: TRACES OK ({len(spans)} spans, {len(by_trace)} traces, "
+      f"{complete} complete trees)")
+EOF
+else
+    grep -q '"layer":"server"' "$SMOKE_DIR/traces.jsonl" \
+        || { echo "tier1: TRACES dump lacks a server span" >&2; exit 1; }
+fi
+# The trace subcommand converts the same dump for tooling.
+"$SRV" trace "$ADDR" --chrome "$SMOKE_DIR/spans.json" \
+    --collapsed "$SMOKE_DIR/spans.folded" 2> /dev/null
+[ -s "$SMOKE_DIR/spans.json" ] && [ -s "$SMOKE_DIR/spans.folded" ] \
+    || { echo "tier1: trace subcommand wrote no output" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    python3 -c 'import json,sys; doc=json.load(open(sys.argv[1])); \
+assert doc["traceEvents"], "empty Chrome trace"' "$SMOKE_DIR/spans.json" \
+        || { echo "tier1: trace --chrome output is not valid JSON" >&2; exit 1; }
+fi
+grep -q ';' "$SMOKE_DIR/spans.folded" \
+    || { echo "tier1: collapsed stacks have no multi-frame line" >&2; exit 1; }
+# Continuous profiling: the watcher thread has been sampling phase
+# markers since startup; the exposition must carry samples and the
+# span-attributed self-time section.
+"$SRV" send "$ADDR" PROFILE > "$SMOKE_DIR/profile.txt"
+grep -q '^hoiho_profile_samples_total{' "$SMOKE_DIR/profile.txt" \
+    || { echo "tier1: PROFILE missing phase sample counters" >&2; exit 1; }
+grep -q '^hoiho_span_self_time_ns{layer="server"}' "$SMOKE_DIR/profile.txt" \
+    || { echo "tier1: PROFILE missing span self-time attribution" >&2; exit 1; }
+# SLO: the objectives from slo/default.slo, evaluated live; a healthy
+# loopback smoke must not breach the generous defaults.
+"$SRV" send "$ADDR" SLO > "$SMOKE_DIR/slo.txt"
+grep -q '^slo	p99_latency	' "$SMOKE_DIR/slo.txt" \
+    || { echo "tier1: SLO verb lost the objectives from slo/default.slo" >&2; exit 1; }
+grep -q 'burn_10s=' "$SMOKE_DIR/slo.txt" \
+    || { echo "tier1: SLO verb reports no burn-rate windows" >&2; exit 1; }
+grep -q 'status=breach' "$SMOKE_DIR/slo.txt" \
+    && { echo "tier1: healthy smoke server breaches its default SLOs" >&2
+         cat "$SMOKE_DIR/slo.txt" >&2; exit 1; }
+echo "tier1: tracing/profiling/SLO smoke OK"
+
+# --- loadgen --slo gate: control must pass, induced faults must fail ---
+printf 'test.%s\ntest.%s\n' "$SUF0" "$SUF1" > "$SMOKE_DIR/slo_hosts.txt"
+timeout 120 "$SRV" loadgen "$ADDR" "$SMOKE_DIR/slo_hosts.txt" 2 200 --slo slo/default.slo \
+    > "$SMOKE_DIR/slo_control.txt" 2> /dev/null \
+    || { echo "tier1: control loadgen breached the default SLOs" >&2
+         cat "$SMOKE_DIR/slo_control.txt" >&2; exit 1; }
+grep -q '^slo	' "$SMOKE_DIR/slo_control.txt" \
+    || { echo "tier1: loadgen --slo printed no objective statuses" >&2; exit 1; }
+# A zero-error-budget objective under seeded fault injection must
+# breach, and the breach must surface as a nonzero exit.
+printf 'slo error_rate max 0 no_errors\n' > "$SMOKE_DIR/strict.slo"
+if timeout 120 "$SRV" loadgen "$ADDR" "$SMOKE_DIR/slo_hosts.txt" 2 300 \
+    --chaos 0.2 --slo "$SMOKE_DIR/strict.slo" > "$SMOKE_DIR/slo_breach.txt" 2> /dev/null; then
+    echo "tier1: chaos loadgen passed a zero-error SLO (breach not detected)" >&2
+    cat "$SMOKE_DIR/slo_breach.txt" >&2
+    exit 1
+fi
+grep -q 'status=breach' "$SMOKE_DIR/slo_breach.txt" \
+    || { echo "tier1: breach exit carried no breach status line" >&2; exit 1; }
+echo "tier1: loadgen --slo gate OK (control passed, induced breach failed)"
 
 # --- fault-injection smoke: chaos loadgen against the live cluster ---
 # Every connection's traffic flows through a seeded fault-injecting

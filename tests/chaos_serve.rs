@@ -114,7 +114,7 @@ fn run_chaos_conn(
                 Some((echoed, fields)) => {
                     assert_eq!(
                         fields,
-                        reference.query(echoed).render_fields(),
+                        reference.query(echoed, &hoiho_repro::obs::TraceCtx::off()).render_fields(),
                         "sharded answer for received request {echoed:?} diverged \
                          from the single engine"
                     );
