@@ -9,6 +9,7 @@ use hoiho::learner::{learn_all, learn_suffix, LearnConfig};
 use hoiho::phases::base::{self, BaseConfig};
 use hoiho::phases::sets::{build_sets, SetsConfig};
 use hoiho::phases::{classes, merge};
+use hoiho::regex::{CompiledRegex, MultiMatcher, Regex};
 use hoiho::training::{Observation, SuffixTraining, TrainingSet};
 use hoiho_devkit::bench::{Harness, Throughput};
 use hoiho_psl::PublicSuffixList;
@@ -106,6 +107,58 @@ fn bench_learn_suffix(h: &mut Harness) {
     }
 }
 
+fn bench_pool_match(h: &mut Harness) {
+    // The core O(H·P) question in isolation: evaluate a pool of P
+    // candidate regexes against every hostname — one Aho–Corasick scan
+    // per host with dispatch (the sets-phase default) vs P independent
+    // compiled scans (the PR 5 baseline).
+    let st = big_suffix(400);
+    for pool_size in [50usize, 200] {
+        let pool: Vec<Regex> = (0..pool_size)
+            .map(|i| {
+                // Realistic candidate shapes over distinct literals so
+                // the automaton has real dispatch work: most can never
+                // match the corpus, which is exactly the learner's pool.
+                let text = match i % 4 {
+                    0 => format!(r"^as(\d+)-v{i}\.[a-z]+\d+\.bigco\.net$"),
+                    1 => format!(r"^pop{i}-(\d+)\.bigco\.net$"),
+                    2 => format!(r"(\d+)-ix{i}\.bigco\.net$"),
+                    _ => format!(r"^as(\d+)-[a-z\d-]+\.[a-z]+{}\.bigco\.net$", i % 3),
+                };
+                Regex::parse(&text).expect("bench patterns are well-formed")
+            })
+            .collect();
+        let programs: Vec<CompiledRegex> = pool.iter().map(CompiledRegex::compile).collect();
+        let matcher = MultiMatcher::build(&programs);
+        let mut g = h.benchmark_group("learn/pool_match");
+        g.throughput(Throughput::Elements(st.hosts.len() as u64));
+        g.bench_function(format!("{pool_size}_patterns"), |b| {
+            let mut scratch = matcher.scratch();
+            b.iter(|| {
+                let mut hits = 0usize;
+                for host in &st.hosts {
+                    for &ri in matcher.dispatch(host.hostname.as_bytes(), &mut scratch) {
+                        hits += usize::from(programs[ri as usize].is_match(&host.hostname));
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_function(format!("{pool_size}_patterns_scan"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for host in &st.hosts {
+                    for p in &programs {
+                        hits += usize::from(p.is_match(&host.hostname));
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.finish();
+    }
+}
+
 fn bench_learn_snapshot(h: &mut Harness) {
     // Whole-snapshot learning across suffixes (threaded).
     let psl = PublicSuffixList::builtin();
@@ -136,6 +189,7 @@ fn main() {
     bench_phases(&mut h);
     bench_sets(&mut h);
     bench_learn_suffix(&mut h);
+    bench_pool_match(&mut h);
     bench_learn_snapshot(&mut h);
     h.finish();
 }

@@ -73,7 +73,6 @@ pub fn is_single(counts: &Counts) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
     fn counts(tp: u32, fp: u32, uniq_tp: &[u32], uniq_ex: &[u32]) -> Counts {
         Counts {
@@ -81,8 +80,8 @@ mod tests {
             fp,
             fnn: 0,
             tn: 0,
-            unique_tp_asns: BTreeSet::from_iter(uniq_tp.iter().copied()),
-            unique_extracted: BTreeSet::from_iter(uniq_ex.iter().copied()),
+            unique_tp_asns: uniq_tp.to_vec(),
+            unique_extracted: uniq_ex.to_vec(),
         }
     }
 

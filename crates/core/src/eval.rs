@@ -19,7 +19,6 @@ use crate::apparent::congruence;
 use crate::iputil::overlaps_any;
 use crate::regex::{CompiledRegex, MatchResult, Regex};
 use crate::training::HostObs;
-use std::collections::BTreeSet;
 
 /// Per-hostname evaluation outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,9 +57,13 @@ pub struct Counts {
     pub tn: u32,
     /// Distinct training ASNs among TP hostnames — the "unique ASNs
     /// congruent with training data" of §4's classification rules.
-    pub unique_tp_asns: BTreeSet<u32>,
-    /// Distinct extracted values across TPs and FPs.
-    pub unique_extracted: BTreeSet<u32>,
+    /// Kept sorted ascending and deduplicated (set semantics on a flat
+    /// vector: bulk column folds move their already-sorted uniques in
+    /// without per-node allocation).
+    pub unique_tp_asns: Vec<u32>,
+    /// Distinct extracted values across TPs and FPs. Sorted ascending
+    /// and deduplicated, like `unique_tp_asns`.
+    pub unique_extracted: Vec<u32>,
 }
 
 impl Counts {
@@ -93,16 +96,23 @@ impl Counts {
         match outcome {
             Outcome::TruePositive(v) => {
                 self.tp += 1;
-                self.unique_tp_asns.insert(host.training_asn);
-                self.unique_extracted.insert(v);
+                insert_unique(&mut self.unique_tp_asns, host.training_asn);
+                insert_unique(&mut self.unique_extracted, v);
             }
             Outcome::FalsePositive(v) => {
                 self.fp += 1;
-                self.unique_extracted.insert(v);
+                insert_unique(&mut self.unique_extracted, v);
             }
             Outcome::FalseNegative => self.fnn += 1,
             Outcome::TrueNegative => self.tn += 1,
         }
+    }
+}
+
+/// Sorted-unique insert for the flat set vectors of [`Counts`].
+fn insert_unique(v: &mut Vec<u32>, x: u32) {
+    if let Err(i) = v.binary_search(&x) {
+        v.insert(i, x);
     }
 }
 
@@ -147,9 +157,12 @@ pub fn negative_outcome(host: &HostObs) -> Outcome {
 /// path survives as [`classify_host_interpreted`] for differential tests.
 pub fn classify_host(regexes: &[Regex], host: &HostObs) -> Outcome {
     for r in regexes {
-        let Some(m) = r.find(&host.hostname) else { continue };
-        if let Some(o) = capture_outcome(&m, host) {
-            return o;
+        // `match_capture` is the allocation-free cell primitive: a
+        // captureless match falls through exactly like `find` + an
+        // empty capture list would.
+        let Some(cap) = r.program().match_capture(&host.hostname) else { continue };
+        if let Some((s, e)) = cap {
+            return classify_capture(host, s, e);
         }
     }
     negative_outcome(host)
@@ -171,9 +184,9 @@ pub fn classify_host_interpreted(regexes: &[Regex], host: &HostObs) -> Outcome {
 /// [`classify_host`] over compiled programs.
 pub fn classify_host_compiled(programs: &[CompiledRegex], host: &HostObs) -> Outcome {
     for p in programs {
-        let Some(m) = p.find(&host.hostname) else { continue };
-        if let Some(o) = capture_outcome(&m, host) {
-            return o;
+        let Some(cap) = p.match_capture(&host.hostname) else { continue };
+        if let Some((s, e)) = cap {
+            return classify_capture(host, s, e);
         }
     }
     negative_outcome(host)
@@ -183,7 +196,30 @@ pub fn classify_host_compiled(programs: &[CompiledRegex], host: &HostObs) -> Out
 /// exactly when `program` would decide this host's outcome in a set
 /// (matched with a capture), `None` when the set falls through.
 pub fn regex_hit(program: &CompiledRegex, host: &HostObs) -> Option<Outcome> {
-    capture_outcome(&program.find(&host.hostname)?, host)
+    let (s, e) = program.match_capture(&host.hostname)??;
+    Some(classify_capture(host, s, e))
+}
+
+/// [`regex_hit`] with a caller-held one-entry span cache. Pools of
+/// sibling regexes overwhelmingly extract the *same* span from a given
+/// host, and classification (digit parse, IP-overlap, congruence)
+/// depends only on the span — so a caller evaluating many programs
+/// against one host can reuse the previous outcome whenever the span
+/// repeats. Reset the cache (or pass a fresh `None`) per host.
+pub fn regex_hit_cached(
+    program: &CompiledRegex,
+    host: &HostObs,
+    cache: &mut Option<((usize, usize), Outcome)>,
+) -> Option<Outcome> {
+    let (s, e) = program.match_capture(&host.hostname)??;
+    if let Some((span, out)) = cache {
+        if *span == (s, e) {
+            return Some(*out);
+        }
+    }
+    let out = classify_capture(host, s, e);
+    *cache = Some(((s, e), out));
+    Some(out)
 }
 
 /// Evaluates an ordered regex list over a hostname set.

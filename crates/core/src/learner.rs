@@ -8,7 +8,7 @@ use crate::eval::Counts;
 use crate::phases::base::{self, BaseConfig};
 use crate::phases::classes::embed_classes;
 use crate::phases::merge::merge;
-use crate::phases::sets::{build_sets, SetsConfig};
+use crate::phases::sets::{build_sets_stats, SetsConfig};
 use crate::select::select_best;
 use crate::taxonomy::{taxonomy_of, Taxonomy};
 use crate::training::SuffixTraining;
@@ -120,13 +120,17 @@ pub fn learn_suffix_traced(
         // output shows what the outcome matrix amortised.
         let pool_size = pool.len().to_string();
         let host_count = st.hosts.len().to_string();
-        let _s = tracer.map(|t| {
+        let mut _s = tracer.map(|t| {
             t.span(
                 "sets",
                 &[("suffix", suffix), ("pool_size", &pool_size), ("hosts", &host_count)],
             )
         });
-        build_sets(&pool, &st.hosts, &sets_cfg)
+        let (candidates, stats) = build_sets_stats(&pool, &st.hosts, &sets_cfg);
+        if let Some(g) = _s.as_mut() {
+            g.arg("dispatched", &stats.dispatched.to_string());
+        }
+        candidates
     };
     let best = {
         let _s = span("select");
@@ -357,6 +361,7 @@ mod tests {
         for s in spans.iter().filter(|s| s.name == "sets") {
             assert!(s.args.iter().any(|(k, v)| k == "pool_size" && v.parse::<usize>().is_ok()));
             assert!(s.args.iter().any(|(k, v)| k == "hosts" && v.parse::<usize>().is_ok()));
+            assert!(s.args.iter().any(|(k, v)| k == "dispatched" && v.parse::<u64>().is_ok()));
         }
         // Untraced runs stay untraced.
         let silent = Tracer::new();

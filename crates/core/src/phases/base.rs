@@ -55,9 +55,29 @@ enum Slot {
 /// Generates the deduplicated base regexes for a suffix.
 pub fn generate(st: &SuffixTraining, cfg: &BaseConfig) -> Vec<Regex> {
     let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut donors: BTreeSet<String> = BTreeSet::new();
     let mut out: Vec<Regex> = Vec::new();
     for host in sample_hosts(st, cfg.max_gen_hosts) {
-        for r in host_regexes(host, &st.suffix, cfg) {
+        let local = host.local.as_str();
+        if local.is_empty() {
+            continue;
+        }
+        let structure = structure_of(local);
+        if !structure.is_regular() {
+            continue;
+        }
+        let spans = candidate_spans(host, local.len());
+        if spans.is_empty() {
+            continue;
+        }
+        // The candidate digits only ever enter a regex as the capture, so
+        // hosts whose locals differ solely inside the candidate runs
+        // donate an identical regex list; generating from one donor per
+        // masked shape leaves the deduplicated output unchanged.
+        if !donors.insert(donor_key(local, &spans)) {
+            continue;
+        }
+        for r in host_regexes(local, &structure, &spans, &st.suffix, cfg) {
             if out.len() >= cfg.max_base_regexes {
                 return out;
             }
@@ -68,6 +88,21 @@ pub fn generate(st: &SuffixTraining, cfg: &BaseConfig) -> Vec<Regex> {
         }
     }
     out
+}
+
+/// The local part with every candidate span masked to one `#` — a byte
+/// that cannot appear in a hostname, so equal keys mean the locals are
+/// identical outside the candidate digit runs.
+fn donor_key(local: &str, spans: &[(usize, usize)]) -> String {
+    let mut key = String::with_capacity(local.len());
+    let mut pos = 0;
+    for &(s, e) in spans {
+        key.push_str(&local[pos..s]);
+        key.push('#');
+        pos = e;
+    }
+    key.push_str(&local[pos..]);
+    key
 }
 
 /// Picks up to `max` hostnames with apparent ASNs, evenly spaced so the
@@ -81,20 +116,18 @@ fn sample_hosts(st: &SuffixTraining, max: usize) -> Vec<&HostObs> {
     (0..max).map(|i| candidates[(i as f64 * step) as usize]).collect()
 }
 
-/// Generates base regexes for a single hostname.
-fn host_regexes(host: &HostObs, suffix: &str, cfg: &BaseConfig) -> Vec<Regex> {
-    let local = host.local.as_str();
-    if local.is_empty() {
-        return Vec::new();
-    }
-    let structure = structure_of(local);
-    if !structure.is_regular() {
-        return Vec::new();
-    }
+/// Generates base regexes for a single donor hostname's local part.
+fn host_regexes(
+    local: &str,
+    structure: &Structure,
+    spans: &[(usize, usize)],
+    suffix: &str,
+    cfg: &BaseConfig,
+) -> Vec<Regex> {
     let mut out = Vec::new();
-    for (s, e) in candidate_spans(host, local.len()) {
+    for &(s, e) in spans {
         let Some(loc) = structure.locate(s, e) else { continue };
-        let gen = CandidateGen { local, structure: &structure, suffix, span: (s, e), loc };
+        let gen = CandidateGen { local, structure, suffix, span: (s, e), loc };
         gen.generate(cfg, &mut out);
     }
     out

@@ -16,47 +16,92 @@
 //!
 //! The specialised regex is added to the pool; the original stays.
 
-use crate::regex::{CharClass, Elem, Regex};
+use crate::regex::{CharClass, CompiledRegex, Elem, MultiMatcher, Regex};
 use crate::training::HostObs;
 
 /// Maximum run-sequence length worth emitting; longer sequences are
 /// almost certainly over-fitted to a handful of hostnames.
 const MAX_SEQUENCE: usize = 4;
 
+/// Smallest matrix (`pool × hosts` cells) worth an automaton: below
+/// this the [`MultiMatcher`] build costs more than the traces it
+/// skips, so every pair is traced directly.
+const DISPATCH_MIN_CELLS: usize = 4096;
+
 /// Specialises each regex in `pool` against the matched hostnames.
 /// Returns only the newly created regexes.
 pub fn embed_classes(pool: &[Regex], hosts: &[HostObs]) -> Vec<Regex> {
+    let mut out = if pool.len() * hosts.len() >= DISPATCH_MIN_CELLS {
+        embed_dispatch(pool, hosts)
+    } else {
+        pool.iter()
+            .filter_map(|r| specialise_hosts(r, hosts.iter()).filter(|s| s != r))
+            .collect()
+    };
+    out.sort_by_cached_key(|r| r.to_string());
+    out.dedup();
+    out
+}
+
+/// The dispatch-filtered specialisation walk: one literal-dispatch scan
+/// per host decides which regexes need to trace it at all. A host
+/// missing a regex's required literal cannot match, so skipping it
+/// leaves the collected substrings — and the specialised output —
+/// identical to tracing every pair.
+fn embed_dispatch(pool: &[Regex], hosts: &[HostObs]) -> Vec<Regex> {
+    let programs: Vec<&CompiledRegex> = pool.iter().map(|r| r.program()).collect();
+    let matcher = MultiMatcher::build(programs.iter().copied());
+    let mut scratch = matcher.scratch();
+    let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); pool.len()];
+    for (hi, h) in hosts.iter().enumerate() {
+        for &ri in matcher.dispatch(h.hostname.as_bytes(), &mut scratch) {
+            candidates[ri as usize].push(hi as u32);
+        }
+    }
     let mut out = Vec::new();
-    for r in pool {
-        if let Some(s) = specialise(r, hosts) {
+    for (r, cand) in pool.iter().zip(&candidates) {
+        let hs = cand.iter().map(|&hi| &hosts[hi as usize]);
+        if let Some(s) = specialise_hosts(r, hs) {
             if &s != r {
                 out.push(s);
             }
         }
     }
-    out.sort_by_key(|r| r.to_string());
-    out.dedup();
     out
 }
 
 /// Builds the specialised variant of one regex, or `None` when the regex
 /// matched nothing or nothing could be specialised.
 pub fn specialise(regex: &Regex, hosts: &[HostObs]) -> Option<Regex> {
+    specialise_hosts(regex, hosts.iter())
+}
+
+fn specialise_hosts<'a>(
+    regex: &Regex,
+    hosts: impl Iterator<Item = &'a HostObs>,
+) -> Option<Regex> {
     let elems = regex.elems();
-    // Collected matched substrings per element index.
-    let mut matched: Vec<Vec<String>> = vec![Vec::new(); elems.len()];
+    // Collected matched substrings per element index, borrowed from the
+    // hostnames — specialisation only inspects them, so no copies.
+    let mut matched: Vec<Vec<&'a str>> = vec![Vec::new(); elems.len()];
     let mut any = false;
     // The cached program amortises the compile over the whole hostname
     // set (and across phases); compiled traces are bit-identical to the
     // interpreter's.
     let program = regex.program();
+    // Only the span buffer is needed (no captures), reused across the
+    // whole hostname set — `find_trace_into` is the allocation-free
+    // form of `find_trace`.
+    let mut trace: Vec<(usize, usize)> = Vec::new();
     for h in hosts {
-        let Some((_, trace)) = program.find_trace(&h.hostname) else { continue };
+        if !program.find_trace_into(&h.hostname, &mut trace) {
+            continue;
+        }
         any = true;
         for (i, e) in elems.iter().enumerate() {
             if matches!(e, Elem::NotIn(_) | Elem::Any) {
                 let (s, eo) = trace[i];
-                matched[i].push(h.hostname[s..eo].to_string());
+                matched[i].push(&h.hostname[s..eo]);
             }
         }
     }
@@ -86,43 +131,68 @@ pub fn specialise(regex: &Regex, hosts: &[HostObs]) -> Option<Regex> {
     }
 }
 
-/// A run of characters of one type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RunType {
-    Lower,
-    Digit,
-    Hyphen,
+/// Run type codes packed into [`RunSig::types`], two bits per run.
+const RUN_LOWER: u32 = 0;
+const RUN_DIGIT: u32 = 1;
+const RUN_HYPHEN: u32 = 2;
+
+/// Packed run decomposition of one sample: the run count, the run
+/// types (two bits each, low-to-high), and a bitmask of the runs with
+/// length exactly 1. `MAX_SEQUENCE` bounds the run count long before
+/// either pack saturates.
+#[derive(Clone, Copy)]
+struct RunSig {
+    n: u32,
+    types: u32,
+    len1: u32,
 }
 
-fn run_types(s: &str) -> Option<Vec<(RunType, usize)>> {
-    let mut runs: Vec<(RunType, usize)> = Vec::new();
-    for ch in s.chars() {
-        let t = match ch {
-            'a'..='z' => RunType::Lower,
-            '0'..='9' => RunType::Digit,
-            '-' => RunType::Hyphen,
+/// Decomposes `s` into its run signature in one allocation-free pass.
+/// `None` when `s` leaves the run alphabet or needs more than `cap`
+/// runs — callers compare against a first sample with at most `cap`
+/// runs, so a longer decomposition can never match anyway.
+fn run_sig(s: &str, cap: u32) -> Option<RunSig> {
+    let mut sig = RunSig { n: 0, types: 0, len1: 0 };
+    let mut prev = u32::MAX;
+    let mut run_len = 0u32;
+    for &b in s.as_bytes() {
+        let t = match b {
+            b'a'..=b'z' => RUN_LOWER,
+            b'0'..=b'9' => RUN_DIGIT,
+            b'-' => RUN_HYPHEN,
             _ => return None,
         };
-        match runs.last_mut() {
-            Some((lt, n)) if *lt == t => *n += 1,
-            _ => runs.push((t, 1)),
+        if t == prev {
+            run_len += 1;
+            continue;
         }
+        if sig.n > 0 && run_len == 1 {
+            sig.len1 |= 1 << (sig.n - 1);
+        }
+        if sig.n == cap {
+            return None;
+        }
+        sig.types |= t << (2 * sig.n);
+        sig.n += 1;
+        prev = t;
+        run_len = 1;
     }
-    Some(runs)
+    if sig.n > 0 && run_len == 1 {
+        sig.len1 |= 1 << (sig.n - 1);
+    }
+    Some(sig)
 }
 
 /// Decides the replacement elements for a component that matched
 /// `samples`. `None` when no specialisation is possible.
-fn replacement(samples: &[String]) -> Option<Vec<Elem>> {
+fn replacement(samples: &[&str]) -> Option<Vec<Elem>> {
     // Try the common run-type sequence first.
-    if let Some(seq) = common_sequence(samples) {
-        if seq.len() > 1 && seq.len() <= MAX_SEQUENCE {
-            return Some(sequence_elems(&seq, samples));
-        }
+    if let Some(repl) = sequence_replacement(samples) {
+        return Some(repl);
     }
     // Fall back to a single covering class.
     let mut class = CharClass::EMPTY;
-    for s in samples {
+    for &s in samples {
         class = class.union(CharClass::covering(s)?);
     }
     if class.is_empty() {
@@ -135,43 +205,37 @@ fn replacement(samples: &[String]) -> Option<Vec<Elem>> {
     }
 }
 
-/// The shared run-type sequence across all samples, if identical.
-fn common_sequence(samples: &[String]) -> Option<Vec<RunType>> {
+/// Replacement via the shared run-type sequence: when every sample
+/// decomposes into the identical sequence of 2..=MAX_SEQUENCE runs,
+/// render that sequence as elements. Hyphen runs become a literal `-`
+/// when every sample has a single hyphen there, else a hyphen class.
+/// One packed [`run_sig`] pass per sample covers both the sequence
+/// check and the run-length-1 test.
+fn sequence_replacement(samples: &[&str]) -> Option<Vec<Elem>> {
     let mut iter = samples.iter();
-    let first = run_types(iter.next()?)?;
-    let types: Vec<RunType> = first.iter().map(|&(t, _)| t).collect();
-    for s in iter {
-        let rt = run_types(s)?;
-        if rt.len() != types.len() || rt.iter().map(|&(t, _)| t).ne(types.iter().copied()) {
+    let first = run_sig(iter.next()?, MAX_SEQUENCE as u32)?;
+    if first.n <= 1 {
+        return None;
+    }
+    // Per position, whether every sample's run has length 1.
+    let mut len1 = first.len1;
+    for &s in iter {
+        let sig = run_sig(s, first.n)?;
+        if sig.n != first.n || sig.types != first.types {
             return None;
         }
+        len1 &= sig.len1;
     }
-    Some(types)
-}
-
-/// Renders a run-type sequence as elements. Hyphen runs become a literal
-/// `-` when every sample has a single hyphen there, else a hyphen class.
-fn sequence_elems(seq: &[RunType], samples: &[String]) -> Vec<Elem> {
-    // Compute, per position, whether all samples have run length 1.
-    let mut all_len1: Vec<bool> = vec![true; seq.len()];
-    for s in samples {
-        if let Some(rt) = run_types(s) {
-            for (i, &(_, n)) in rt.iter().enumerate() {
-                if n != 1 {
-                    all_len1[i] = false;
-                }
-            }
-        }
-    }
-    seq.iter()
-        .zip(all_len1)
-        .map(|(&t, len1)| match t {
-            RunType::Lower => Elem::Class(CharClass { lower: true, digit: false, hyphen: false }),
-            RunType::Digit => Elem::Digits,
-            RunType::Hyphen if len1 => Elem::Lit("-".to_string()),
-            RunType::Hyphen => Elem::Class(CharClass { lower: false, digit: false, hyphen: true }),
-        })
-        .collect()
+    Some(
+        (0..first.n)
+            .map(|i| match (first.types >> (2 * i)) & 3 {
+                RUN_LOWER => Elem::Class(CharClass { lower: true, digit: false, hyphen: false }),
+                RUN_DIGIT => Elem::Digits,
+                RUN_HYPHEN if len1 >> i & 1 == 1 => Elem::Lit("-".to_string()),
+                _ => Elem::Class(CharClass { lower: false, digit: false, hyphen: true }),
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -299,6 +363,43 @@ mod tests {
             strings.iter().any(|s| s == r"^(\d+)\.[a-z\d-]+\.example\.com$"),
             "{strings:?}"
         );
+    }
+
+    /// The dispatch-filtered pool walk in `embed_classes` produces the
+    /// same output as specialising every regex against every host.
+    #[test]
+    fn dispatch_filtered_embed_equals_naive_specialise() {
+        let hs = hosts(
+            &[
+                ("109.sgw.equinix.com", 109),
+                ("p714.sgw.equinix.com", 714),
+                ("100-ae1.example.com", 100),
+                ("200-xe2.example.com", 200),
+                ("605.pop7.example.com", 605),
+                ("923.lns3.example.com", 923),
+            ],
+            "example.com",
+        );
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.example\.com$"),
+            rx(r"^(\d+)\.[^\.]+\.example\.com$"),
+            rx(r"(\d+)-[^\.]+"), // literal-free: rides the fallback bucket
+        ];
+        let mut naive: Vec<Regex> = pool
+            .iter()
+            .filter_map(|r| specialise(r, &hs).filter(|s| s != r))
+            .collect();
+        naive.sort_by_key(|r| r.to_string());
+        naive.dedup();
+        // `embed_dispatch` directly: the fixture sits far below
+        // `DISPATCH_MIN_CELLS`, where `embed_classes` takes the naive
+        // path itself and the comparison would test nothing.
+        let mut dispatched = embed_dispatch(&pool, &hs);
+        dispatched.sort_by_cached_key(|r| r.to_string());
+        dispatched.dedup();
+        assert_eq!(dispatched, naive);
+        assert_eq!(embed_classes(&pool, &hs), naive);
     }
 
     #[test]

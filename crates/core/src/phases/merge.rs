@@ -12,7 +12,7 @@
 //! factored back into a literal so `(?:as|gw-as)` becomes `(?:gw-)?as` —
 //! the paper's preference for regexes "a human might have built".
 
-use crate::regex::{AltGroup, Elem, Regex};
+use crate::regex::{render_elems, AltGroup, Elem, Regex};
 use std::collections::BTreeMap;
 
 /// Merges near-identical regexes; returns only the newly created merged
@@ -25,7 +25,7 @@ pub fn merge(pool: &[Regex]) -> Vec<Regex> {
         let elems = r.elems();
         for (i, e) in elems.iter().enumerate() {
             if let Elem::Lit(l) = e {
-                let key = skeleton_key(elems, i, true);
+                let key = skeleton_key(elems, i);
                 groups.entry(key).or_default().push(l.clone());
             }
         }
@@ -65,7 +65,7 @@ pub fn merge(pool: &[Regex]) -> Vec<Regex> {
             out.push(r);
         }
     }
-    out.sort_by_key(|r| r.to_string());
+    out.sort_by_cached_key(|r| r.to_string());
     out.dedup();
     out
 }
@@ -74,26 +74,25 @@ pub fn merge(pool: &[Regex]) -> Vec<Regex> {
 /// emitted by the dialect).
 const HOLE: &str = "\u{1}HOLE\u{1}";
 
-/// Renders `elems` with element `i` replaced by the hole.
-fn skeleton_key(elems: &[Elem], i: usize, _is_lit: bool) -> String {
-    let mut parts: Vec<Elem> = Vec::with_capacity(elems.len());
-    for (j, e) in elems.iter().enumerate() {
-        if j == i {
-            parts.push(Elem::Lit(HOLE.to_string()));
-        } else {
-            parts.push(e.clone());
-        }
-    }
-    Regex::new(parts).to_string()
+/// Renders `elems` with element `i` replaced by the hole. Rendering the
+/// halves directly (no clone into a temporary `Regex`) is byte-identical
+/// to the rendered `Regex`: literal coalescing never changes the
+/// rendered form, and the hole bytes pass `escape_lit` untouched.
+fn skeleton_key(elems: &[Elem], i: usize) -> String {
+    let mut key = String::new();
+    render_elems(&elems[..i], &mut key);
+    key.push_str(HOLE);
+    render_elems(&elems[i + 1..], &mut key);
+    key
 }
 
 /// Renders `elems` with the hole inserted at gap `g`.
 fn skeleton_key_gap(elems: &[Elem], g: usize) -> String {
-    let mut parts: Vec<Elem> = Vec::with_capacity(elems.len() + 1);
-    parts.extend(elems[..g].iter().cloned());
-    parts.push(Elem::Lit(HOLE.to_string()));
-    parts.extend(elems[g..].iter().cloned());
-    Regex::new(parts).to_string()
+    let mut key = String::new();
+    render_elems(&elems[..g], &mut key);
+    key.push_str(HOLE);
+    render_elems(&elems[g..], &mut key);
+    key
 }
 
 /// Rebuilds a merged regex from a skeleton key and its fillers.

@@ -24,12 +24,23 @@
 //! set's resolved tally plus the candidate column's contribution on
 //! those hosts. No matcher runs during greedy extension at all.
 //!
+//! The default column build goes one step further (`multi_matcher:
+//! true`): a pool-wide [`MultiMatcher`] — an Aho–Corasick automaton
+//! over every program's required literals — scans each host **once**
+//! and dispatches only the regexes whose literals all occurred (plus
+//! the literal-free fallback bucket). Skipped cells are provably `None`
+//! (a missing required literal rules the match out), so the matrix is
+//! bit-identical to evaluating everything; the skip volume is exported
+//! as `hoiho_learn_prefilter_skips_total`.
+//!
 //! The direct path (`outcome_matrix: false`) re-evaluates every trial
-//! set with the interpreter, exactly as before; the equivalence test in
-//! `tests/compiled_equiv.rs` pins both paths to identical output.
+//! set with the interpreter, exactly as before; the equivalence tests
+//! in `tests/compiled_equiv.rs` pin all paths to identical output.
 
-use crate::eval::{evaluate, evaluate_one, negative_outcome, regex_hit, Counts, Outcome};
-use crate::regex::Regex;
+use crate::eval::{
+    evaluate, evaluate_one, negative_outcome, regex_hit, regex_hit_cached, Counts, Outcome,
+};
+use crate::regex::{CompiledRegex, MultiMatcher, Regex};
 use crate::training::HostObs;
 use hoiho_obs::Counter;
 use std::sync::OnceLock;
@@ -57,12 +68,41 @@ pub struct SetsConfig {
     /// direct path re-evaluates every greedy trial with the
     /// interpreter; both produce identical output.
     pub outcome_matrix: bool,
+    /// On the matrix path, build columns through one Aho–Corasick scan
+    /// per host ([`MultiMatcher`] literal dispatch) instead of one full
+    /// scan per (regex, host). Off falls back to the per-regex column
+    /// build (the PR 5 path), kept as the equivalence oracle; both
+    /// produce identical output.
+    pub multi_matcher: bool,
+    /// Smallest matrix (`pool × hosts` cells) worth an automaton: below
+    /// this the [`MultiMatcher`] build costs more than the evaluations
+    /// it skips, so the per-regex column build runs even with
+    /// `multi_matcher` on. Tests force `0` to pin the dispatch path.
+    pub multi_matcher_min_cells: usize,
 }
 
 impl Default for SetsConfig {
     fn default() -> Self {
-        SetsConfig { max_starts: 12, max_set_size: 6, max_pool: 200, outcome_matrix: true }
+        SetsConfig {
+            max_starts: 12,
+            max_set_size: 6,
+            max_pool: 200,
+            outcome_matrix: true,
+            multi_matcher: true,
+            multi_matcher_min_cells: 4096,
+        }
     }
+}
+
+/// What one [`build_sets`] call actually evaluated: the observability
+/// payload for the learner's `sets` trace span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetsStats {
+    /// (regex, host) evaluations that ran.
+    pub dispatched: u64,
+    /// Evaluations skipped by literal dispatch (a required literal was
+    /// absent, so the cell is `None` without running the program).
+    pub skipped: u64,
 }
 
 /// Process-global `hoiho_learn_evaluations_total{phase}` counters:
@@ -80,60 +120,126 @@ fn eval_counters() -> &'static (Counter, Counter) {
     })
 }
 
+/// Process-global `hoiho_learn_prefilter_skips_total`: (regex, host)
+/// evaluations the pool-wide literal dispatch proved unnecessary. Read
+/// next to `hoiho_learn_evaluations_total{phase="rank"}` to see the
+/// fraction of the matrix the automaton skipped.
+fn prefilter_skips() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        hoiho_obs::global().registry().counter("hoiho_learn_prefilter_skips_total", &[])
+    })
+}
+
 /// Ranks `pool` by ATP and returns candidate conventions: every ranked
 /// single regex plus the greedy combinations seeded from the top ranks.
 ///
 /// Regexes that never achieve a true positive are dropped before
 /// ranking — they cannot contribute to any convention.
 pub fn build_sets(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
+    build_sets_stats(pool, hosts, cfg).0
+}
+
+/// [`build_sets`] that also reports what the column build dispatched
+/// and skipped — the learner attaches this to its `sets` trace span.
+pub fn build_sets_stats(
+    pool: &[Regex],
+    hosts: &[HostObs],
+    cfg: &SetsConfig,
+) -> (Vec<CandidateNc>, SetsStats) {
     eval_counters().0.add(pool.len() as u64);
+    let mut stats = SetsStats::default();
     let mut out = if cfg.outcome_matrix {
-        build_sets_matrix(pool, hosts, cfg)
+        build_sets_matrix(pool, hosts, cfg, &mut stats)
     } else {
+        stats.dispatched = (pool.len() * hosts.len()) as u64;
         build_sets_direct(pool, hosts, cfg)
     };
 
-    // Dedup identical conventions (two seeds can converge).
-    out.sort_by(|a, b| {
-        rank_order(&a.counts, &b.counts)
-            .then_with(|| a.regexes.len().cmp(&b.regexes.len()))
-            .then_with(|| memorised(&a.regexes).cmp(&memorised(&b.regexes)))
-            .then_with(|| strength(&b.regexes).cmp(&strength(&a.regexes)))
-            .then_with(|| key(&a.regexes).cmp(&key(&b.regexes)))
+    // Dedup identical conventions (two seeds can converge). The key is
+    // computed once per candidate — the tie-breaks render the regexes
+    // to text, far too expensive to re-run inside a comparator.
+    out.sort_by_cached_key(|c| {
+        (
+            std::cmp::Reverse(c.counts.atp()),
+            std::cmp::Reverse(c.counts.tp),
+            c.counts.fp,
+            c.regexes.len(),
+            memorised(&c.regexes),
+            std::cmp::Reverse(strength(&c.regexes)),
+            key(&c.regexes),
+        )
     });
     out.dedup_by(|a, b| a.regexes == b.regexes);
-    out
+    (out, stats)
 }
 
 /// Rank-sorts evaluated candidates, in place, with the anti-over-fitting
 /// tie-breaks, then applies the pool cap and drops duplicates.
 fn rank_and_prune<T>(ranked: &mut Vec<(Regex, Counts, T)>, cfg: &SetsConfig) {
-    ranked.sort_by(|a, b| {
-        rank_order(&a.1, &b.1)
-            // Anti-over-fitting tie-breaks: less memorised text, then
-            // stronger components, then the textual form.
-            .then_with(|| a.0.memorised_chars().cmp(&b.0.memorised_chars()))
-            .then_with(|| b.0.component_strength().cmp(&a.0.component_strength()))
-            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    // Mirrors `rank_order` plus the anti-over-fitting tie-breaks: less
+    // memorised text, then stronger components, then the textual form.
+    // One cached key per candidate — the textual tie-break formats the
+    // regex, far too expensive to re-run inside a comparator.
+    ranked.sort_by_cached_key(|(r, c, _)| {
+        (
+            std::cmp::Reverse(c.atp()),
+            std::cmp::Reverse(c.tp),
+            c.fp,
+            r.memorised_chars(),
+            std::cmp::Reverse(r.component_strength()),
+            r.to_string(),
+        )
     });
     ranked.truncate(cfg.max_pool);
     ranked.dedup_by(|a, b| a.0 == b.0);
 }
 
-/// Fast path: one compiled evaluation per (regex, host), then pure
-/// column composition.
-fn build_sets_matrix(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec<CandidateNc> {
+/// Fast path: at most one compiled evaluation per (regex, host), then
+/// pure column composition.
+fn build_sets_matrix(
+    pool: &[Regex],
+    hosts: &[HostObs],
+    cfg: &SetsConfig,
+    stats: &mut SetsStats,
+) -> Vec<CandidateNc> {
     let greedy_evals = &eval_counters().1;
 
     // Layer 1: each pooled regex compiles once into its on-`Regex` cache.
-    // Layer 2: evaluate it exactly once per host into its outcome column.
-    let columns: Vec<Vec<Option<Outcome>>> = pool
-        .iter()
-        .map(|r| {
-            let p = r.program();
-            hosts.iter().map(|h| regex_hit(p, h)).collect()
-        })
-        .collect();
+    // Layer 2: evaluate it at most once per host into its outcome column.
+    // With `multi_matcher` on, "at most" does the heavy lifting: one
+    // automaton scan per host dispatches only the regexes whose required
+    // literals all occurred; a skipped cell is provably `None`, so the
+    // columns are bit-identical to the evaluate-everything build below.
+    let columns: Vec<Vec<Option<Outcome>>> = if cfg.multi_matcher
+        && pool.len() * hosts.len() >= cfg.multi_matcher_min_cells
+    {
+        let programs: Vec<&CompiledRegex> = pool.iter().map(|r| r.program()).collect();
+        let matcher = MultiMatcher::build(programs.iter().copied());
+        let mut scratch = matcher.scratch();
+        let mut columns: Vec<Vec<Option<Outcome>>> = vec![vec![None; hosts.len()]; pool.len()];
+        for (hi, h) in hosts.iter().enumerate() {
+            let dispatched = matcher.dispatch(h.hostname.as_bytes(), &mut scratch);
+            stats.dispatched += dispatched.len() as u64;
+            // Sibling regexes overwhelmingly extract the same span from
+            // a host; the one-entry cache skips re-classifying it.
+            let mut span_cache = None;
+            for &ri in dispatched {
+                columns[ri as usize][hi] = regex_hit_cached(programs[ri as usize], h, &mut span_cache);
+            }
+        }
+        stats.skipped = (pool.len() * hosts.len()) as u64 - stats.dispatched;
+        prefilter_skips().add(stats.skipped);
+        columns
+    } else {
+        stats.dispatched = (pool.len() * hosts.len()) as u64;
+        pool.iter()
+            .map(|r| {
+                let p = r.program();
+                hosts.iter().map(|h| regex_hit(p, h)).collect()
+            })
+            .collect()
+    };
 
     let mut ranked: Vec<(Regex, Counts, usize)> = pool
         .iter()
@@ -241,11 +347,36 @@ fn build_sets_direct(pool: &[Regex], hosts: &[HostObs], cfg: &SetsConfig) -> Vec
 
 /// Folds a first-match-wins outcome column into `Counts`, filling
 /// unresolved hosts with their negative outcome (FN/TN).
+///
+/// The unique-value sets are bulk-built (collect, sort, dedup) rather
+/// than inserted per host: one column fold per pooled regex is the
+/// inner loop of ranking, and per-record `BTreeSet` inserts dominated
+/// it. Set contents are identical either way.
 fn column_counts(col: &[Option<Outcome>], hosts: &[HostObs]) -> Counts {
     let mut c = Counts::default();
+    let mut tp_asns: Vec<u32> = Vec::new();
+    let mut extracted: Vec<u32> = Vec::new();
     for (hi, h) in hosts.iter().enumerate() {
-        c.record(h, col[hi].unwrap_or_else(|| negative_outcome(h)));
+        match col[hi].unwrap_or_else(|| negative_outcome(h)) {
+            Outcome::TruePositive(v) => {
+                c.tp += 1;
+                tp_asns.push(h.training_asn);
+                extracted.push(v);
+            }
+            Outcome::FalsePositive(v) => {
+                c.fp += 1;
+                extracted.push(v);
+            }
+            Outcome::FalseNegative => c.fnn += 1,
+            Outcome::TrueNegative => c.tn += 1,
+        }
     }
+    tp_asns.sort_unstable();
+    tp_asns.dedup();
+    extracted.sort_unstable();
+    extracted.dedup();
+    c.unique_tp_asns = tp_asns;
+    c.unique_extracted = extracted;
     c
 }
 
@@ -255,15 +386,6 @@ fn memorised(regexes: &[Regex]) -> usize {
 
 fn strength(regexes: &[Regex]) -> usize {
     regexes.iter().map(|r| r.component_strength()).sum()
-}
-
-/// Rank comparator: ATP descending, then TPs descending, then FPs
-/// ascending.
-fn rank_order(a: &Counts, b: &Counts) -> std::cmp::Ordering {
-    b.atp()
-        .cmp(&a.atp())
-        .then_with(|| b.tp.cmp(&a.tp))
-        .then_with(|| a.fp.cmp(&b.fp))
 }
 
 fn key(regexes: &[Regex]) -> String {
@@ -398,6 +520,60 @@ mod tests {
             assert_eq!(a.regexes, b.regexes);
             assert_eq!(a.counts, b.counts);
         }
+    }
+
+    /// Literal dispatch changes nothing: identical candidates and
+    /// counts with the multi-matcher on (default) and off (the PR 5
+    /// per-regex column build).
+    #[test]
+    fn multi_matcher_path_equals_per_regex_path() {
+        let pool = vec![
+            rx(r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.equinix\.com$"),
+            rx(r"^(\d+)\.sgw\.equinix\.com$"),
+            rx(r"(\d+)-[a-z\d]+-ix\.equinix\.com$"),
+            rx(r"(\d+)"), // literal-free: fallback bucket
+        ];
+        let hs = figure4_hosts();
+        // min_cells 0 pins the dispatch path; the fixture is far below
+        // the default threshold and would silently test nothing.
+        let on = build_sets(
+            &pool,
+            &hs,
+            &SetsConfig { multi_matcher_min_cells: 0, ..SetsConfig::default() },
+        );
+        let off =
+            build_sets(&pool, &hs, &SetsConfig { multi_matcher: false, ..SetsConfig::default() });
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.regexes, b.regexes);
+            assert_eq!(a.counts, b.counts);
+        }
+    }
+
+    /// The dispatch stats account for the whole matrix, and the skip
+    /// counter moves (>= because the registry is process-global).
+    #[test]
+    fn dispatch_stats_partition_the_matrix() {
+        let pool = vec![
+            rx(r"^(\d+)\.sgw\.equinix\.com$"),
+            rx(r"^(\d+)-.+\.equinix\.com$"),
+        ];
+        let hs = figure4_hosts();
+        let skips0 = prefilter_skips().get();
+        let (_, stats) = build_sets_stats(
+            &pool,
+            &hs,
+            &SetsConfig { multi_matcher_min_cells: 0, ..SetsConfig::default() },
+        );
+        assert_eq!(stats.dispatched + stats.skipped, (pool.len() * hs.len()) as u64);
+        assert!(stats.skipped > 0, "`.sgw.` hosts are a minority: some cells must skip");
+        assert!(prefilter_skips().get() >= skips0 + stats.skipped);
+        // The oracle paths report a full matrix and no skips.
+        let (_, direct) =
+            build_sets_stats(&pool, &hs, &SetsConfig { multi_matcher: false, ..SetsConfig::default() });
+        assert_eq!(direct.dispatched, (pool.len() * hs.len()) as u64);
+        assert_eq!(direct.skipped, 0);
     }
 
     /// The `hoiho_learn_evaluations_total` counters move when sets are

@@ -306,46 +306,54 @@ fn escape_lit(s: &str, out: &mut String) {
     }
 }
 
-impl fmt::Display for Regex {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = String::new();
-        for e in &self.elems {
-            match e {
-                Elem::StartAnchor => s.push('^'),
-                Elem::EndAnchor => s.push('$'),
-                Elem::Lit(l) => escape_lit(l, &mut s),
-                Elem::CaptureDigits => s.push_str("(\\d+)"),
-                Elem::Digits => s.push_str("\\d+"),
-                Elem::NotIn(set) => {
-                    s.push_str("[^");
-                    escape_lit(set, &mut s);
+/// Renders elements in the dialect's concrete syntax. Shared by
+/// [`Regex`]'s `Display` and the merge phase's skeleton keys, which
+/// splice a hole marker between two rendered halves and rely on the
+/// output matching `Display` byte for byte.
+pub(crate) fn render_elems(elems: &[Elem], s: &mut String) {
+    for e in elems {
+        match e {
+            Elem::StartAnchor => s.push('^'),
+            Elem::EndAnchor => s.push('$'),
+            Elem::Lit(l) => escape_lit(l, s),
+            Elem::CaptureDigits => s.push_str("(\\d+)"),
+            Elem::Digits => s.push_str("\\d+"),
+            Elem::NotIn(set) => {
+                s.push_str("[^");
+                escape_lit(set, s);
+                s.push_str("]+");
+            }
+            Elem::Class(c) => {
+                if c.digit && !c.lower && !c.hyphen {
+                    s.push_str("\\d+");
+                } else {
+                    s.push('[');
+                    s.push_str(&c.body());
                     s.push_str("]+");
                 }
-                Elem::Class(c) => {
-                    if c.digit && !c.lower && !c.hyphen {
-                        s.push_str("\\d+");
-                    } else {
-                        s.push('[');
-                        s.push_str(&c.body());
-                        s.push_str("]+");
+            }
+            Elem::Any => s.push_str(".+"),
+            Elem::Alt(a) => {
+                s.push_str("(?:");
+                for (i, o) in a.opts.iter().enumerate() {
+                    if i > 0 {
+                        s.push('|');
                     }
+                    escape_lit(o, s);
                 }
-                Elem::Any => s.push_str(".+"),
-                Elem::Alt(a) => {
-                    s.push_str("(?:");
-                    for (i, o) in a.opts.iter().enumerate() {
-                        if i > 0 {
-                            s.push('|');
-                        }
-                        escape_lit(o, &mut s);
-                    }
-                    s.push(')');
-                    if a.optional {
-                        s.push('?');
-                    }
+                s.push(')');
+                if a.optional {
+                    s.push('?');
                 }
             }
         }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        render_elems(&self.elems, &mut s);
         f.write_str(&s)
     }
 }

@@ -25,16 +25,23 @@
 //! For hot paths (learner candidate evaluation, the serving tier) the
 //! AST can be lowered once into a [`CompiledRegex`] — a flat program
 //! with precomputed byte-class bitmasks and literal prefilters that is
-//! bit-identical to the interpreter but allocation-free per call.
+//! bit-identical to the interpreter but allocation-free per call. When
+//! a whole *pool* of compiled programs is evaluated against shared
+//! hostnames, a [`MultiMatcher`] (an Aho–Corasick automaton over every
+//! program's required literals) scans each hostname once and dispatches
+//! only to the programs that could possibly match it.
 
 mod ast;
 mod compiled;
 mod matcher;
+mod multi;
 mod parse;
 
+pub(crate) use ast::render_elems;
 pub use ast::{AltGroup, CharClass, Elem, Regex};
 pub use compiled::CompiledRegex;
 pub use matcher::MatchResult;
+pub use multi::{DispatchScratch, MultiMatcher};
 pub use parse::ParseError;
 
 #[cfg(test)]

@@ -155,6 +155,28 @@ fn learn_all_identical_with_outcome_matrix_on_and_off() {
     assert_identical(&on, &off);
 }
 
+/// Aho–Corasick literal dispatch changes nothing either: `learn_all`
+/// output on the fixed-seed synthetic Internet is identical with the
+/// multi-matcher on (default) and off (PR 5's per-regex column build).
+/// `scripts/tier1.sh` runs this test by name as the equivalence gate.
+#[test]
+fn learn_all_identical_with_multi_matcher_on_and_off() {
+    let groups = sim_groups(42);
+    assert!(!groups.is_empty(), "tiny sim must yield suffix groups");
+    let mut on_cfg = LearnConfig { threads: 1, ..LearnConfig::default() };
+    assert!(on_cfg.sets.multi_matcher, "literal dispatch is the default");
+    // Pin the dispatch path: the sim's small suffixes sit below the
+    // default `multi_matcher_min_cells`, which would silently route
+    // both sides through the per-regex build and test nothing.
+    on_cfg.sets.multi_matcher_min_cells = 0;
+    let mut off_cfg = on_cfg;
+    off_cfg.sets.multi_matcher = false;
+    let on = learn_all(&groups, &on_cfg);
+    let off = learn_all(&groups, &off_cfg);
+    assert!(!on.is_empty(), "sim training must learn something");
+    assert_identical(&on, &off);
+}
+
 /// Fixed seed, fixed config ⇒ byte-identical output run to run.
 #[test]
 fn learn_all_matrix_path_is_deterministic() {

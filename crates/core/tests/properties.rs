@@ -8,7 +8,7 @@ use hoiho::apparent::{congruence, Congruence};
 use hoiho::editdist::damerau_levenshtein;
 use hoiho::eval::{evaluate, Counts};
 use hoiho::learner::{learn_all, LearnConfig};
-use hoiho::regex::{AltGroup, CharClass, CompiledRegex, Elem, Regex};
+use hoiho::regex::{AltGroup, CharClass, CompiledRegex, Elem, MultiMatcher, Regex};
 use hoiho::training::{HostObs, Observation, TrainingSet};
 use hoiho_devkit::prop::{any, just, one_of, string_of, vec_of, Gen};
 use hoiho_devkit::{prop_assert, prop_assert_eq, props};
@@ -191,6 +191,53 @@ props! {
             prop_assert_eq!(c.find_trace(host), r.find_trace_interpreted(host));
             prop_assert_eq!(c.extract(host), oracle_extract);
             prop_assert_eq!(c.is_match(host), oracle.is_some());
+        }
+    }
+
+    /// `MultiMatcher` dispatch is a superset-exact filter over a
+    /// generated pool: every regex that matches a host is dispatched
+    /// for that host (no false negatives), on the regexes' own sampled
+    /// instances, on noise, and on flanked instances. When the pool
+    /// fits the bitmask fast path, it agrees with the scratch path.
+    fn multi_matcher_dispatch_has_no_false_negatives(
+        pool in vec_of(regex(), 1..6usize),
+        seed in any::<u64>(),
+        noise in string_of("abcxyz0189.-", 0..=12usize),
+    ) {
+        let programs: Vec<CompiledRegex> = pool.iter().map(CompiledRegex::compile).collect();
+        let matcher = MultiMatcher::build(&programs);
+        let mut scratch = matcher.scratch();
+        let mut hosts: Vec<String> = vec![noise.clone(), String::new()];
+        for r in &pool {
+            let instance: String = r
+                .elems()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| instance_of(e, seed.wrapping_add(i as u64 * 131)))
+                .collect();
+            hosts.push(format!("{noise}{instance}"));
+            hosts.push(format!("{instance}{noise}"));
+            hosts.push(instance);
+        }
+        for host in &hosts {
+            let dispatched = matcher.dispatch(host.as_bytes(), &mut scratch).to_vec();
+            for (ri, p) in programs.iter().enumerate() {
+                if p.is_match(host) {
+                    prop_assert!(
+                        dispatched.contains(&(ri as u32)),
+                        "{} matches {host:?} but was not dispatched",
+                        pool[ri]
+                    );
+                }
+            }
+            if matcher.supports_mask() {
+                let mask = matcher.dispatch_mask(host.as_bytes());
+                let from_mask: Vec<u32> =
+                    (0..64).filter(|&b| mask >> b & 1 == 1).collect();
+                let mut sorted = dispatched.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(from_mask, sorted);
+            }
         }
     }
 

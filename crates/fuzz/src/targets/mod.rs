@@ -4,6 +4,7 @@
 //! | target   | surface                       | oracle                                            |
 //! |----------|-------------------------------|---------------------------------------------------|
 //! | regex    | `Regex::parse` + compile      | compiled vs interpreted `find`/`find_trace`, display→parse fixpoint |
+//! | multimatch | `MultiMatcher` pool dispatch | automaton dispatch vs per-regex compiled scans (superset-exact, mask/scratch agreement) |
 //! | artifact | `Model::parse`                | render fixpoint + sharded(N) vs single engine answers |
 //! | shardmap | `ShardMap::parse`             | render fixpoint + value equality                  |
 //! | scenario | `Scenario::parse`             | canonical render fixpoint                         |
@@ -16,6 +17,7 @@
 
 mod artifact;
 mod framing;
+mod multimatch;
 mod regex;
 mod scenario;
 mod shardmap;
@@ -41,6 +43,7 @@ pub trait Target {
 pub fn all_targets() -> Vec<Box<dyn Target>> {
     vec![
         Box::new(regex::RegexTarget),
+        Box::new(multimatch::MultiMatchTarget),
         Box::new(artifact::ArtifactTarget),
         Box::new(shardmap::ShardMapTarget),
         Box::new(scenario::ScenarioTarget),

@@ -230,6 +230,14 @@ pub struct SpanGuard<'a> {
     start_ns: u64,
 }
 
+impl SpanGuard<'_> {
+    /// Appends an arg discovered mid-span (e.g. a stat computed by the
+    /// work the span measures). Recorded alongside the eager args.
+    pub fn arg(&mut self, key: &str, value: &str) {
+        self.args.push((key.to_string(), value.to_string()));
+    }
+}
+
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end_ns = self.tracer.clock.now_ns();
@@ -312,6 +320,20 @@ mod tests {
         let spans = tracer.records();
         assert_eq!(spans.len(), 1);
         assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn late_args_are_recorded_with_eager_ones() {
+        let tracer = Tracer::new();
+        {
+            let mut g = tracer.span("work", &[("eager", "1")]);
+            g.arg("late", "2");
+        }
+        let spans = tracer.records();
+        assert_eq!(
+            spans[0].args,
+            vec![("eager".to_string(), "1".to_string()), ("late".to_string(), "2".to_string())]
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::model::Model;
 use hoiho::classify::NcClass;
-use hoiho::regex::{CompiledRegex, Regex};
+use hoiho::regex::{CompiledRegex, MultiMatcher, Regex};
 use hoiho_obs::{Counter, Registry};
 use hoiho_psl::PublicSuffixList;
 use std::collections::HashMap;
@@ -45,12 +45,19 @@ pub struct CompiledNc {
     pub regexes: Vec<Regex>,
     /// The compiled form of `regexes`, same order.
     programs: Vec<CompiledRegex>,
+    /// Literal dispatch over `programs`, when the pool is small enough
+    /// for the bitmask fast path (`MultiMatcher::supports_mask`) —
+    /// always true for real models, whose conventions carry a handful
+    /// of regexes. One automaton scan of the hostname rules out the
+    /// programs whose required literal never occurs.
+    matcher: Option<MultiMatcher>,
 }
 
 impl CompiledNc {
     fn new(suffix: String, class: NcClass, single: bool, regexes: Vec<Regex>) -> CompiledNc {
-        let programs = regexes.iter().map(CompiledRegex::compile).collect();
-        CompiledNc { suffix, class, single, regexes, programs }
+        let programs: Vec<CompiledRegex> = regexes.iter().map(CompiledRegex::compile).collect();
+        let matcher = Some(MultiMatcher::build(programs.iter())).filter(MultiMatcher::supports_mask);
+        CompiledNc { suffix, class, single, regexes, programs, matcher }
     }
 
     /// Runs the convention on an already-lowercased hostname —
@@ -59,6 +66,20 @@ impl CompiledNc {
     /// overflow the 32-bit ASN space yield `None` without trying later
     /// regexes.
     pub fn extract_lower(&self, lower: &str) -> Option<u32> {
+        if let Some(m) = &self.matcher {
+            // Ascending bit order is pool order is rank order, so the
+            // masked walk preserves first-match-wins exactly; skipped
+            // programs are missing a required literal and cannot match.
+            let mut mask = m.dispatch_mask(lower.as_bytes());
+            while mask != 0 {
+                let ri = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(digits) = self.programs[ri].extract(lower) {
+                    return digits.parse::<u32>().ok();
+                }
+            }
+            return None;
+        }
         for p in &self.programs {
             if let Some(digits) = p.extract(lower) {
                 return digits.parse::<u32>().ok();
@@ -383,6 +404,26 @@ mod tests {
             text.contains("hoiho_engine_extractions_total{dispatch=\"miss\"} 1"),
             "{text}"
         );
+    }
+
+    /// A pool past the 64-regex bitmask limit drops to the plain
+    /// rank-order loop and answers identically to a masked engine
+    /// holding the same effective convention.
+    #[test]
+    fn oversized_pool_falls_back_to_rank_order_loop() {
+        let real = [r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$", r"^(\d+)-.+\.equinix\.com$"];
+        // 70 never-matching decoys ahead of the real regexes keep rank
+        // order observable: the decoys must all be tried (and fail)
+        // before the real ones win.
+        let mut pool: Vec<String> =
+            (0..70).map(|i| format!(r"^decoy{i}x(\d+)\.equinix\.com$")).collect();
+        pool.extend(real.iter().map(|s| s.to_string()));
+        let refs: Vec<&str> = pool.iter().map(String::as_str).collect();
+        let big = Engine::new(&Model { entries: vec![entry("equinix.com", &refs)] });
+        let small = Engine::new(&Model { entries: vec![entry("equinix.com", &real)] });
+        for h in ["p714.sgw.equinix.com", "24482-fr5-ix.equinix.com", "www.equinix.com"] {
+            assert_eq!(big.extract(h).asn, small.extract(h).asn, "{h}");
+        }
     }
 
     #[test]

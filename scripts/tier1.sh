@@ -3,7 +3,10 @@
 #   1. The hermetic-dependency check (manifests are path-only).
 #   2. A clean offline release build of the whole workspace, including
 #      every example and binary.
-#   3. The full test suite, offline.
+#   3. The full test suite, offline, then the multi-matcher equivalence
+#      gate by name: fixed-seed `learn_all` output must be byte-identical
+#      with Aho–Corasick literal dispatch on (default) and off (the
+#      per-regex column build kept as the oracle).
 #   4. A live smoke test of the serving subsystem: learn a model from a
 #      simulated snapshot, serve it over TCP, drive one query + STATS,
 #      and shut down cleanly.
@@ -53,6 +56,14 @@ cd "$(dirname "$0")/.."
 ./scripts/no-external-deps.sh
 cargo build --release --offline --workspace --examples --bins
 cargo test -q --offline
+
+# --- multi-matcher equivalence gate: dispatch on vs off, by name, so a
+# filter typo in the suite can never silently drop it ---
+cargo test -q --offline -p hoiho --test compiled_equiv \
+    learn_all_identical_with_multi_matcher_on_and_off -- --exact \
+    | grep -q "1 passed" \
+    || { echo "tier1: multi-matcher equivalence gate did not run/pass" >&2; exit 1; }
+echo "tier1: multi-matcher on/off equivalence gate OK"
 
 # --- fuzz tier smoke: corpus replay + a short fixed-seed run ---
 FUZZ=target/release/hoiho-fuzz
